@@ -1,0 +1,68 @@
+// Shared helpers for the figure-reproduction benches: output locations,
+// unit-scaled series extraction, and common printing.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/bcn_params.h"
+#include "ode/trajectory.h"
+#include "plot/ascii.h"
+#include "plot/series.h"
+#include "plot/svg.h"
+
+namespace bcn::bench {
+
+// Where CSV/SVG artifacts go: $BCN_BENCH_OUT or ./bench_out.
+std::filesystem::path output_dir();
+
+// Phase-portrait series in paper-friendly units: x in Mbit, y in Gbps.
+plot::Series phase_series(const ode::Trajectory& trajectory,
+                          std::string name);
+
+// Queue length q(t) = x + q0 in Mbit against time in ms.
+plot::Series queue_series(const ode::Trajectory& trajectory, double q0,
+                          std::string name);
+
+// Rate series y(t) + C in Gbps against time in ms.
+plot::Series rate_series(const ode::Trajectory& trajectory, double capacity,
+                         std::string name);
+
+// Prints the ASCII rendering and writes the SVG artifact; announces the
+// file path on stdout.
+void emit_figure(const std::string& stem,
+                 const std::vector<plot::Series>& series,
+                 const plot::AsciiOptions& ascii,
+                 const plot::SvgOptions& svg);
+
+// Writes trajectory samples as CSV (t, x, y); announces the path.
+void emit_csv(const std::string& stem, const ode::Trajectory& trajectory);
+
+void print_params(const core::BcnParams& params);
+
+// Shared driver for the per-case dynamics figures (Figs. 8-10): traces the
+// switched system analytically and numerically (linearized + nonlinear),
+// prints the extrema/verdict table, and emits phase + queue figures.
+struct CaseBenchResult {
+  double analytic_max_x = 0.0;
+  double analytic_min_x = 0.0;
+  double numeric_lin_max_x = 0.0;
+  double numeric_non_max_x = 0.0;
+  bool strongly_stable_numeric = false;
+};
+
+CaseBenchResult run_case_dynamics(const core::BcnParams& params,
+                                  const std::string& title,
+                                  const std::string& stem, double duration);
+
+// Scaled-down plant (1 Mbps link, heavy sigma weight, k = 1e-4 s) on which
+// the node-regime thresholds are reachable.  With datacenter-scale C and
+// draft-like w/pm the spiral threshold 4 pm^2 C^2 / w^2 ~ 1e16 dwarfs any
+// realistic a = Ru Gi N and b C, so Cases 2-5 cannot occur there -- a
+// reproduction finding documented in EXPERIMENTS.md.  The paper's case
+// taxonomy is therefore exercised on this plant (threshold 4/k^2 = 4e8).
+core::BcnParams scaled_plant();
+
+}  // namespace bcn::bench

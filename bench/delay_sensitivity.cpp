@@ -1,0 +1,90 @@
+// E13 (extension): feedback-delay sensitivity.
+//
+// The paper drops the propagation delay from the model, arguing it is
+// microseconds against tens-to-hundreds of microseconds of queueing
+// dynamics.  This bench quantifies that argument: it sweeps the
+// round-trip feedback delay tau through the delayed fluid model, shows
+// the overshoot growth, finds the critical delay at which strong
+// stability is lost, and relates it to the subsystem rotation period.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/table.h"
+#include "control/frequency.h"
+#include "core/delayed_model.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== E13: feedback-delay sensitivity (extension) ===\n");
+  core::BcnParams p = core::BcnParams::standard_draft();
+  p.buffer = 14e6;  // sized per Theorem 1, so tau = 0 is strongly stable
+  p.qsc = 13.5e6;
+  bench::print_params(p);
+
+  const double beta_i = std::sqrt(4.0 * p.a() -
+                                  p.increase_m() * p.increase_m()) / 2.0;
+  std::printf("increase-region rotation period 2pi/beta_i = %.4g us\n\n",
+              2.0 * M_PI / beta_i * 1e6);
+
+  TablePrinter table({"tau (us)", "peak q (Mbit)", "dip q (Mbit)",
+                      "verdict"});
+  std::vector<plot::Series> queue_series;
+  for (const double tau : {0.0, 0.5e-6, 5e-6, 20e-6, 35e-6, 50e-6}) {
+    core::DelayedRunOptions opts;
+    opts.delay = tau;
+    opts.duration = 4e-3;
+    const auto run = core::simulate_delayed(p, opts);
+    const bool stable = !run.diverged && run.max_x < p.buffer - p.q0 &&
+                        run.post_peak_min_x > -p.q0;
+    table.add_row({TablePrinter::format(tau * 1e6),
+                   TablePrinter::format((run.max_x + p.q0) / 1e6, 4),
+                   TablePrinter::format((run.post_peak_min_x + p.q0) / 1e6, 4),
+                   run.diverged ? "DIVERGED"
+                                : (stable ? "strongly stable"
+                                          : "overflow/underflow")});
+    if (tau == 0.0 || tau == 20e-6 || tau == 50e-6) {
+      queue_series.push_back(bench::queue_series(
+          run.trajectory.decimate(20), p.q0,
+          strf("tau=%g us", tau * 1e6)));
+    }
+  }
+  std::fputs(table.to_string("delay sweep, B = 14 Mbit").c_str(), stdout);
+
+  const auto crit = core::critical_delay(p, 500e-6);
+  if (crit) {
+    std::printf("\ncritical delay: %.4g us (vs the 0.5 us physical "
+                "propagation delay the paper neglects -- a %0.0fx margin; "
+                "the zero-delay model is justified for intra-datacenter "
+                "distances, but a ~%.0f us RTT network would destabilize "
+                "these gains)\n",
+                *crit * 1e6, *crit / 0.5e-6, *crit * 1e6);
+  }
+
+  // Frequency-domain comparison: per-subsystem delay margins (the [4]
+  // toolkit, with delay) vs the measured critical delay of the switched
+  // system.
+  const control::LoopTransfer inc{p.a(), p.k()};
+  const control::LoopTransfer dec{p.b() * p.capacity, p.k()};
+  std::printf("\nper-subsystem delay margins (Nyquist-style): increase "
+              "%.4g us, decrease %.4g us -- three orders of magnitude "
+              "below the measured switched-system critical delay: "
+              "subsystem-wise frequency analysis is extremely "
+              "conservative for the variable-structure loop.\n",
+              control::delay_margin(inc) * 1e6,
+              control::delay_margin(dec) * 1e6);
+
+  plot::AsciiOptions ascii;
+  ascii.title = "queue transient vs feedback delay";
+  ascii.x_label = "t [ms]";
+  ascii.y_label = "q [Mbit]";
+  plot::SvgOptions svg;
+  svg.title = ascii.title;
+  svg.x_label = ascii.x_label;
+  svg.y_label = ascii.y_label;
+  svg.ref_lines.push_back({false, p.buffer / 1e6, "B"});
+  bench::emit_figure("delay_sensitivity", queue_series, ascii, svg);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E19 (extension): AIMD fairness convergence in the fluid setting.  The
+// paper adopts AIMD because it is "stable, convergent and fair" [Chiu &
+// Jain]; the multi-flow fluid model lets us watch the claim: flows that
+// start 7x apart converge toward equal shares, with the spread contracting
+// on every multiplicative-decrease episode.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/table.h"
+#include "core/multiflow_model.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== E19: AIMD fairness convergence (multi-flow fluid) "
+              "===\n");
+  core::BcnParams p = core::BcnParams::standard_draft();
+  p.num_sources = 5;
+  p.pm = 0.2;
+  p.gi = 0.5;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  bench::print_params(p);
+
+  core::MultiflowOptions opts;
+  opts.initial_rates = {0.5e9, 1.0e9, 2.0e9, 3.0e9, 3.5e9};
+  opts.duration = 0.3;
+  opts.record_interval = 1e-3;
+  const auto run = core::simulate_multiflow(p, opts);
+
+  TablePrinter table({"t (ms)", "r1 (Gbps)", "r2", "r3", "r4", "r5",
+                      "spread (max-min)/mean"});
+  for (std::size_t i = 0; i < run.trace.size();
+       i += std::max<std::size_t>(1, run.trace.size() / 10)) {
+    const auto& s = run.trace[i];
+    double lo = s.rates[0], hi = s.rates[0], sum = 0.0;
+    for (const double r : s.rates) {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+      sum += r;
+    }
+    std::vector<std::string> row{TablePrinter::format(s.t * 1e3, 4)};
+    for (const double r : s.rates) {
+      row.push_back(TablePrinter::format(r / 1e9, 3));
+    }
+    row.push_back(TablePrinter::format((hi - lo) / (sum / 5.0), 3));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nspread: %.3f initially -> %.3f at t = %.0f ms\n",
+              run.initial_spread, run.final_spread, opts.duration * 1e3);
+
+  std::vector<plot::Series> series;
+  for (std::size_t f = 0; f < opts.initial_rates.size(); ++f) {
+    plot::Series s;
+    s.name = strf("flow %zu", f + 1);
+    for (const auto& sample : run.trace) {
+      s.add(sample.t * 1e3, sample.rates[f] / 1e9);
+    }
+    series.push_back(std::move(s));
+  }
+  plot::AsciiOptions ascii;
+  ascii.title = "per-flow rates converging to the fair share C/N = 2 Gbps";
+  ascii.x_label = "t [ms]";
+  ascii.y_label = "rate [Gbps]";
+  plot::SvgOptions svg;
+  svg.title = ascii.title;
+  svg.x_label = ascii.x_label;
+  svg.y_label = ascii.y_label;
+  svg.ref_lines.push_back({false, 2.0, "C/N"});
+  bench::emit_figure("fairness_convergence", series, ascii, svg);
+  return 0;
+}

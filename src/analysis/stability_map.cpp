@@ -1,0 +1,45 @@
+#include "analysis/stability_map.h"
+
+namespace bcn::analysis {
+
+StabilityMap compute_stability_map(const core::BcnParams& base,
+                                   const std::vector<double>& gi_values,
+                                   const std::vector<double>& gd_values,
+                                   const StabilityMapOptions& options) {
+  StabilityMap map;
+  map.gi_values = gi_values;
+  map.gd_values = gd_values;
+  map.cells.reserve(gi_values.size() * gd_values.size());
+
+  core::NumericVerdictOptions nopts;
+  nopts.level = options.numeric_level;
+  nopts.duration = options.numeric_duration;
+
+  for (double gi : gi_values) {
+    for (double gd : gd_values) {
+      core::BcnParams p = base;
+      p.gi = gi;
+      p.gd = gd;
+      MapCell cell;
+      cell.gi = gi;
+      cell.gd = gd;
+      cell.report = core::analyze_stability(p);
+      cell.numeric = core::numeric_strong_stability(p, nopts);
+
+      if (cell.report.theorem1_satisfied) ++map.theorem1_stable;
+      if (cell.numeric.strongly_stable) ++map.numeric_stable;
+      if (cell.report.proposition_satisfied) ++map.proposition_stable;
+      if (cell.report.theorem1_satisfied && !cell.numeric.strongly_stable) {
+        ++map.theorem1_false_positive;
+      }
+      if (cell.report.proposition_satisfied &&
+          !cell.numeric.strongly_stable) {
+        ++map.proposition_false_positive;
+      }
+      map.cells.push_back(std::move(cell));
+    }
+  }
+  return map;
+}
+
+}  // namespace bcn::analysis

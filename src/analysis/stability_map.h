@@ -1,0 +1,49 @@
+// (Gi, Gd) stability maps: for each gain pair, the paper-case
+// classification, the Proposition/Theorem-1 verdicts and the numeric
+// ground truth, plus aggregate agreement statistics.
+//
+// These drive experiment E9 (propositions map) and the Theorem-1
+// soundness sweep of E8: Theorem 1 is a *sufficient* condition, so a sound
+// reproduction must find zero cells where Theorem 1 says stable but the
+// numeric verdict disagrees.
+#pragma once
+
+#include <vector>
+
+#include "core/stability.h"
+
+namespace bcn::analysis {
+
+struct MapCell {
+  double gi = 0.0;
+  double gd = 0.0;
+  core::StabilityReport report;
+  core::NumericVerdict numeric;
+};
+
+struct StabilityMap {
+  std::vector<double> gi_values;
+  std::vector<double> gd_values;
+  std::vector<MapCell> cells;  // row-major: gi outer, gd inner
+
+  // Aggregates.
+  int theorem1_stable = 0;          // cells Theorem 1 declares stable
+  int numeric_stable = 0;           // cells numerically strongly stable
+  int proposition_stable = 0;       // cells the propositions declare stable
+  int theorem1_false_positive = 0;  // Theorem 1 stable but numeric unstable
+  int proposition_false_positive = 0;
+};
+
+struct StabilityMapOptions {
+  core::ModelLevel numeric_level = core::ModelLevel::Linearized;
+  double numeric_duration = 0.0;  // 0 -> auto
+};
+
+// Evaluates the map over the cross product of the gain vectors, holding
+// every other parameter of `base` fixed.
+StabilityMap compute_stability_map(const core::BcnParams& base,
+                                   const std::vector<double>& gi_values,
+                                   const std::vector<double>& gd_values,
+                                   const StabilityMapOptions& options = {});
+
+}  // namespace bcn::analysis

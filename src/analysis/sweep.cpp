@@ -1,0 +1,26 @@
+#include "analysis/sweep.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bcn::analysis {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  assert(n >= 1);
+  if (n == 1) return {lo};
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) / (n - 1));
+  }
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, int n) {
+  assert(lo > 0.0 && hi > 0.0);
+  std::vector<double> out = linspace(std::log(lo), std::log(hi), n);
+  for (double& v : out) v = std::exp(v);
+  return out;
+}
+
+}  // namespace bcn::analysis

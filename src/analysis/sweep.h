@@ -1,0 +1,15 @@
+// Parameter-sweep helpers shared by the stability-map analysis and the
+// benchmark harnesses.
+#pragma once
+
+#include <vector>
+
+namespace bcn::analysis {
+
+// n evenly spaced values from lo to hi inclusive (n >= 2; n == 1 -> {lo}).
+std::vector<double> linspace(double lo, double hi, int n);
+
+// n log-spaced values from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, int n);
+
+}  // namespace bcn::analysis

@@ -1,0 +1,51 @@
+// Transient-performance metrics -- the paper's stated future work
+// ("investigate the transient behaviors of BCN system and evaluate the
+// impact of parameters on the transient performance").
+//
+// Two paths, cross-checkable against each other:
+//  * measure_transient: extracts overshoot, settling time, oscillation
+//    period and envelope decay rate from a simulated trajectory;
+//  * estimate_transient: predicts cycle time and settling time in closed
+//    form from the phase-plane quantities (round durations + contraction
+//    ratio of the switched linearized system).
+#pragma once
+
+#include <optional>
+
+#include "core/bcn_params.h"
+#include "ode/trajectory.h"
+
+namespace bcn::analysis {
+
+struct TransientMetrics {
+  // Peak queue overshoot above the reference, normalized by q0.
+  double overshoot_ratio = 0.0;
+  // First time after which |x| stays below band * q0 for the rest of the
+  // trace; infinity when the trace never settles.
+  double settling_time = 0.0;
+  bool settled = false;
+  // Mean spacing of successive positive peaks of x.
+  std::optional<double> oscillation_period;
+  // Exponential envelope rate lambda fitted to successive |extrema|
+  // (|x_k| ~ e^{-lambda t_k}); nullopt with fewer than two extrema.
+  std::optional<double> envelope_decay_rate;
+};
+
+TransientMetrics measure_transient(const ode::Trajectory& trajectory,
+                                   double q0, double band = 0.05);
+
+struct TransientEstimate {
+  double cycle_time = 0.0;         // T_i + T_d of one full oscillation
+  double contraction_ratio = 0.0;  // amplitude factor per cycle
+  double settling_time = 0.0;      // time to contract the first overshoot
+                                   // into the band
+  double envelope_decay_rate = 0.0;  // -ln(ratio)/cycle_time
+};
+
+// Closed-form estimate from the switched linearized system; nullopt when
+// the trace has no second full cycle (overdamped cases settle within the
+// first rounds).
+std::optional<TransientEstimate> estimate_transient(
+    const core::BcnParams& params, double band = 0.05);
+
+}  // namespace bcn::analysis

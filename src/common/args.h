@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing for the tools: --name value and
+// --name=value forms, with typed lookups and unknown-flag detection.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bcn {
+
+class ArgParser {
+ public:
+  // Parses argv; flags must start with "--".  A flag followed by another
+  // flag (or nothing) is treated as boolean true.
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  double get_double(const std::string& name, double fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  // Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  // Flags that were parsed, for unknown-flag checks.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bcn

@@ -1,0 +1,162 @@
+#include "common/csv.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace bcn {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+void append_cell(std::string& out, const std::string& cell) {
+  if (!needs_quoting(cell)) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(std::initializer_list<double> values) {
+  add_row(std::vector<double>(values));
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format(v));
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i != 0) out += ',';
+    append_cell(out, header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      append_cell(out, row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool CsvWriter::write_file(const std::filesystem::path& path) const {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[64];
+  const auto [ptr, err] = std::to_chars(buf, buf + sizeof buf, v);
+  if (err != std::errc()) return "nan";
+  return std::string(buf, ptr);
+}
+
+int CsvTable::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double CsvTable::value(std::size_t row, int col, double fallback) const {
+  if (col < 0 || row >= rows.size()) return fallback;
+  const auto& cells = rows[row];
+  if (static_cast<std::size_t>(col) >= cells.size()) return fallback;
+  const std::string& cell = cells[static_cast<std::size_t>(col)];
+  char* end = nullptr;
+  const double parsed = std::strtod(cell.c_str(), &end);
+  return (end && *end == '\0' && end != cell.c_str()) ? parsed : fallback;
+}
+
+CsvTable parse_csv(const std::string& text) {
+  CsvTable table;
+  std::vector<std::string> cells;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  auto end_cell = [&] {
+    cells.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&] {
+    if (!row_started && cells.empty()) return;
+    end_cell();
+    if (table.header.empty()) {
+      table.header = std::move(cells);
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+    cells.clear();
+    row_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_quotes = true; row_started = true; break;
+      case ',': end_cell(); row_started = true; break;
+      case '\r': break;
+      case '\n': end_row(); break;
+      default: cell += c; row_started = true;
+    }
+  }
+  if (row_started || !cell.empty() || !cells.empty()) end_row();
+  return table;
+}
+
+std::optional<CsvTable> read_csv_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  return parse_csv(all);
+}
+
+}  // namespace bcn

@@ -1,0 +1,27 @@
+#include "common/format.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace bcn {
+
+std::string vstrf(const char* fmt, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstrf(fmt, args);
+  va_end(args);
+  return out;
+}
+
+}  // namespace bcn

@@ -1,0 +1,17 @@
+// printf-style std::string formatting (GCC 12's libstdc++ lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bcn {
+
+// Returns the printf-formatted string.  Attribute-checked like printf.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string strf(const char* fmt, ...);
+
+std::string vstrf(const char* fmt, std::va_list args);
+
+}  // namespace bcn

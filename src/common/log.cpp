@@ -1,0 +1,41 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace bcn {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  std::va_list args;
+  va_start(args, fmt);
+  log_line(level, vstrf(fmt, args));
+  va_end(args);
+}
+
+}  // namespace bcn

@@ -1,0 +1,30 @@
+// Tiny leveled logger.  Default level is Warn so library code is silent in
+// tests and benches unless something is wrong; tools can raise verbosity.
+#pragma once
+
+#include <string_view>
+
+#include "common/format.h"
+
+namespace bcn {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+// Process-wide log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Writes one line to stderr when `level` >= the threshold.
+void log_line(LogLevel level, std::string_view message);
+
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void log(LogLevel level, const char* fmt, ...);
+
+#define BCN_LOG_DEBUG(...) ::bcn::log(::bcn::LogLevel::Debug, __VA_ARGS__)
+#define BCN_LOG_INFO(...) ::bcn::log(::bcn::LogLevel::Info, __VA_ARGS__)
+#define BCN_LOG_WARN(...) ::bcn::log(::bcn::LogLevel::Warn, __VA_ARGS__)
+#define BCN_LOG_ERROR(...) ::bcn::log(::bcn::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace bcn

@@ -1,0 +1,31 @@
+// Unit conversion constants for Data Center Ethernet quantities.
+//
+// The library works internally in SI base units: bits, seconds and
+// bits/second, all stored as double.  These constants make call sites read
+// like the paper ("C = 10 Gbps", "q0 = 2.5 Mbit") without introducing a
+// heavyweight unit-type system.
+#pragma once
+
+namespace bcn::units {
+
+// --- data volume (bits) -----------------------------------------------------
+inline constexpr double kBit = 1.0;
+inline constexpr double kKbit = 1e3;
+inline constexpr double kMbit = 1e6;
+inline constexpr double kGbit = 1e9;
+inline constexpr double kByte = 8.0;
+inline constexpr double kKByte = 8e3;
+
+// --- rate (bits/second) -----------------------------------------------------
+inline constexpr double kBps = 1.0;   // bit per second
+inline constexpr double kKbps = 1e3;
+inline constexpr double kMbps = 1e6;
+inline constexpr double kGbps = 1e9;
+
+// --- time (seconds) ---------------------------------------------------------
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+
+}  // namespace bcn::units

@@ -1,0 +1,228 @@
+#include "control/closed_form.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace bcn::control {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Strict-after tolerance: events exactly at `after` are not returned.
+double after_tolerance(double after) {
+  return 1e-12 * std::max(1.0, std::abs(after));
+}
+
+}  // namespace
+
+std::string to_string(SolutionKind kind) {
+  switch (kind) {
+    case SolutionKind::Spiral: return "spiral (H)";
+    case SolutionKind::Node: return "node (F)";
+    case SolutionKind::Degenerate: return "degenerate (L)";
+  }
+  return "?";
+}
+
+LinearSolution::LinearSolution(const SecondOrderSystem& system, Vec2 z0)
+    : m_(system.m()), n_(system.n()), z0_(z0) {
+  assert(n_ > 0.0 && "closed forms require n > 0 (no saddle/zero root)");
+  const double disc = system.discriminant();
+  if (disc < 0.0) {
+    kind_ = SolutionKind::Spiral;
+    alpha_ = -m_ / 2.0;
+    beta_ = std::sqrt(-disc) / 2.0;
+    // x0 = A cos(phi); (alpha x0 - y0)/beta = A sin(phi).  Using atan2
+    // instead of the paper's principal arctan keeps the representation
+    // valid in every quadrant (the paper's -arctan((y0-ax0)/(bx0)) breaks
+    // for x0 <= 0).
+    const double s = (alpha_ * z0.x - z0.y) / beta_;
+    amp_ = std::hypot(z0.x, s);
+    phase_ = std::atan2(s, z0.x);
+  } else if (disc > 0.0) {
+    kind_ = SolutionKind::Node;
+    const auto eig = system.eigenvalues();
+    lambda1_ = eig[0].real();
+    lambda2_ = eig[1].real();
+    a1_ = (lambda2_ * z0.x - z0.y) / (lambda2_ - lambda1_);
+    a2_ = (lambda1_ * z0.x - z0.y) / (lambda1_ - lambda2_);
+  } else {
+    kind_ = SolutionKind::Degenerate;
+    lambda1_ = lambda2_ = -m_ / 2.0;
+    a3_ = z0.x;
+    a4_ = z0.y - lambda1_ * z0.x;
+  }
+}
+
+Vec2 LinearSolution::eval(double t) const {
+  switch (kind_) {
+    case SolutionKind::Spiral: {
+      const double e = std::exp(alpha_ * t);
+      const double c = std::cos(beta_ * t + phase_);
+      const double s = std::sin(beta_ * t + phase_);
+      const double x = amp_ * e * c;
+      const double y = amp_ * e * (alpha_ * c - beta_ * s);
+      return {x, y};
+    }
+    case SolutionKind::Node: {
+      const double e1 = std::exp(lambda1_ * t);
+      const double e2 = std::exp(lambda2_ * t);
+      return {a1_ * e1 + a2_ * e2,
+              a1_ * lambda1_ * e1 + a2_ * lambda2_ * e2};
+    }
+    case SolutionKind::Degenerate: {
+      const double e = std::exp(lambda1_ * t);
+      const double x = (a3_ + a4_ * t) * e;
+      const double y = (a4_ + lambda1_ * (a3_ + a4_ * t)) * e;
+      return {x, y};
+    }
+  }
+  return {};
+}
+
+std::optional<XExtremum> LinearSolution::spiral_extremum(double after) const {
+  if (amp_ == 0.0) return std::nullopt;
+  // y = 0  <=>  tan(beta t + phi) = alpha / beta.
+  const double theta_star = std::atan(alpha_ / beta_);
+  const double tol = after_tolerance(after);
+  double j = std::ceil((beta_ * after + phase_ - theta_star) / kPi);
+  double t = (theta_star + j * kPi - phase_) / beta_;
+  while (t <= after + tol) {
+    j += 1.0;
+    t = (theta_star + j * kPi - phase_) / beta_;
+  }
+  const double value = eval(t).x;
+  // At an extremum x'' = y' = -n x, so maxima sit at x > 0.
+  return XExtremum{t, value, value > 0.0};
+}
+
+std::optional<XExtremum> LinearSolution::node_extremum(double after) const {
+  const double u = a1_ * lambda1_;
+  const double v = a2_ * lambda2_;
+  if (u == 0.0 || v == 0.0) return std::nullopt;
+  const double rho = -v / u;
+  if (rho <= 0.0) return std::nullopt;
+  const double t = std::log(rho) / (lambda1_ - lambda2_);
+  if (t <= after + after_tolerance(after)) return std::nullopt;
+  const double value = eval(t).x;
+  return XExtremum{t, value, value > 0.0};
+}
+
+std::optional<XExtremum> LinearSolution::degenerate_extremum(
+    double after) const {
+  // y = 0  <=>  a4 + lambda (a3 + a4 t) = 0.
+  if (a4_ == 0.0 || lambda1_ == 0.0) return std::nullopt;
+  const double t = -(a4_ + lambda1_ * a3_) / (lambda1_ * a4_);
+  if (t <= after + after_tolerance(after)) return std::nullopt;
+  const double value = eval(t).x;
+  return XExtremum{t, value, value > 0.0};
+}
+
+std::optional<XExtremum> LinearSolution::first_x_extremum(double after) const {
+  switch (kind_) {
+    case SolutionKind::Spiral: return spiral_extremum(after);
+    case SolutionKind::Node: return node_extremum(after);
+    case SolutionKind::Degenerate: return degenerate_extremum(after);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> LinearSolution::first_line_crossing(double p, double q,
+                                                          double after) const {
+  const double tol = after_tolerance(after);
+  switch (kind_) {
+    case SolutionKind::Spiral: {
+      if (amp_ == 0.0) return std::nullopt;
+      // p x + q y = A e^{alpha t} R cos(beta t + phi + psi).
+      const double rx = p + q * alpha_;
+      const double ry = q * beta_;
+      const double big_r = std::hypot(rx, ry);
+      if (big_r == 0.0) return std::nullopt;
+      const double psi = std::atan2(ry, rx);
+      double j =
+          std::ceil((beta_ * after + phase_ + psi - kPi / 2.0) / kPi);
+      double t = (kPi / 2.0 + j * kPi - phase_ - psi) / beta_;
+      while (t <= after + tol) {
+        j += 1.0;
+        t = (kPi / 2.0 + j * kPi - phase_ - psi) / beta_;
+      }
+      return t;
+    }
+    case SolutionKind::Node: {
+      const double u = a1_ * (p + q * lambda1_);
+      const double v = a2_ * (p + q * lambda2_);
+      if (u == 0.0 || v == 0.0) return std::nullopt;
+      const double rho = -v / u;
+      if (rho <= 0.0) return std::nullopt;
+      const double t = std::log(rho) / (lambda1_ - lambda2_);
+      if (t <= after + tol) return std::nullopt;
+      return t;
+    }
+    case SolutionKind::Degenerate: {
+      const double c0 = p * a3_ + q * (a4_ + lambda1_ * a3_);
+      const double c1 = a4_ * (p + q * lambda1_);
+      if (c1 == 0.0) return std::nullopt;
+      const double t = -c0 / c1;
+      if (t <= after + tol) return std::nullopt;
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Paper formulas --------------------------------------------------------
+
+double paper_spiral_extremum_time(double alpha, double beta, Vec2 z0) {
+  const double base = std::atan(alpha / beta) +
+                      std::atan((z0.y - alpha * z0.x) / (beta * z0.x));
+  if (z0.x * z0.y >= 0.0) return base / beta;
+  return (kPi + base) / beta;
+}
+
+double paper_spiral_extremum_value(double alpha, double beta, Vec2 z0) {
+  const double t_star = paper_spiral_extremum_time(alpha, beta, z0);
+  const double amp =
+      std::sqrt((alpha * alpha + beta * beta) * z0.x * z0.x -
+                2.0 * alpha * z0.x * z0.y + z0.y * z0.y) /
+      beta;
+  const double magnitude = amp * beta / std::hypot(alpha, beta) *
+                           std::exp(alpha * t_star);
+  // Eq. (19) for y0 > 0 (closest extremum is the maximum), eq. (20) for
+  // y0 < 0 (the minimum).
+  return z0.y > 0.0 ? magnitude : -magnitude;
+}
+
+std::optional<double> paper_node_extremum_value(double lambda1, double lambda2,
+                                                Vec2 z0) {
+  const double p1 = z0.y - lambda1 * z0.x;
+  const double p2 = z0.y - lambda2 * z0.x;
+  if (!(p1 > 0.0) || !(p2 > 0.0) || !(lambda1 < 0.0) || !(lambda2 < 0.0)) {
+    return std::nullopt;
+  }
+  // Eq. (28) evaluated in log space.  NOTE: the paper prints a leading
+  // minus sign; checked against the direct t*-evaluation the extremum is
+  // sign(y0) * magnitude (the minus sign is a typo for the y0 > 0 branch).
+  const double log_mag =
+      (lambda1 * std::log(-lambda1) + lambda2 * std::log(p2) -
+       lambda2 * std::log(-lambda2) - lambda1 * std::log(p1)) /
+      (lambda2 - lambda1);
+  const double magnitude = std::exp(log_mag);
+  return z0.y > 0.0 ? magnitude : -magnitude;
+}
+
+std::optional<double> paper_degenerate_extremum_value(double lambda,
+                                                      Vec2 z0) {
+  const double a3 = z0.x;
+  const double a4 = z0.y - lambda * z0.x;
+  if (a4 == 0.0 || lambda == 0.0) return std::nullopt;
+  const double t_star = -(a4 + lambda * a3) / (lambda * a4);
+  if (t_star < 0.0) return std::nullopt;
+  // Eq. (34) with the exponent corrected: x(t*) = -(A4/lambda) *
+  // exp(-(lambda A3 + A4)/A4).  (The paper prints the exponent as
+  // -(lambda A3 + A4)/(lambda A4), which fails a direct substitution
+  // check, e.g. lambda=-1, z0=(0,1) gives e instead of 1/e.)
+  return -(a4 / lambda) * std::exp(-(lambda * a3 + a4) / a4);
+}
+
+}  // namespace bcn::control

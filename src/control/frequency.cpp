@@ -1,0 +1,42 @@
+#include "control/frequency.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bcn::control {
+
+std::complex<double> loop_gain(const LoopTransfer& loop, double omega,
+                               double delay) {
+  assert(omega != 0.0);
+  const std::complex<double> s(0.0, omega);
+  std::complex<double> value =
+      loop.n * (1.0 + loop.k * s) / (s * s);
+  if (delay > 0.0) {
+    value *= std::exp(std::complex<double>(0.0, -omega * delay));
+  }
+  return value;
+}
+
+double gain_crossover(const LoopTransfer& loop) {
+  assert(loop.n > 0.0);
+  const double n2k2 = loop.n * loop.n * loop.k * loop.k;
+  const double omega_sq =
+      (n2k2 + std::sqrt(n2k2 * n2k2 + 4.0 * loop.n * loop.n)) / 2.0;
+  return std::sqrt(omega_sq);
+}
+
+double phase_margin(const LoopTransfer& loop) {
+  // arg L(j w) = atan(k w) - pi  (double integrator contributes -pi, the
+  // zero contributes +atan(k w)), so pm = pi + arg L = atan(k w_c).
+  return std::atan(loop.k * gain_crossover(loop));
+}
+
+double delay_margin(const LoopTransfer& loop) {
+  return phase_margin(loop) / gain_crossover(loop);
+}
+
+bool delayed_subsystem_stable(const LoopTransfer& loop, double delay) {
+  return delay < delay_margin(loop);
+}
+
+}  // namespace bcn::control

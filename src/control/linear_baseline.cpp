@@ -1,0 +1,35 @@
+#include "control/linear_baseline.h"
+
+#include "common/format.h"
+
+namespace bcn::control {
+namespace {
+
+SubsystemReport analyze_subsystem(double m, double n) {
+  const SecondOrderSystem system(m, n);
+  return {m, n, system.classify(), system.is_hurwitz_stable()};
+}
+
+}  // namespace
+
+LinearBaselineReport analyze_linear_baseline(double a, double b, double k,
+                                             double capacity) {
+  LinearBaselineReport report;
+  report.increase = analyze_subsystem(a * k, a);
+  report.decrease = analyze_subsystem(k * b * capacity, b * capacity);
+  report.declared_stable =
+      report.increase.hurwitz_stable && report.decrease.hurwitz_stable;
+  return report;
+}
+
+std::string to_string(const LinearBaselineReport& report) {
+  return strf(
+      "linear baseline [Lu et al. 2006]: increase(m=%.6g, n=%.6g) -> "
+      "%s; decrease(m=%.6g, n=%.6g) -> %s; overall: %s",
+      report.increase.m, report.increase.n,
+      to_string(report.increase.equilibrium).c_str(), report.decrease.m,
+      report.decrease.n, to_string(report.decrease.equilibrium).c_str(),
+      report.declared_stable ? "stable" : "unstable");
+}
+
+}  // namespace bcn::control

@@ -1,0 +1,34 @@
+#include "control/matrix2.h"
+
+#include <cmath>
+
+namespace bcn::control {
+
+Mat2 companion(double m, double n) { return {0.0, 1.0, -n, -m}; }
+
+Mat2 expm(const Mat2& matrix, double t) {
+  const double mu = matrix.trace() / 2.0;
+  const double delta = mu * mu - matrix.det();
+  const Mat2 deviat = matrix + (-mu * Mat2::identity());
+
+  double f;  // coefficient of I
+  double g;  // coefficient of (M - mu I)
+  // Use a relative threshold so near-degenerate cases stay accurate.
+  const double scale = mu * mu + std::abs(matrix.det()) + 1e-300;
+  if (delta > 1e-14 * scale) {
+    const double s = std::sqrt(delta);
+    f = std::cosh(s * t);
+    g = std::sinh(s * t) / s;
+  } else if (delta < -1e-14 * scale) {
+    const double s = std::sqrt(-delta);
+    f = std::cos(s * t);
+    g = std::sin(s * t) / s;
+  } else {
+    f = 1.0;
+    g = t;
+  }
+  const double e = std::exp(mu * t);
+  return (e * f) * Mat2::identity() + (e * g) * deviat;
+}
+
+}  // namespace bcn::control

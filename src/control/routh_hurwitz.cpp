@@ -1,0 +1,39 @@
+#include "control/routh_hurwitz.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace bcn::control {
+
+bool routh_hurwitz_stable(const std::vector<double>& coeffs) {
+  assert(coeffs.size() >= 2 && coeffs.size() <= 5);
+  assert(coeffs.front() != 0.0);
+
+  // Normalize so the leading coefficient is positive.
+  std::vector<double> a = coeffs;
+  if (a.front() < 0.0) {
+    for (double& c : a) c = -c;
+  }
+  // Necessary condition for all degrees: every coefficient positive.
+  for (double c : a) {
+    if (!(c > 0.0)) return false;
+  }
+
+  switch (a.size() - 1) {
+    case 1:  // a1 s + a0
+    case 2:  // positivity is also sufficient for degree <= 2
+      return true;
+    case 3: {  // a3 s^3 + a2 s^2 + a1 s + a0: need a2 a1 > a3 a0
+      return a[1] * a[2] > a[0] * a[3];
+    }
+    case 4: {  // a4 s^4 + ... + a0
+      const double a4 = a[0], a3 = a[1], a2 = a[2], a1 = a[3], a0 = a[4];
+      if (!(a3 * a2 > a4 * a1)) return false;
+      return a1 * (a3 * a2 - a4 * a1) > a0 * a3 * a3;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace bcn::control

@@ -1,0 +1,18 @@
+// Routh-Hurwitz stability test for real polynomials up to degree 4.
+//
+// Used for Proposition 1 (each BCN subsystem is Hurwitz-stable) and by the
+// Lu et al. [4] linear-baseline analysis.
+#pragma once
+
+#include <vector>
+
+namespace bcn::control {
+
+// `coeffs` are highest-degree first: {a_n, a_{n-1}, ..., a_0} for
+// a_n s^n + ... + a_0.  Leading coefficient must be non-zero; degree must
+// be between 1 and 4.
+//
+// Returns true iff every root has a strictly negative real part.
+bool routh_hurwitz_stable(const std::vector<double>& coeffs);
+
+}  // namespace bcn::control

@@ -1,0 +1,110 @@
+#include "core/analytic_tracer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcn::core {
+
+std::optional<double> AnalyticTrace::contraction_ratio() const {
+  // Compare |x| at successive entries into the same region.
+  std::vector<double> increase_entries;
+  for (const auto& r : rounds) {
+    if (r.region == Region::Increase && r.t_start > 0.0) {
+      increase_entries.push_back(std::abs(r.z_start.x));
+    }
+  }
+  if (increase_entries.size() < 2) return std::nullopt;
+  const double prev = increase_entries[increase_entries.size() - 2];
+  const double last = increase_entries.back();
+  if (prev <= 0.0) return std::nullopt;
+  return last / prev;
+}
+
+AnalyticTracer::AnalyticTracer(BcnParams params) : params_(params) {}
+
+AnalyticTrace AnalyticTracer::trace(const AnalyticTraceOptions& options) const {
+  return trace_from({-params_.q0, 0.0}, options);
+}
+
+AnalyticTrace AnalyticTracer::trace_from(
+    Vec2 z0, const AnalyticTraceOptions& options) const {
+  const FluidModel model(params_, ModelLevel::Linearized);
+  const double k = params_.k();
+  const control::SecondOrderSystem inc = increase_subsystem(params_);
+  const control::SecondOrderSystem dec = decrease_subsystem(params_);
+
+  // Extrema accumulate over interior points only: round extrema, crossing
+  // points, and the origin limit.  The initial point (on the empty-buffer
+  // wall when z0 = (-q0, 0)) is excluded, matching the paper's min1/max1
+  // semantics (Definition 1 judges the motion after the start).
+  AnalyticTrace out;
+  out.max_x = 0.0;
+  out.min_x = 0.0;
+
+  double t_abs = 0.0;
+  Vec2 z = z0;
+  // The first round's region comes from sigma's sign; afterwards regions
+  // alternate (each round ends with a transversal switching-line crossing).
+  Region region = model.region_of(z);
+
+  for (int round = 0; round < options.max_rounds; ++round) {
+    const double norm =
+        std::abs(z.x) / params_.q0 + std::abs(z.y) / params_.capacity;
+    if (norm < options.convergence_tol) {
+      out.converged = true;
+      break;
+    }
+
+    const control::SecondOrderSystem& sys =
+        region == Region::Increase ? inc : dec;
+    control::LinearSolution sol(sys, z);
+    RoundRecord rec{region, sol.kind(), sol, t_abs, z, std::nullopt,
+                    std::nullopt, std::nullopt};
+
+    const auto crossing = sol.first_line_crossing(1.0, k, 0.0);
+    const auto extremum = sol.first_x_extremum(0.0);
+    if (extremum && (!crossing || extremum->t < *crossing)) {
+      rec.extremum = control::XExtremum{t_abs + extremum->t, extremum->value,
+                                        extremum->is_maximum};
+      out.max_x = std::max(out.max_x, extremum->value);
+      out.min_x = std::min(out.min_x, extremum->value);
+    }
+
+    if (!crossing) {
+      // Terminal round: converges to the origin inside this region.
+      out.terminated_in_region = true;
+      out.converged = true;
+      out.rounds.push_back(std::move(rec));
+      break;
+    }
+
+    const Vec2 z_end = sol.eval(*crossing);
+    rec.duration = *crossing;
+    rec.z_end = z_end;
+    out.max_x = std::max(out.max_x, z_end.x);
+    out.min_x = std::min(out.min_x, z_end.x);
+    out.rounds.push_back(std::move(rec));
+
+    t_abs += *crossing;
+    z = z_end;
+    region = region == Region::Increase ? Region::Decrease : Region::Increase;
+  }
+  return out;
+}
+
+ode::Trajectory AnalyticTracer::sample(const AnalyticTrace& trace,
+                                       int points_per_round,
+                                       double tail_time) const {
+  ode::Trajectory out;
+  const int n = std::max(2, points_per_round);
+  for (const auto& round : trace.rounds) {
+    const double span = round.duration.value_or(tail_time);
+    for (int i = 0; i < n; ++i) {
+      const double local = span * static_cast<double>(i) / (n - 1);
+      out.push_back(round.t_start + local, round.solution.eval(local));
+    }
+  }
+  return out;
+}
+
+}  // namespace bcn::core

@@ -1,0 +1,83 @@
+// Closed-form piecewise tracing of the switched linearized BCN system
+// (paper eq. (9)).
+//
+// The trajectory is built round by round exactly as in the paper's Section
+// IV.C: inside one region the motion follows the closed-form linear
+// solution (H / F / L type); the round ends where the solution crosses the
+// switching line x + k y = 0, which is computed in closed form as well (the
+// paper's H^{-1} inversions, e.g. T_i^1).  Stitching the rounds yields the
+// exact transient extrema max1/min1/max2 of Propositions 2-3 without any
+// numeric integration.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "control/closed_form.h"
+#include "core/classifier.h"
+#include "core/fluid_model.h"
+#include "ode/trajectory.h"
+
+namespace bcn::core {
+
+// One region traversal ("round" in the paper's indexing x_i^k, x_d^k).
+struct RoundRecord {
+  Region region = Region::Increase;
+  control::SolutionKind kind = control::SolutionKind::Spiral;
+  control::LinearSolution solution;  // local time: 0 at round start
+  double t_start = 0.0;              // absolute start time
+  Vec2 z_start;
+  // Crossing back over the switching line; nullopt when the round never
+  // leaves its region (the trajectory then converges to the origin inside
+  // it, as in Cases 2-4 tails).
+  std::optional<double> duration;
+  std::optional<Vec2> z_end;
+  // The round's local extremum of x (y = 0 crossing), in absolute time.
+  std::optional<control::XExtremum> extremum;
+};
+
+struct AnalyticTraceOptions {
+  int max_rounds = 256;
+  // Convergence: a round start counts as converged when
+  // |x|/x_scale + |y|/y_scale < tol.
+  double convergence_tol = 1e-6;
+};
+
+struct AnalyticTrace {
+  std::vector<RoundRecord> rounds;
+  bool converged = false;            // round-start norm fell below tolerance
+  bool terminated_in_region = false; // final round never crosses again
+  double max_x = 0.0;                // global max of x over the whole trace
+  double min_x = 0.0;                // global min of x over the whole trace
+
+  // Geometric contraction ratio of successive same-region crossing
+  // amplitudes |x|; < 1 means the switched system spirals in.  nullopt when
+  // fewer than two same-region crossings happened.
+  std::optional<double> contraction_ratio() const;
+};
+
+class AnalyticTracer {
+ public:
+  // The tracer always works at the Linearized model level; `params` gives
+  // the region subsystems and the switching-line slope.
+  explicit AnalyticTracer(BcnParams params);
+
+  // Traces from z0 (default: the paper's analysis start (-q0, 0)).
+  AnalyticTrace trace(const AnalyticTraceOptions& options = {}) const;
+  AnalyticTrace trace_from(Vec2 z0,
+                           const AnalyticTraceOptions& options = {}) const;
+
+  // Samples the closed-form trace into a polyline for plotting /
+  // cross-validation against numeric integration.  `points_per_round`
+  // samples are placed uniformly in time inside each round; open-ended
+  // final rounds are sampled over `tail_time` seconds.
+  ode::Trajectory sample(const AnalyticTrace& trace, int points_per_round,
+                         double tail_time) const;
+
+  const BcnParams& params() const { return params_; }
+
+ private:
+  BcnParams params_;
+};
+
+}  // namespace bcn::core

@@ -1,0 +1,63 @@
+#include "core/classifier.h"
+
+#include <cmath>
+
+namespace bcn::core {
+
+std::string to_string(PaperCase c) {
+  switch (c) {
+    case PaperCase::Case1: return "Case 1 (spiral/spiral)";
+    case PaperCase::Case2: return "Case 2 (node/spiral)";
+    case PaperCase::Case3: return "Case 3 (spiral/node)";
+    case PaperCase::Case4: return "Case 4 (node/node)";
+    case PaperCase::Case5: return "Case 5 (boundary)";
+  }
+  return "?";
+}
+
+control::SecondOrderSystem increase_subsystem(const BcnParams& params) {
+  return {params.increase_m(), params.increase_n()};
+}
+
+control::SecondOrderSystem decrease_subsystem(const BcnParams& params) {
+  return {params.decrease_m(), params.decrease_n()};
+}
+
+CaseClassification classify_case(const BcnParams& params,
+                                 double boundary_rtol) {
+  CaseClassification out;
+  const auto inc = increase_subsystem(params);
+  const auto dec = decrease_subsystem(params);
+  out.increase_discriminant = inc.discriminant();
+  out.decrease_discriminant = dec.discriminant();
+
+  auto kind_of = [&](double disc, double n) {
+    if (std::abs(disc) <= boundary_rtol * 4.0 * n) {
+      return control::SolutionKind::Degenerate;
+    }
+    return disc < 0.0 ? control::SolutionKind::Spiral
+                      : control::SolutionKind::Node;
+  };
+  out.increase_kind = kind_of(out.increase_discriminant, inc.n());
+  out.decrease_kind = kind_of(out.decrease_discriminant, dec.n());
+
+  using control::SolutionKind;
+  if (out.increase_kind == SolutionKind::Degenerate ||
+      out.decrease_kind == SolutionKind::Degenerate) {
+    out.paper_case = PaperCase::Case5;
+  } else if (out.increase_kind == SolutionKind::Spiral &&
+             out.decrease_kind == SolutionKind::Spiral) {
+    out.paper_case = PaperCase::Case1;
+  } else if (out.increase_kind == SolutionKind::Node &&
+             out.decrease_kind == SolutionKind::Spiral) {
+    out.paper_case = PaperCase::Case2;
+  } else if (out.increase_kind == SolutionKind::Spiral &&
+             out.decrease_kind == SolutionKind::Node) {
+    out.paper_case = PaperCase::Case3;
+  } else {
+    out.paper_case = PaperCase::Case4;
+  }
+  return out;
+}
+
+}  // namespace bcn::core

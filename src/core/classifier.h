@@ -1,0 +1,43 @@
+// Classification of the BCN switched system into the paper's Cases 1-5
+// (Section IV.C) from the region-wise trajectory kinds.
+#pragma once
+
+#include <string>
+
+#include "control/closed_form.h"
+#include "core/bcn_params.h"
+
+namespace bcn::core {
+
+// Paper Section IV.C case taxonomy on (a vs 4 pm^2 C^2 / w^2,
+// b vs 4 pm^2 C / w^2).
+enum class PaperCase {
+  Case1,  // spiral / spiral: oscillatory; limit cycles possible
+  Case2,  // node / spiral: single overshoot bounded by max2 (eq. (38))
+  Case3,  // spiral / node: never overshoots q0 -> always strongly stable
+  Case4,  // node / node: monotone -> always strongly stable
+  Case5,  // boundary (a = 4 pm^2 C^2/w^2 or b = 4 pm^2 C/w^2): stable
+};
+
+std::string to_string(PaperCase c);
+
+struct CaseClassification {
+  PaperCase paper_case = PaperCase::Case1;
+  control::SolutionKind increase_kind = control::SolutionKind::Spiral;
+  control::SolutionKind decrease_kind = control::SolutionKind::Spiral;
+  // Discriminants of the two characteristic equations (eq. (35)).
+  double increase_discriminant = 0.0;
+  double decrease_discriminant = 0.0;
+};
+
+// `boundary_rtol` widens Case 5 to |disc| <= rtol * 4n, since exact
+// floating-point equality on the boundary is measure-zero; pass 0 for the
+// strict paper semantics.
+CaseClassification classify_case(const BcnParams& params,
+                                 double boundary_rtol = 0.0);
+
+// The region-wise linear subsystems (for constructing closed forms).
+control::SecondOrderSystem increase_subsystem(const BcnParams& params);
+control::SecondOrderSystem decrease_subsystem(const BcnParams& params);
+
+}  // namespace bcn::core

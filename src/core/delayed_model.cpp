@@ -1,0 +1,142 @@
+#include "core/delayed_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace bcn::core {
+namespace {
+
+// Time-scale heuristic: a small fraction of the fastest rotation period.
+double dynamics_step(const BcnParams& p) {
+  const double wi = std::sqrt(p.a());
+  const double wd = std::sqrt(p.b() * p.capacity);
+  return 0.02 / std::max(wi, wd);
+}
+
+}  // namespace
+
+DelayedRun simulate_delayed(const BcnParams& params,
+                            const DelayedRunOptions& options) {
+  DelayedRun run;
+  const double q0 = params.q0;
+  const double cap = params.capacity;
+  const double a = params.a();
+  const double b = params.b();
+  const double k = params.k();
+  const Vec2 z0 = options.z0.value_or(Vec2{-q0, 0.0});
+
+  double h = options.step;
+  if (h <= 0.0) {
+    const double h_dyn = dynamics_step(params);
+    if (options.delay > 0.0) {
+      // Step divides tau exactly and stays at or below the dynamics step.
+      const double m = std::max(
+          32.0, std::ceil(options.delay / std::min(h_dyn, options.delay)));
+      h = options.delay / m;
+      h = std::min(h, h_dyn);
+      // Re-snap so tau/h is an integer after the cap.
+      h = options.delay / std::ceil(options.delay / h);
+    } else {
+      h = h_dyn;
+    }
+  }
+
+  const std::size_t n_steps = std::min<std::size_t>(
+      options.max_samples,
+      static_cast<std::size_t>(std::ceil(options.duration / h)));
+
+  // History on the fixed grid; index i holds z(i * h).
+  std::vector<Vec2> history;
+  history.reserve(n_steps + 1);
+  history.push_back(z0);
+  run.trajectory.reserve(n_steps + 1);
+  run.trajectory.push_back(0.0, z0);
+
+  // Delayed state at arbitrary time s: constant initial function for
+  // s <= 0, linear interpolation on the grid otherwise.
+  auto delayed = [&](double s) -> Vec2 {
+    if (s <= 0.0) return z0;
+    const double u = s / h;
+    const auto lo = static_cast<std::size_t>(u);
+    if (lo + 1 >= history.size()) return history.back();
+    const double frac = u - static_cast<double>(lo);
+    const Vec2 za = history[lo];
+    const Vec2 zb = history[lo + 1];
+    return {lerp(za.x, zb.x, frac), lerp(za.y, zb.y, frac)};
+  };
+
+  const bool zero_delay = options.delay <= 0.0;
+  auto rhs = [&](double t, Vec2 z) -> Vec2 {
+    const Vec2 zd = zero_delay ? z : delayed(t - options.delay);
+    const double sigma = -(zd.x + k * zd.y);
+    double dy;
+    if (sigma > 0.0) {
+      dy = a * sigma;
+    } else if (options.nonlinear) {
+      dy = b * (z.y + cap) * sigma;
+    } else {
+      dy = b * cap * sigma;
+    }
+    return {z.y, dy};
+  };
+
+  Vec2 z = z0;
+  const double x_blow = options.blowup_factor * q0;
+  const double y_blow = options.blowup_factor * cap;
+  for (std::size_t i = 0; i < n_steps; ++i) {
+    const double t = static_cast<double>(i) * h;
+    const Vec2 k1 = rhs(t, z);
+    const Vec2 k2 = rhs(t + h / 2.0, z + (h / 2.0) * k1);
+    const Vec2 k3 = rhs(t + h / 2.0, z + (h / 2.0) * k2);
+    const Vec2 k4 = rhs(t + h, z + h * k3);
+    z = z + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    history.push_back(z);
+    run.trajectory.push_back(t + h, z);
+    if (std::abs(z.x) > x_blow || std::abs(z.y) > y_blow) {
+      run.diverged = true;
+      break;
+    }
+  }
+  run.completed = !run.diverged;
+
+  // Peak over t > 0 and the dip after it.
+  std::size_t peak_idx = run.trajectory.size() > 1 ? 1 : 0;
+  run.max_x = run.trajectory[peak_idx].z.x;
+  for (std::size_t i = 1; i < run.trajectory.size(); ++i) {
+    if (run.trajectory[i].z.x > run.max_x) {
+      run.max_x = run.trajectory[i].z.x;
+      peak_idx = i;
+    }
+  }
+  run.post_peak_min_x = run.max_x;
+  for (std::size_t i = peak_idx; i < run.trajectory.size(); ++i) {
+    run.post_peak_min_x = std::min(run.post_peak_min_x, run.trajectory[i].z.x);
+  }
+  return run;
+}
+
+std::optional<double> critical_delay(const BcnParams& params, double tau_hi,
+                                     double duration) {
+  auto stable = [&](double tau) {
+    DelayedRunOptions opts;
+    opts.delay = tau;
+    opts.duration = duration;
+    const DelayedRun run = simulate_delayed(params, opts);
+    return !run.diverged && run.completed &&
+           run.max_x < params.buffer - params.q0 &&
+           run.post_peak_min_x > -params.q0;
+  };
+  if (!stable(0.0)) return std::nullopt;
+  if (stable(tau_hi)) return std::nullopt;
+  double lo = 0.0;
+  double hi = tau_hi;
+  for (int i = 0; i < 40 && (hi - lo) > 1e-3 * tau_hi; ++i) {
+    const double mid = lo + (hi - lo) / 2.0;
+    (stable(mid) ? lo : hi) = mid;
+  }
+  return lo + (hi - lo) / 2.0;
+}
+
+}  // namespace bcn::core

@@ -1,0 +1,58 @@
+// Feedback-delayed BCN fluid model (extension).
+//
+// The paper argues the propagation delay (~0.5 us for 100 m) is negligible
+// against the queueing time scales and drops it from eqs. (4)-(7).  This
+// module keeps it: the switch's feedback sigma reaches the regulator one
+// round-trip tau later, turning the fluid model into a delay differential
+// equation
+//
+//   dx/dt = y(t)
+//   dy/dt = a * sigma(z(t - tau))                     sigma(z(t-tau)) > 0
+//   dy/dt = b * (y(t) + C) * sigma(z(t - tau))        otherwise
+//
+// (the multiplicative decrease scales the *current* rate).  Integration
+// uses the method of steps with fixed-step RK4 on a history ring whose
+// step divides tau exactly, so delayed lookups hit grid points and no
+// interpolation error enters.  This quantifies where the paper's
+// zero-delay assumption is safe and where delay destabilizes BCN.
+#pragma once
+
+#include <optional>
+
+#include "core/bcn_params.h"
+#include "ode/trajectory.h"
+
+namespace bcn::core {
+
+struct DelayedRunOptions {
+  double delay = 0.5e-6;   // round-trip feedback delay tau [s]
+  double duration = 5e-3;  // model time [s]
+  double step = 0.0;       // 0 -> auto (tau/32, capped by dynamics)
+  std::optional<Vec2> z0;  // default: (-q0, 0)
+  bool nonlinear = true;   // eq. (8) decrease law vs linearized
+  // Abort early (diverged) when |x| exceeds this many q0 or |y| exceeds
+  // this many C.
+  double blowup_factor = 50.0;
+  std::size_t max_samples = 4'000'000;
+};
+
+struct DelayedRun {
+  ode::Trajectory trajectory;
+  double max_x = 0.0;            // over t > 0
+  double post_peak_min_x = 0.0;  // min after the first maximum
+  bool diverged = false;         // hit the blow-up guard
+  bool completed = false;
+};
+
+// Integrates the delayed model; tau = 0 degenerates to the undelayed
+// fluid model (eq. (8)/(9)).
+DelayedRun simulate_delayed(const BcnParams& params,
+                            const DelayedRunOptions& options = {});
+
+// Smallest delay at which the system stops being strongly stable for the
+// given buffer, located by bisection over [0, tau_hi].  Returns nullopt if
+// it is already unstable at tau = 0 or still stable at tau_hi.
+std::optional<double> critical_delay(const BcnParams& params, double tau_hi,
+                                     double duration = 5e-3);
+
+}  // namespace bcn::core

@@ -1,0 +1,94 @@
+#include "core/fluid_model.h"
+
+#include <cassert>
+
+namespace bcn::core {
+
+FluidModel::FluidModel(BcnParams params, ModelLevel level)
+    : params_(params), level_(level) {
+  assert(params_.is_valid());
+}
+
+ode::Rhs FluidModel::increase_rhs() const {
+  // dy/dt = a sigma = -a (x + k y): already linear, identical at every
+  // model level.
+  const double a = params_.a();
+  const double k = params_.k();
+  return [a, k](double /*t*/, Vec2 z) -> Vec2 {
+    return {z.y, -a * (z.x + k * z.y)};
+  };
+}
+
+ode::Rhs FluidModel::decrease_rhs() const {
+  const double b = params_.b();
+  const double k = params_.k();
+  const double cap = params_.capacity;
+  if (level_ == ModelLevel::Linearized) {
+    // Paper eq. (9): dy/dt = -b C (x + k y).
+    const double bc = b * cap;
+    return [bc, k](double /*t*/, Vec2 z) -> Vec2 {
+      return {z.y, -bc * (z.x + k * z.y)};
+    };
+  }
+  // Paper eq. (8): dy/dt = -b (y + C)(x + k y).  The y + C factor is the
+  // aggregate source rate, which multiplicative decrease scales.
+  return [b, k, cap](double /*t*/, Vec2 z) -> Vec2 {
+    return {z.y, -b * (z.y + cap) * (z.x + k * z.y)};
+  };
+}
+
+ode::Rhs FluidModel::empty_wall_rhs() const {
+  // Queue pinned empty: dq/dt = 0, so the sampled variation term vanishes
+  // and sigma = q0 - q = -x > 0; the regulator keeps increasing,
+  // dy/dt = a (-x) (= a q0 on the wall).  This is the warm-up law of
+  // Section IV.C.
+  const double a = params_.a();
+  return [a](double /*t*/, Vec2 z) -> Vec2 { return {0.0, -a * z.x}; };
+}
+
+ode::Rhs FluidModel::full_wall_rhs() const {
+  // Queue pinned full: arrivals beyond C are dropped, dq/dt = 0,
+  // sigma = -x < 0, multiplicative decrease with the aggregate-rate factor.
+  const double b = params_.b();
+  const double cap = params_.capacity;
+  return [b, cap](double /*t*/, Vec2 z) -> Vec2 {
+    return {0.0, -b * (z.y + cap) * z.x};
+  };
+}
+
+ode::HybridSystem FluidModel::hybrid_system() const {
+  ode::HybridSystem system;
+  const double k = params_.k();
+  system.modes.push_back(increase_rhs());
+  system.modes.push_back(decrease_rhs());
+
+  if (level_ != ModelLevel::Clipped) {
+    system.mode_of = [k](double /*t*/, Vec2 z) {
+      return -(z.x + k * z.y) > 0.0 ? kModeIncrease : kModeDecrease;
+    };
+    system.guards.push_back(
+        [k](double /*t*/, Vec2 z) { return z.x + k * z.y; });
+    return system;
+  }
+
+  system.modes.push_back(empty_wall_rhs());
+  system.modes.push_back(full_wall_rhs());
+  const double lo = x_min();
+  const double hi = x_max();
+  // Wall capture uses a tiny position tolerance so states landed exactly on
+  // the wall by event localization are recognized as wall states.
+  const double wall_tol = 1e-9 * params_.q0;
+  system.mode_of = [k, lo, hi, wall_tol](double /*t*/, Vec2 z) {
+    if (z.x <= lo + wall_tol && z.y <= 0.0) return kModeEmptyWall;
+    if (z.x >= hi - wall_tol && z.y >= 0.0) return kModeFullWall;
+    return -(z.x + k * z.y) > 0.0 ? kModeIncrease : kModeDecrease;
+  };
+  system.guards.push_back(
+      [k](double /*t*/, Vec2 z) { return z.x + k * z.y; });  // sigma = 0
+  system.guards.push_back([lo](double /*t*/, Vec2 z) { return z.x - lo; });
+  system.guards.push_back([hi](double /*t*/, Vec2 z) { return z.x - hi; });
+  system.guards.push_back([](double /*t*/, Vec2 z) { return z.y; });
+  return system;
+}
+
+}  // namespace bcn::core

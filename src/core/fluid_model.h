@@ -1,0 +1,86 @@
+// The BCN fluid-flow model (paper Section III) over the translated phase
+// plane x = q - q0, y = N r - C.
+//
+// Three model levels, from most idealized to most physical:
+//
+//   * linearized  -- paper eq. (9): both regions linear; this is the system
+//     the paper's closed-form analysis operates on.
+//   * nonlinear   -- paper eq. (8): the decrease region keeps the
+//     multiplicative (y + C) factor of AIMD.
+//   * clipped     -- eq. (8) plus the physical buffer walls: the queue
+//     saturates at q = 0 and q = B (the paper's "movements along the dashed
+//     lines" in Fig. 3), with the sampled queue variation forced to zero on
+//     a wall so sigma degenerates to q0 - q there.
+#pragma once
+
+#include "core/bcn_params.h"
+#include "ode/hybrid.h"
+#include "ode/system.h"
+
+namespace bcn::core {
+
+enum class ModelLevel { Linearized, Nonlinear, Clipped };
+
+// Region of the phase plane relative to the switching line sigma = 0.
+enum class Region { Increase, Decrease };
+
+// Mode indices used by the hybrid systems built here.
+inline constexpr int kModeIncrease = 0;
+inline constexpr int kModeDecrease = 1;
+inline constexpr int kModeEmptyWall = 2;  // clipped model only
+inline constexpr int kModeFullWall = 3;   // clipped model only
+
+class FluidModel {
+ public:
+  explicit FluidModel(BcnParams params, ModelLevel level = ModelLevel::Nonlinear);
+
+  const BcnParams& params() const { return params_; }
+  ModelLevel level() const { return level_; }
+
+  // sigma(z) = -(x + k y): positive in the increase region (eq. (6) after
+  // the coordinate change of Section IV.A).
+  double sigma(Vec2 z) const { return -(z.x + params_.k() * z.y); }
+  Region region_of(Vec2 z) const {
+    return sigma(z) > 0.0 ? Region::Increase : Region::Decrease;
+  }
+
+  // Vector fields of the interior modes.
+  ode::Rhs increase_rhs() const;
+  ode::Rhs decrease_rhs() const;
+
+  // The switched system for hybrid integration: two interior modes for
+  // Linearized/Nonlinear, four (with buffer walls) for Clipped.
+  ode::HybridSystem hybrid_system() const;
+
+  // Phase-plane position limits implied by the buffer: x in
+  // [-q0, B - q0]; y is bounded below by -C (sources cannot send at a
+  // negative rate).
+  double x_min() const { return -params_.q0; }
+  double x_max() const { return params_.buffer - params_.q0; }
+
+  // The paper's canonical analysis start: queue empty, aggregate rate
+  // exactly C (reached at the end of the warm-up, Section IV.C).
+  Vec2 analysis_initial_point() const { return {-params_.q0, 0.0}; }
+  // The raw physical start: queue empty, every source at init_rate.
+  Vec2 physical_initial_point() const {
+    return {-params_.q0,
+            params_.num_sources * params_.init_rate - params_.capacity};
+  }
+
+  // --- coordinate conversions ----------------------------------------------
+  double queue_of(double x) const { return x + params_.q0; }
+  double x_of_queue(double q) const { return q - params_.q0; }
+  double aggregate_rate_of(double y) const { return y + params_.capacity; }
+  double per_source_rate_of(double y) const {
+    return (y + params_.capacity) / params_.num_sources;
+  }
+
+ private:
+  ode::Rhs empty_wall_rhs() const;
+  ode::Rhs full_wall_rhs() const;
+
+  BcnParams params_;
+  ModelLevel level_;
+};
+
+}  // namespace bcn::core

@@ -1,0 +1,113 @@
+#include "core/multiflow_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ode/vector_rk4.h"
+
+namespace bcn::core {
+namespace {
+
+// State layout: [q, r_0 ... r_{n-1}].
+using State = std::vector<double>;
+
+double spread(const std::vector<double>& rates) {
+  if (rates.empty()) return 0.0;
+  double lo = rates[0], hi = rates[0], sum = 0.0;
+  for (const double r : rates) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+    sum += r;
+  }
+  const double mean = sum / static_cast<double>(rates.size());
+  return mean > 0.0 ? (hi - lo) / mean : 0.0;
+}
+
+}  // namespace
+
+MultiflowRun simulate_multiflow(const BcnParams& params,
+                                const MultiflowOptions& options) {
+  assert(!options.initial_rates.empty());
+  const std::size_t n = options.initial_rates.size();
+  const double cap = params.capacity;
+  const double k = params.k();  // w/(pm C)
+
+  const ode::VectorRhs rhs = [&](double /*t*/, const State& s, State& ds) {
+    const double q = s[0];
+    double aggregate = 0.0;
+    for (std::size_t i = 0; i < n; ++i) aggregate += s[1 + i];
+    double dq = aggregate - cap;
+    if (q <= 0.0 && dq < 0.0) dq = 0.0;  // empty-queue pin
+    ds[0] = dq;
+    const double sigma = (params.q0 - q) - k * dq;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double r = s[1 + i];
+      double dr;
+      if (sigma > 0.0) {
+        dr = params.gi * params.ru * sigma;
+      } else {
+        dr = params.gd * sigma * r;
+      }
+      if (r <= 0.0 && dr < 0.0) dr = 0.0;  // rates cannot go negative
+      ds[1 + i] = dr;
+    }
+  };
+
+  double h = options.step;
+  if (h <= 0.0) {
+    // A fraction of the fastest oscillation period, with the aggregate
+    // gain set by the actual flow count.
+    const double a_eff =
+        params.ru * params.gi * static_cast<double>(n);
+    const double w_fast =
+        std::max(std::sqrt(a_eff), std::sqrt(params.gd * cap));
+    h = 0.02 / w_fast;
+  }
+
+  MultiflowRun run;
+  run.initial_spread = spread(options.initial_rates);
+
+  State s(1 + n);
+  s[0] = options.initial_queue;
+  for (std::size_t i = 0; i < n; ++i) s[1 + i] = options.initial_rates[i];
+
+  ode::VectorRk4Scratch scratch;
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(options.duration / h));
+  double next_record = 0.0;
+
+  auto record = [&](double t) {
+    MultiflowSample sample;
+    sample.t = t;
+    sample.queue = s[0];
+    sample.rates.assign(s.begin() + 1, s.end());
+    run.trace.push_back(std::move(sample));
+    run.max_queue = std::max(run.max_queue, s[0]);
+  };
+  record(0.0);
+
+  for (std::size_t step_i = 0; step_i < steps; ++step_i) {
+    const double t = static_cast<double>(step_i) * h;
+    ode::vector_rk4_step(rhs, t, h, s, scratch);
+    s[0] = std::max(s[0], 0.0);  // physical queue floor
+    for (std::size_t i = 0; i < n; ++i) s[1 + i] = std::max(s[1 + i], 0.0);
+
+    const double t_next = t + h;
+    if (options.record_interval <= 0.0) {
+      record(t_next);
+    } else if (t_next >= next_record) {
+      record(t_next);
+      next_record += options.record_interval;
+    } else {
+      run.max_queue = std::max(run.max_queue, s[0]);
+    }
+  }
+
+  run.final_rates.assign(s.begin() + 1, s.end());
+  run.final_spread = spread(run.final_rates);
+  run.completed = true;
+  return run;
+}
+
+}  // namespace bcn::core

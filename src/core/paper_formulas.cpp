@@ -1,0 +1,93 @@
+#include "core/paper_formulas.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bcn::core {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+}  // namespace
+
+std::optional<Case1Chain> paper_case1_chain(const BcnParams& params) {
+  const double a = params.a();
+  const double bc = params.b() * params.capacity;
+  const double k = params.k();
+  const double q0 = params.q0;
+
+  const double disc_i = 4.0 * a - (a * k) * (a * k);
+  const double disc_d = 4.0 * bc - (k * bc) * (k * bc);
+  if (disc_i <= 0.0 || disc_d <= 0.0) return std::nullopt;  // not Case 1
+
+  Case1Chain c;
+  const double si = std::sqrt(disc_i);  // = 2 beta_i
+  const double sd = std::sqrt(disc_d);  // = 2 beta_d
+  c.alpha_i = -a * k / 2.0;
+  c.beta_i = si / 2.0;
+  c.alpha_d = -k * bc / 2.0;
+  c.beta_d = sd / 2.0;
+
+  // First increase round from (-q0, 0): coefficients of eq. (12).
+  c.amp_i1 = 2.0 * q0 * std::sqrt(a) / si;
+  c.phi_i1 = -std::atan(a * k / si);
+  // T_i^1 = H^{-1}{x_d^1(0), y_d^1(0) | -q0, 0}.
+  c.t_i1 = (2.0 / si) * (std::atan((2.0 - a * k * k) / (k * si)) - c.phi_i1);
+  // First crossing of the switching line.
+  c.x_d1 = -k * c.amp_i1 * (si / 2.0) * std::exp(-(a * k / 2.0) * c.t_i1);
+  c.y_d1 = -c.x_d1 / k;
+
+  // Decrease round.
+  c.amp_d1 = 2.0 * std::abs(c.y_d1) / sd;
+  c.phi_d1 = std::atan((2.0 - params.b() * k * k * params.capacity) / (k * sd));
+  const double ratio_d = c.alpha_d / c.beta_d;  // = -b k C / sd
+  c.max1 = std::abs(c.x_d1) / (k * std::sqrt(bc)) *
+           std::exp(ratio_d * (kPi + std::atan(ratio_d) - c.phi_d1));
+
+  // Second crossing and the following increase round.
+  c.t_d1 = 2.0 * kPi / sd;
+  c.x_i2 = -c.amp_d1 * (k * sd / 2.0) * std::exp(-(k * bc / 2.0) * c.t_d1);
+  const double phi_i2 = std::atan((2.0 - a * k * k) / (k * si));
+  const double ratio_i = c.alpha_i / c.beta_i;  // = -a k / si
+  c.min1 = -std::abs(c.x_i2) / (k * std::sqrt(a)) *
+           std::exp(ratio_i * (kPi + std::atan(ratio_i) - phi_i2));
+  return c;
+}
+
+std::optional<double> paper_case2_max(const BcnParams& params) {
+  const double a = params.a();
+  const double bc = params.b() * params.capacity;
+  const double k = params.k();
+  const double q0 = params.q0;
+
+  const double disc_i = (a * k) * (a * k) - 4.0 * a;  // must be > 0 (node)
+  const double disc_d = 4.0 * bc - (k * bc) * (k * bc);  // must be > 0
+  if (disc_i <= 0.0 || disc_d <= 0.0) return std::nullopt;
+
+  const double root = std::sqrt(disc_i);
+  const double lambda1 = (-k * a - root) / 2.0;
+  const double lambda2 = (-k * a + root) / 2.0;
+  // Both k + 1/lambda are positive because lambda_{1,2} < -1/k (paper
+  // Section IV.C); evaluate the power ratio in log space.
+  const double p1 = k + 1.0 / lambda1;
+  const double p2 = k + 1.0 / lambda2;
+  if (!(p1 > 0.0) || !(p2 > 0.0)) return std::nullopt;
+  const double log_ratio =
+      (lambda1 * std::log(p1) - lambda2 * std::log(p2)) / (lambda2 - lambda1);
+  const double ratio = std::exp(log_ratio);  // y_d^1(0) = q0 * ratio
+
+  const double sd = std::sqrt(disc_d);
+  const double alpha_d = -k * bc / 2.0;
+  const double beta_d = sd / 2.0;
+  const double ad_over_bd = alpha_d / beta_d;
+  const double phi_d1 =
+      std::atan((2.0 - params.b() * k * k * params.capacity) / (k * sd));
+  return q0 / std::sqrt(bc) * ratio *
+         std::exp(ad_over_bd * (kPi + std::atan(ad_over_bd) - phi_d1));
+}
+
+double theorem1_overshoot_bound(const BcnParams& params) {
+  return std::sqrt(params.a() / (params.b() * params.capacity)) * params.q0;
+}
+
+}  // namespace bcn::core

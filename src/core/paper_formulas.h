@@ -1,0 +1,46 @@
+// Literal implementations of the paper's Case 1 / Case 2 transient-extremum
+// formulas (eqs. (36), (37), (38)) and the intermediate quantities they
+// chain through (A_i^1, phi_i^1, T_i^1, x_d^1(0), ...).
+//
+// These exist for cross-validation: the primary computation path in this
+// library is the closed-form round stitching in AnalyticTracer, and the
+// test suite checks both paths agree to floating-point accuracy.  Where the
+// printed formulas contain typos (see closed_form.cpp for two more), the
+// discrepancy is documented in EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+
+#include "core/bcn_params.h"
+
+namespace bcn::core {
+
+// Intermediate quantities of the paper's Case 1 derivation.
+struct Case1Chain {
+  double alpha_i = 0.0, beta_i = 0.0;  // increase-region spiral parameters
+  double alpha_d = 0.0, beta_d = 0.0;  // decrease-region spiral parameters
+  double amp_i1 = 0.0;    // A_i^1
+  double phi_i1 = 0.0;    // phi_i^1
+  double t_i1 = 0.0;      // T_i^1: first increase-round duration
+  double x_d1 = 0.0;      // x_d^1(0): first switching-line crossing abscissa
+  double y_d1 = 0.0;      // y_d^1(0) = -x_d^1(0)/k
+  double amp_d1 = 0.0;    // A_d^1
+  double phi_d1 = 0.0;    // phi_d^1
+  double t_d1 = 0.0;      // T_d^1 = pi / beta_d
+  double x_i2 = 0.0;      // x_i^2(0): second crossing abscissa
+  double max1 = 0.0;      // eq. (36)
+  double min1 = 0.0;      // eq. (37)
+};
+
+// Evaluates the full eq. (36)/(37) chain.  Requires Case 1 parameters
+// (both subsystems spiral); returns nullopt otherwise.
+std::optional<Case1Chain> paper_case1_chain(const BcnParams& params);
+
+// Eq. (38): the Case 2 overshoot max2.  Requires a > 4 pm^2 C^2 / w^2 and
+// b < 4 pm^2 C / w^2; returns nullopt otherwise.
+std::optional<double> paper_case2_max(const BcnParams& params);
+
+// Theorem 1 upper bounds: max1, max2 < sqrt(a/(bC)) q0 and min1 > -q0.
+double theorem1_overshoot_bound(const BcnParams& params);
+
+}  // namespace bcn::core

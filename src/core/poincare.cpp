@@ -1,0 +1,168 @@
+#include "core/poincare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/math.h"
+#include "ode/hybrid.h"
+
+namespace bcn::core {
+namespace {
+
+// One return-time scale: a couple of subsystem rotation periods.
+double estimate_cycle_time(const BcnParams& p) {
+  const double wi = std::sqrt(p.a());
+  const double wd = std::sqrt(p.b() * p.capacity);
+  return 4.0 * std::numbers::pi * (1.0 / wi + 1.0 / wd);
+}
+
+}  // namespace
+
+PoincareMap::PoincareMap(FluidModel model, PoincareOptions options)
+    : model_(std::move(model)), options_(options) {
+  const double k = model_.params().k();
+  const double norm = std::hypot(k, 1.0);
+  ux_ = -k / norm;
+  uy_ = 1.0 / norm;
+}
+
+Vec2 PoincareMap::section_point(double s) const {
+  return {s * ux_, s * uy_};
+}
+
+double PoincareMap::parameter_of(Vec2 z) const {
+  // Projection onto the ray direction (the point is on the line up to the
+  // event-localization tolerance).
+  return z.x * ux_ + z.y * uy_;
+}
+
+std::optional<double> PoincareMap::map(double s) const {
+  if (s <= 0.0) return std::nullopt;
+  // Start nudged off the section into the decrease region (x + k y > 0).
+  const double k = model_.params().k();
+  const double norm = std::hypot(k, 1.0);
+  const double delta = 1e-9 * s;
+  Vec2 z = section_point(s);
+  z.x += delta / norm;
+  z.y += delta * k / norm;
+
+  const ode::HybridSystem system = model_.hybrid_system();
+  const double chunk = estimate_cycle_time(model_.params());
+  double t = 0.0;
+  bool seen_increase = false;
+  while (t < options_.max_time) {
+    ode::HybridOptions hopts;
+    hopts.tol = options_.tol;
+    const double t_end = std::min(options_.max_time, t + chunk);
+    const ode::HybridResult res =
+        ode::integrate_hybrid(system, t, z, t_end, hopts);
+    for (const auto& sw : res.switches) {
+      if (sw.to_mode == kModeIncrease) seen_increase = true;
+      if (seen_increase && sw.from_mode == kModeIncrease &&
+          sw.to_mode == kModeDecrease) {
+        return parameter_of(sw.z);
+      }
+    }
+    if (!res.completed || res.trajectory.empty()) return std::nullopt;
+    t = res.trajectory.back().t;
+    z = res.trajectory.back().z;
+    // Converged into the origin: no return.
+    if (std::abs(z.x) / model_.params().q0 +
+            std::abs(z.y) / model_.params().capacity <
+        1e-9) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> PoincareMap::ratio(double s) const {
+  const auto p = map(s);
+  if (!p || s <= 0.0) return std::nullopt;
+  return *p / s;
+}
+
+std::optional<double> PoincareMap::find_fixed_point(double s_lo,
+                                                    double s_hi) const {
+  auto displacement = [this](double s) -> double {
+    const auto p = map(s);
+    // Treat "no return" as full contraction: the orbit fell into the
+    // origin, so P(s) - s is effectively -s.
+    return p ? *p - s : -s;
+  };
+  const auto root = bisect(displacement, s_lo, s_hi,
+                           1e-9 * std::max(1.0, s_hi), 80);
+  return root;
+}
+
+std::optional<bool> PoincareMap::cycle_is_stable(double s_star,
+                                                 double h_rel) const {
+  const double h = h_rel * s_star;
+  const auto hi = map(s_star + h);
+  const auto lo = map(s_star - h);
+  if (!hi || !lo) return std::nullopt;
+  const double slope = (*hi - *lo) / (2.0 * h);
+  return std::abs(slope) < 1.0;
+}
+
+std::optional<LimitCycle> find_limit_cycle(const FluidModel& model,
+                                           const CycleSearchOptions& options) {
+  const BcnParams& p = model.params();
+  const PoincareMap pmap(model, options.poincare);
+  const double s_lo =
+      options.s_lo > 0.0 ? options.s_lo : 1e-3 * p.capacity;
+  const double s_hi = options.s_hi > 0.0 ? options.s_hi : 50.0 * p.capacity;
+
+  auto displacement = [&](double s) -> double {
+    const auto r = pmap.map(s);
+    return r ? *r - s : -s;
+  };
+
+  // Geometric scan for a sign change of P(s) - s.
+  const int n = std::max(2, options.bracket_samples);
+  double prev_s = s_lo;
+  double prev_d = displacement(prev_s);
+  for (int i = 1; i < n; ++i) {
+    const double u = static_cast<double>(i) / (n - 1);
+    const double s = s_lo * std::pow(s_hi / s_lo, u);
+    const double d = displacement(s);
+    if (sign(prev_d) != sign(d) && prev_d != 0.0) {
+      const auto fixed =
+          bisect(displacement, prev_s, s, 1e-9 * s_hi, 80);
+      if (fixed) {
+        LimitCycle cycle;
+        cycle.amplitude = *fixed;
+        // Measure the period and orbit extremes with one more return.
+        const double k = p.k();
+        const double norm = std::hypot(k, 1.0);
+        Vec2 z = pmap.section_point(*fixed);
+        z.x += 1e-9 * *fixed / norm;
+        z.y += 1e-9 * *fixed * k / norm;
+        ode::HybridOptions hopts;
+        hopts.tol = options.poincare.tol;
+        const ode::HybridResult res = ode::integrate_hybrid(
+            model.hybrid_system(), 0.0, z, options.poincare.max_time, hopts);
+        bool seen_increase = false;
+        for (const auto& sw : res.switches) {
+          if (sw.to_mode == kModeIncrease) seen_increase = true;
+          if (seen_increase && sw.from_mode == kModeIncrease &&
+              sw.to_mode == kModeDecrease) {
+            cycle.period = sw.t;
+            break;
+          }
+        }
+        if (!res.trajectory.empty()) {
+          cycle.max_x = res.trajectory.max_component(0);
+          cycle.min_x = res.trajectory.min_component(0);
+        }
+        if (cycle.period > 0.0) return cycle;
+      }
+    }
+    prev_s = s;
+    prev_d = d;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bcn::core

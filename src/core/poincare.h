@@ -1,0 +1,80 @@
+// Poincare return map on the switching line and limit-cycle detection
+// (paper Section IV.C Case 1, Fig. 7).
+//
+// The section is the ray of the switching line x + k y = 0 entering the
+// decrease region (x < 0, y > 0), parameterized by arc-length s = |z| from
+// the origin.  One application of the map follows the flow through the
+// decrease region and the subsequent increase region back to the section.
+//
+// For the *linearized* system (9) the map is exactly linear, P(s) = rho s
+// with rho < 1 (both spiral halves contract), so interior limit cycles are
+// impossible there.  The paper's Fig. 7 closed orbit (x_i^k(0) =
+// x_i^{k+1}(0)) requires either the nonlinear rate factor of eq. (8) or
+// the buffer walls of the clipped model; this module measures P on any
+// ModelLevel and searches for fixed points numerically.
+#pragma once
+
+#include <optional>
+
+#include "core/fluid_model.h"
+#include "ode/trajectory.h"
+
+namespace bcn::core {
+
+struct PoincareOptions {
+  ode::Tolerances tol{1e-10, 1e-10};
+  double max_time = 10.0;  // give up if a return takes longer than this
+};
+
+class PoincareMap {
+ public:
+  explicit PoincareMap(FluidModel model, PoincareOptions options = {});
+
+  // The section point at parameter s (> 0): z = s * (-k, 1)/|(-k, 1)|.
+  Vec2 section_point(double s) const;
+  // Inverse: arc-length parameter of a point on (or near) the section ray.
+  double parameter_of(Vec2 z) const;
+
+  // One full return P(s).  nullopt when the flow never returns to the
+  // section within max_time (converged into a region, or diverged).
+  std::optional<double> map(double s) const;
+
+  // Contraction ratio P(s)/s.
+  std::optional<double> ratio(double s) const;
+
+  // Searches [s_lo, s_hi] for a fixed point of P via bisection on
+  // P(s) - s.  Requires P(s)-s to change sign over the bracket.
+  std::optional<double> find_fixed_point(double s_lo, double s_hi) const;
+
+  // Stability of a cycle through s_star: |P'(s_star)| < 1 estimated with a
+  // central finite difference of relative width h_rel.
+  std::optional<bool> cycle_is_stable(double s_star,
+                                      double h_rel = 1e-3) const;
+
+ private:
+  FluidModel model_;
+  PoincareOptions options_;
+  double ux_ = 0.0, uy_ = 0.0;  // unit vector along the section ray
+};
+
+// A detected periodic orbit.
+struct LimitCycle {
+  double amplitude = 0.0;  // fixed-point parameter s*
+  double period = 0.0;     // return time at s*
+  double max_x = 0.0;      // queue-offset extremes around the cycle
+  double min_x = 0.0;
+};
+
+struct CycleSearchOptions {
+  PoincareOptions poincare;
+  double s_lo = 0.0;  // 0 -> derived from q0
+  double s_hi = 0.0;  // 0 -> derived from q0 and capacity
+  int bracket_samples = 24;
+};
+
+// Scans [s_lo, s_hi] for sign changes of P(s) - s and refines each to a
+// fixed point; returns the first stable cycle found.
+std::optional<LimitCycle> find_limit_cycle(const FluidModel& model,
+                                           const CycleSearchOptions& options);
+
+}  // namespace bcn::core

@@ -1,0 +1,50 @@
+// Numeric integration of the BCN fluid model (any ModelLevel) with
+// event-localized switching, producing a phase trace plus queue/rate
+// summary statistics.
+#pragma once
+
+#include <optional>
+
+#include "core/fluid_model.h"
+#include "ode/hybrid.h"
+
+namespace bcn::core {
+
+struct FluidRunOptions {
+  double duration = 0.05;          // seconds of model time
+  double record_interval = 0.0;    // 0 -> record every accepted step
+  ode::Tolerances tol{1e-9, 1e-9};
+  std::optional<Vec2> z0;          // default: analysis start (-q0, 0)
+  // Stop as soon as |x|/q0 + |y|/C falls below this (0 disables).
+  double convergence_tol = 0.0;
+  std::size_t max_steps = 4'000'000;
+};
+
+struct FluidRun {
+  ode::Trajectory trajectory;             // (t, (x, y)) samples
+  std::vector<ode::ModeSwitch> switches;  // localized region transitions
+  bool completed = false;
+  bool converged = false;   // stopped early via convergence_tol
+  double max_x = 0.0;       // over t > 0 (initial point excluded)
+  double min_x = 0.0;
+  double max_y = 0.0;
+  double min_y = 0.0;
+  // Extrema restricted to t >= the first switching event.  Before the
+  // first crossing the motion departs monotonically from the (legitimate)
+  // empty-queue start, so these are the right quantities for the
+  // Definition-1 underflow check.  When no switch occurs they default to 0
+  // (the origin limit).
+  double post_switch_max_x = 0.0;
+  double post_switch_min_x = 0.0;
+
+  // Queue-space conveniences.
+  double max_queue(const BcnParams& p) const { return max_x + p.q0; }
+  double min_queue(const BcnParams& p) const { return min_x + p.q0; }
+};
+
+// Integrates the model from options.z0 (default (-q0, 0)) over
+// options.duration.
+FluidRun simulate_fluid(const FluidModel& model,
+                        const FluidRunOptions& options = {});
+
+}  // namespace bcn::core

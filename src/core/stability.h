@@ -1,0 +1,62 @@
+// Strong-stability analysis of the BCN system (paper Definition 1,
+// Propositions 2-4, Theorem 1) plus the numeric ground-truth verdict.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "control/linear_baseline.h"
+#include "core/analytic_tracer.h"
+#include "core/classifier.h"
+#include "core/simulate.h"
+
+namespace bcn::core {
+
+// Closed-form (analytic) strong-stability report.
+struct StabilityReport {
+  CaseClassification classification;
+
+  // Transient extrema of the linearized switched system from (-q0, 0),
+  // computed by closed-form round stitching (AnalyticTracer).  In queue
+  // offset coordinates: overshoot above q0 is max_x, undershoot is min_x.
+  double predicted_max_x = 0.0;
+  double predicted_min_x = 0.0;
+
+  // Case-based verdict per Propositions 2-4: do the transient extrema fit
+  // inside (-q0, B - q0)?
+  bool proposition_satisfied = false;
+  // The specific proposition applied (2, 3 or 4).
+  int proposition = 0;
+
+  // Theorem 1: sufficient condition (1 + sqrt(a/(bC))) q0 < B.
+  double theorem1_required_buffer = 0.0;
+  bool theorem1_satisfied = false;
+
+  // The Lu et al. [4] baseline verdict, which ignores both the switching
+  // transient and the buffer.
+  control::LinearBaselineReport baseline;
+
+  std::string summary() const;
+};
+
+StabilityReport analyze_stability(const BcnParams& params);
+
+// Numeric ground truth: integrates the fluid model from (-q0, 0) and
+// checks the orbit stays strictly inside the buffer strip for all t > 0.
+struct NumericVerdict {
+  bool strongly_stable = false;
+  bool converged = false;  // reached the origin within the horizon
+  double max_x = 0.0;
+  double min_x = 0.0;
+};
+
+struct NumericVerdictOptions {
+  ModelLevel level = ModelLevel::Nonlinear;
+  double duration = 0.0;  // 0 -> auto from the subsystem time scales
+  ode::Tolerances tol{1e-9, 1e-9};
+};
+
+NumericVerdict numeric_strong_stability(const BcnParams& params,
+                                        const NumericVerdictOptions& options = {});
+
+}  // namespace bcn::core

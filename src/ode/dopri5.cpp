@@ -1,0 +1,122 @@
+#include "ode/dopri5.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcn::ode {
+namespace {
+
+// Dormand-Prince 5(4) Butcher tableau.
+constexpr double c2 = 1.0 / 5.0, c3 = 3.0 / 10.0, c4 = 4.0 / 5.0,
+                 c5 = 8.0 / 9.0;
+constexpr double a21 = 1.0 / 5.0;
+constexpr double a31 = 3.0 / 40.0, a32 = 9.0 / 40.0;
+constexpr double a41 = 44.0 / 45.0, a42 = -56.0 / 15.0, a43 = 32.0 / 9.0;
+constexpr double a51 = 19372.0 / 6561.0, a52 = -25360.0 / 2187.0,
+                 a53 = 64448.0 / 6561.0, a54 = -212.0 / 729.0;
+constexpr double a61 = 9017.0 / 3168.0, a62 = -355.0 / 33.0,
+                 a63 = 46732.0 / 5247.0, a64 = 49.0 / 176.0,
+                 a65 = -5103.0 / 18656.0;
+constexpr double a71 = 35.0 / 384.0, a73 = 500.0 / 1113.0,
+                 a74 = 125.0 / 192.0, a75 = -2187.0 / 6784.0,
+                 a76 = 11.0 / 84.0;
+// e = b5 - b4: error-estimate weights.
+constexpr double e1 = 71.0 / 57600.0, e3 = -71.0 / 16695.0,
+                 e4 = 71.0 / 1920.0, e5 = -17253.0 / 339200.0,
+                 e6 = 22.0 / 525.0, e7 = -1.0 / 40.0;
+// Dense-output weights (Hairer, Nørsett & Wanner, DOPRI5 rcont5).
+constexpr double d1 = -12715105075.0 / 11282082432.0;
+constexpr double d3 = 87487479700.0 / 32700410799.0;
+constexpr double d4 = -10690763975.0 / 1880347072.0;
+constexpr double d5 = 701980252875.0 / 199316789632.0;
+constexpr double d6 = -1453857185.0 / 822651844.0;
+constexpr double d7 = 69997945.0 / 29380423.0;
+
+}  // namespace
+
+Vec2 DenseOutput::eval(double t) const {
+  double theta = h_ != 0.0 ? (t - t0_) / h_ : 0.0;
+  theta = std::clamp(theta, 0.0, 1.0);
+  const double theta1 = 1.0 - theta;
+  // u(theta) = r0 + theta*(r1 + theta1*(r2 + theta*(r3 + theta1*r4)))
+  return rcont_[0] +
+         theta * (rcont_[1] +
+                  theta1 * (rcont_[2] +
+                            theta * (rcont_[3] + theta1 * rcont_[4])));
+}
+
+Dopri5::Dopri5(Rhs f, Tolerances tol) : f_(std::move(f)), tol_(tol) {}
+
+double Dopri5::error_norm(Vec2 z, Vec2 z_new, Vec2 err) const {
+  auto scaled = [&](double e, double a, double b) {
+    const double sk =
+        tol_.abs_tol + tol_.rel_tol * std::max(std::abs(a), std::abs(b));
+    return e / sk;
+  };
+  const double ex = scaled(err.x, z.x, z_new.x);
+  const double ey = scaled(err.y, z.y, z_new.y);
+  return std::sqrt((ex * ex + ey * ey) / 2.0);
+}
+
+Dopri5Step Dopri5::trial_step(double t, Vec2 z, Vec2 k1, double h) const {
+  const Vec2 k2 = f_(t + c2 * h, z + h * (a21 * k1));
+  const Vec2 k3 = f_(t + c3 * h, z + h * (a31 * k1 + a32 * k2));
+  const Vec2 k4 = f_(t + c4 * h, z + h * (a41 * k1 + a42 * k2 + a43 * k3));
+  const Vec2 k5 =
+      f_(t + c5 * h, z + h * (a51 * k1 + a52 * k2 + a53 * k3 + a54 * k4));
+  const Vec2 k6 = f_(
+      t + h, z + h * (a61 * k1 + a62 * k2 + a63 * k3 + a64 * k4 + a65 * k5));
+  const Vec2 z_new =
+      z + h * (a71 * k1 + a73 * k3 + a74 * k4 + a75 * k5 + a76 * k6);
+  const Vec2 k7 = f_(t + h, z_new);
+
+  const Vec2 err = h * (e1 * k1 + e3 * k3 + e4 * k4 + e5 * k5 + e6 * k6 +
+                        e7 * k7);
+
+  Dopri5Step out;
+  out.z_new = z_new;
+  out.k_last = k7;
+  out.error = error_norm(z, z_new, err);
+
+  const Vec2 dy = z_new - z;
+  const Vec2 bspl = h * k1 - dy;
+  out.rcont[0] = z;
+  out.rcont[1] = dy;
+  out.rcont[2] = bspl;
+  out.rcont[3] = dy - h * k7 - bspl;
+  out.rcont[4] =
+      h * (d1 * k1 + d3 * k3 + d4 * k4 + d5 * k5 + d6 * k6 + d7 * k7);
+  return out;
+}
+
+double Dopri5::next_step_size(double h, double error) const {
+  constexpr double safety = 0.9;
+  constexpr double min_factor = 0.2;
+  constexpr double max_factor = 5.0;
+  double factor;
+  if (error <= 1e-30) {
+    factor = max_factor;
+  } else {
+    factor = safety * std::pow(error, -0.2);
+    factor = std::clamp(factor, min_factor, max_factor);
+  }
+  return h * factor;
+}
+
+double Dopri5::initial_step_size(double t0, Vec2 z0) const {
+  const Vec2 f0 = f_(t0, z0);
+  const double d0 = z0.norm();
+  const double d1n = f0.norm();
+  double h0 = (d0 < 1e-5 || d1n < 1e-5) ? 1e-6 : 0.01 * (d0 / d1n);
+  // One Euler probe to estimate the second derivative scale.
+  const Vec2 z1 = z0 + h0 * f0;
+  const Vec2 f1 = f_(t0 + h0, z1);
+  const double d2 = (f1 - f0).norm() / h0;
+  const double scale = std::max(d1n, d2);
+  double h1 = (scale <= 1e-15)
+                  ? std::max(1e-6, h0 * 1e-3)
+                  : std::pow(0.01 / scale, 1.0 / 5.0);
+  return std::min(100.0 * h0, h1);
+}
+
+}  // namespace bcn::ode

@@ -1,0 +1,79 @@
+// Dormand-Prince 5(4) embedded Runge-Kutta pair with FSAL and the classic
+// Hairer dense-output interpolant.
+//
+// The dense output is what makes precise switching-surface localization
+// possible in the hybrid integrator: after an accepted macro-step we can
+// evaluate the solution at any interior point to ~4th-order accuracy and
+// bisect the guard function there, instead of shrinking integration steps.
+#pragma once
+
+#include <array>
+
+#include "ode/system.h"
+
+namespace bcn::ode {
+
+// One accepted-or-rejected trial step of DOPRI5.
+struct Dopri5Step {
+  Vec2 z_new;           // 5th-order solution at t + h
+  Vec2 k_last;          // f(t + h, z_new): FSAL stage, reusable as next k1
+  double error = 0.0;   // scaled error-norm estimate (<= 1 means acceptable)
+  // Dense-output coefficients for this step (valid only if the step is
+  // accepted); see DenseOutput.
+  std::array<Vec2, 5> rcont;
+};
+
+// Continuous extension of one accepted DOPRI5 step over [t0, t0 + h].
+class DenseOutput {
+ public:
+  DenseOutput() = default;
+  DenseOutput(double t0, double h, const std::array<Vec2, 5>& rcont)
+      : t0_(t0), h_(h), rcont_(rcont) {}
+
+  // Solution at time t in [t0, t0 + h] (clamped).
+  Vec2 eval(double t) const;
+
+  double t0() const { return t0_; }
+  double t1() const { return t0_ + h_; }
+
+ private:
+  double t0_ = 0.0;
+  double h_ = 0.0;
+  std::array<Vec2, 5> rcont_{};
+};
+
+// Error-control tolerances for the adaptive driver.
+struct Tolerances {
+  double abs_tol = 1e-9;
+  double rel_tol = 1e-9;
+};
+
+class Dopri5 {
+ public:
+  explicit Dopri5(Rhs f, Tolerances tol = {});
+
+  // Performs one trial step of size h from (t, z).  `k1` must be f(t, z)
+  // (pass compute_k1() for the first step, then the previous step's k_last
+  // thanks to FSAL).
+  Dopri5Step trial_step(double t, Vec2 z, Vec2 k1, double h) const;
+
+  Vec2 compute_k1(double t, Vec2 z) const { return f_(t, z); }
+
+  // Step-size controller: next step size after a step with `error` (the
+  // scaled norm from Dopri5Step) and size h.  Standard PI-free controller
+  // with safety factor and growth clamps.
+  double next_step_size(double h, double error) const;
+
+  // Initial step-size heuristic (Hairer's algorithm, simplified).
+  double initial_step_size(double t0, Vec2 z0) const;
+
+  const Tolerances& tolerances() const { return tol_; }
+
+ private:
+  double error_norm(Vec2 z, Vec2 z_new, Vec2 err) const;
+
+  Rhs f_;
+  Tolerances tol_;
+};
+
+}  // namespace bcn::ode

@@ -1,0 +1,34 @@
+#include "ode/events.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace bcn::ode {
+
+std::optional<LocatedEvent> locate_event(const Guard& g,
+                                         const DenseOutput& dense,
+                                         double ttol) {
+  const double t0 = dense.t0();
+  const double t1 = dense.t1();
+  const double g0 = g(t0, dense.eval(t0));
+  const double g1 = g(t1, dense.eval(t1));
+  if (g0 == 0.0) {
+    // Event exactly at the step start: report it only if we are actually
+    // leaving the surface (callers handle re-arming); treat as no event so
+    // the driver does not loop on the surface.
+    return std::nullopt;
+  }
+  if (g1 == 0.0) {
+    return LocatedEvent{t1, dense.eval(t1)};
+  }
+  if (sign(g0) == sign(g1)) return std::nullopt;
+
+  const auto root = bisect(
+      [&](double t) { return g(t, dense.eval(t)); }, t0, t1,
+      ttol * std::max(1.0, t1 - t0));
+  if (!root) return std::nullopt;
+  return LocatedEvent{*root, dense.eval(*root)};
+}
+
+}  // namespace bcn::ode

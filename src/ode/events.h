@@ -1,0 +1,27 @@
+// Event (switching-surface crossing) localization within one accepted
+// DOPRI5 step, using its dense output.
+#pragma once
+
+#include <optional>
+
+#include "ode/dopri5.h"
+#include "ode/system.h"
+
+namespace bcn::ode {
+
+struct LocatedEvent {
+  double t = 0.0;  // event time
+  Vec2 z;          // state at the event (from dense output)
+};
+
+// If g(t, z(t)) changes sign over the dense-output interval [t0, t1],
+// returns the earliest crossing, located by bisection to time tolerance
+// `ttol` (relative to the step length).  Crossings are detected from the
+// endpoint signs, so a double crossing inside one step can be missed —
+// callers must keep steps below half the fastest oscillation period (the
+// hybrid driver enforces a max-step for this reason).
+std::optional<LocatedEvent> locate_event(const Guard& g,
+                                         const DenseOutput& dense,
+                                         double ttol = 1e-12);
+
+}  // namespace bcn::ode

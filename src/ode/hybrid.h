@@ -1,0 +1,63 @@
+// Hybrid (switched-mode) planar ODE integration with event-localized mode
+// transitions.
+//
+// The BCN fluid model is a variable-structure system: different vector
+// fields on either side of the switching line sigma(z) = 0, possibly with
+// additional buffer-wall modes.  Integrating it with a smooth-system driver
+// smears the switching instant across a step; this driver localizes each
+// surface crossing with the dense output + bisection and restarts the
+// integration exactly at the crossing, which is what makes limit-cycle
+// amplitudes and transient extrema trustworthy.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ode/dopri5.h"
+#include "ode/system.h"
+#include "ode/trajectory.h"
+
+namespace bcn::ode {
+
+// A multi-mode system.  `mode_of` must be consistent with the guards: the
+// active mode may change only where some guard crosses zero.
+struct HybridSystem {
+  std::vector<Rhs> modes;
+  std::function<int(double, Vec2)> mode_of;
+  std::vector<Guard> guards;
+};
+
+struct ModeSwitch {
+  double t = 0.0;
+  Vec2 z;
+  int guard_index = -1;
+  int from_mode = -1;
+  int to_mode = -1;
+};
+
+struct HybridOptions {
+  Tolerances tol;
+  double max_step = 0.0;   // 0 -> derived from the time span
+  double min_step = 1e-14;
+  std::size_t max_steps = 4'000'000;
+  std::size_t max_switches = 100'000;
+  // Optional early-stop predicate checked after each accepted step.
+  std::function<bool(double, Vec2)> stop_when;
+  // Record at this uniform interval from dense output; 0 -> every step.
+  double record_interval = 0.0;
+};
+
+struct HybridResult {
+  Trajectory trajectory;
+  std::vector<ModeSwitch> switches;
+  bool completed = false;      // reached t1 (or stop_when fired)
+  bool stopped_early = false;  // stop_when fired
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+};
+
+// Integrates the hybrid system over [t0, t1] from z0.
+HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
+                              double t1, const HybridOptions& options = {});
+
+}  // namespace bcn::ode

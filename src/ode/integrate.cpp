@@ -1,0 +1,93 @@
+#include "ode/integrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ode/steppers.h"
+
+namespace bcn::ode {
+
+Trajectory integrate_fixed(const Rhs& f, double t0, Vec2 z0, double t1,
+                           const FixedStepOptions& options) {
+  Trajectory out;
+  const double h0 = options.step;
+  if (t1 <= t0 || h0 <= 0.0) {
+    out.push_back(t0, z0);
+    return out;
+  }
+  const auto n_steps = static_cast<std::size_t>(std::ceil((t1 - t0) / h0));
+  out.reserve(n_steps + 1);
+  out.push_back(t0, z0);
+  double t = t0;
+  Vec2 z = z0;
+  while (t < t1) {
+    const double h = std::min(h0, t1 - t);
+    switch (options.stepper) {
+      case Stepper::Euler: z = euler_step(f, t, z, h); break;
+      case Stepper::Heun: z = heun_step(f, t, z, h); break;
+      case Stepper::Rk4: z = rk4_step(f, t, z, h); break;
+    }
+    t += h;
+    out.push_back(t, z);
+  }
+  return out;
+}
+
+AdaptiveResult integrate_adaptive(const Rhs& f, double t0, Vec2 z0, double t1,
+                                  const AdaptiveOptions& options) {
+  AdaptiveResult result;
+  result.trajectory.push_back(t0, z0);
+  if (t1 <= t0) {
+    result.completed = true;
+    return result;
+  }
+
+  const Dopri5 stepper(f, options.tol);
+  double t = t0;
+  Vec2 z = z0;
+  Vec2 k1 = stepper.compute_k1(t, z);
+  double h = stepper.initial_step_size(t, z);
+  if (options.max_step > 0.0) h = std::min(h, options.max_step);
+  h = std::min(h, t1 - t);
+
+  double next_record = t0 + options.record_interval;
+
+  for (std::size_t i = 0; i < options.max_steps && t < t1; ++i) {
+    const Dopri5Step step = stepper.trial_step(t, z, k1, h);
+    if (step.error > 1.0) {
+      ++result.steps_rejected;
+      h = stepper.next_step_size(h, step.error);
+      if (h < options.min_step) return result;  // gave up
+      continue;
+    }
+    ++result.steps_accepted;
+    const DenseOutput dense(t, h, step.rcont);
+    t += h;
+    z = step.z_new;
+    k1 = step.k_last;
+
+    if (options.record_interval > 0.0) {
+      while (next_record <= t && next_record <= t1) {
+        result.trajectory.push_back(next_record, dense.eval(next_record));
+        next_record += options.record_interval;
+      }
+    } else {
+      result.trajectory.push_back(t, z);
+    }
+
+    h = stepper.next_step_size(h, step.error);
+    if (options.max_step > 0.0) h = std::min(h, options.max_step);
+    h = std::min(h, t1 - t);
+    if (h <= 0.0) break;
+    if (h < options.min_step && t < t1) return result;
+  }
+
+  if (options.record_interval > 0.0 &&
+      result.trajectory.back().t < t) {
+    result.trajectory.push_back(t, z);
+  }
+  result.completed = t >= t1 - 1e-15 * std::max(1.0, std::abs(t1));
+  return result;
+}
+
+}  // namespace bcn::ode

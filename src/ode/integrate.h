@@ -1,0 +1,43 @@
+// Integration drivers for smooth (single-mode) planar ODEs.
+#pragma once
+
+#include "ode/dopri5.h"
+#include "ode/system.h"
+#include "ode/trajectory.h"
+
+namespace bcn::ode {
+
+enum class Stepper { Euler, Heun, Rk4 };
+
+struct FixedStepOptions {
+  Stepper stepper = Stepper::Rk4;
+  double step = 1e-3;
+};
+
+// Integrates z' = f(t, z) from (t0, z0) to t1 with a constant step,
+// recording every step.  The last step is shortened to land exactly on t1.
+Trajectory integrate_fixed(const Rhs& f, double t0, Vec2 z0, double t1,
+                           const FixedStepOptions& options);
+
+struct AdaptiveOptions {
+  Tolerances tol;
+  double max_step = 0.0;   // 0 -> no cap
+  double min_step = 1e-14; // below this the driver gives up (stiff/degenerate)
+  std::size_t max_steps = 2'000'000;
+  // When > 0, the recorded trajectory is resampled from the dense output at
+  // this uniform interval instead of at the (irregular) internal steps.
+  double record_interval = 0.0;
+};
+
+struct AdaptiveResult {
+  Trajectory trajectory;
+  bool completed = false;    // reached t1
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+};
+
+// Adaptive DOPRI5 integration of a smooth system over [t0, t1].
+AdaptiveResult integrate_adaptive(const Rhs& f, double t0, Vec2 z0, double t1,
+                                  const AdaptiveOptions& options = {});
+
+}  // namespace bcn::ode

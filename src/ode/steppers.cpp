@@ -1,0 +1,23 @@
+#include "ode/steppers.h"
+
+namespace bcn::ode {
+
+Vec2 euler_step(const Rhs& f, double t, Vec2 z, double h) {
+  return z + h * f(t, z);
+}
+
+Vec2 heun_step(const Rhs& f, double t, Vec2 z, double h) {
+  const Vec2 k1 = f(t, z);
+  const Vec2 k2 = f(t + h, z + h * k1);
+  return z + (h / 2.0) * (k1 + k2);
+}
+
+Vec2 rk4_step(const Rhs& f, double t, Vec2 z, double h) {
+  const Vec2 k1 = f(t, z);
+  const Vec2 k2 = f(t + h / 2.0, z + (h / 2.0) * k1);
+  const Vec2 k3 = f(t + h / 2.0, z + (h / 2.0) * k2);
+  const Vec2 k4 = f(t + h, z + h * k3);
+  return z + (h / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+}
+
+}  // namespace bcn::ode

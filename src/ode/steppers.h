@@ -1,0 +1,22 @@
+// Single-step explicit integrators for planar ODEs.
+//
+// Fixed-step one-step methods (Euler / Heun / classic RK4).  These exist as
+// baselines and cross-checks for the adaptive Dormand-Prince stepper in
+// dopri5.h, and for the "naive fixed-step vs event-detected switching"
+// ablation (see DESIGN.md section 5).
+#pragma once
+
+#include "ode/system.h"
+
+namespace bcn::ode {
+
+// Forward Euler: first order.
+Vec2 euler_step(const Rhs& f, double t, Vec2 z, double h);
+
+// Heun (explicit trapezoid): second order.
+Vec2 heun_step(const Rhs& f, double t, Vec2 z, double h);
+
+// Classic Runge-Kutta: fourth order.
+Vec2 rk4_step(const Rhs& f, double t, Vec2 z, double h);
+
+}  // namespace bcn::ode

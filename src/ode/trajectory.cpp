@@ -1,0 +1,107 @@
+#include "ode/trajectory.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bcn::ode {
+namespace {
+
+double component_of(Vec2 z, int component) {
+  return component == 0 ? z.x : z.y;
+}
+
+}  // namespace
+
+Vec2 Trajectory::interpolate(double t) const {
+  assert(!samples_.empty());
+  if (t <= samples_.front().t) return samples_.front().z;
+  if (t >= samples_.back().t) return samples_.back().z;
+  const auto it = std::lower_bound(
+      samples_.begin(), samples_.end(), t,
+      [](const Sample& s, double value) { return s.t < value; });
+  const Sample& hi = *it;
+  const Sample& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  if (span <= 0.0) return lo.z;
+  const double u = (t - lo.t) / span;
+  return {lerp(lo.z.x, hi.z.x, u), lerp(lo.z.y, hi.z.y, u)};
+}
+
+double Trajectory::min_component(int component) const {
+  assert(!samples_.empty());
+  double m = component_of(samples_.front().z, component);
+  for (const Sample& s : samples_) {
+    m = std::min(m, component_of(s.z, component));
+  }
+  return m;
+}
+
+double Trajectory::max_component(int component) const {
+  assert(!samples_.empty());
+  double m = component_of(samples_.front().z, component);
+  for (const Sample& s : samples_) {
+    m = std::max(m, component_of(s.z, component));
+  }
+  return m;
+}
+
+std::vector<Extremum> Trajectory::local_extrema(int component) const {
+  std::vector<Extremum> out;
+  for (std::size_t i = 1; i + 1 < samples_.size(); ++i) {
+    const double prev = component_of(samples_[i - 1].z, component);
+    const double cur = component_of(samples_[i].z, component);
+    const double next = component_of(samples_[i + 1].z, component);
+    if (cur > prev && cur >= next) {
+      out.push_back({samples_[i].t, cur, true});
+    } else if (cur < prev && cur <= next) {
+      out.push_back({samples_[i].t, cur, false});
+    }
+  }
+  return out;
+}
+
+std::vector<double> Trajectory::zero_crossings(
+    const std::function<double(double, Vec2)>& g) const {
+  std::vector<double> out;
+  if (samples_.size() < 2) return out;
+  double g_prev = g(samples_.front().t, samples_.front().z);
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const double g_cur = g(samples_[i].t, samples_[i].z);
+    if (g_prev == 0.0) {
+      out.push_back(samples_[i - 1].t);
+    } else if (sign(g_prev) != sign(g_cur) && g_cur != 0.0) {
+      const double u = g_prev / (g_prev - g_cur);
+      out.push_back(lerp(samples_[i - 1].t, samples_[i].t, u));
+    }
+    g_prev = g_cur;
+  }
+  return out;
+}
+
+double Trajectory::tail_distance(Vec2 target, double tail_fraction) const {
+  if (samples_.empty()) return 0.0;
+  const double t_start =
+      samples_.back().t - tail_fraction * std::max(duration(), 0.0);
+  double worst = 0.0;
+  for (const Sample& s : samples_) {
+    if (s.t < t_start) continue;
+    worst = std::max(worst, (s.z - target).norm());
+  }
+  return worst;
+}
+
+Trajectory Trajectory::decimate(std::size_t stride) const {
+  if (stride <= 1 || samples_.size() <= 2) return *this;
+  Trajectory out;
+  out.reserve(samples_.size() / stride + 2);
+  for (std::size_t i = 0; i < samples_.size(); i += stride) {
+    out.samples_.push_back(samples_[i]);
+  }
+  if (out.samples_.back().t != samples_.back().t) {
+    out.samples_.push_back(samples_.back());
+  }
+  return out;
+}
+
+}  // namespace bcn::ode

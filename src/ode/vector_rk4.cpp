@@ -1,0 +1,40 @@
+#include "ode/vector_rk4.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bcn::ode {
+
+void vector_rk4_step(const VectorRhs& f, double t, double h,
+                     std::vector<double>& state, VectorRk4Scratch& s) {
+  const std::size_t n = state.size();
+  s.resize(n);
+  f(t, state, s.k1);
+  for (std::size_t j = 0; j < n; ++j) s.tmp[j] = state[j] + 0.5 * h * s.k1[j];
+  f(t + 0.5 * h, s.tmp, s.k2);
+  for (std::size_t j = 0; j < n; ++j) s.tmp[j] = state[j] + 0.5 * h * s.k2[j];
+  f(t + 0.5 * h, s.tmp, s.k3);
+  for (std::size_t j = 0; j < n; ++j) s.tmp[j] = state[j] + h * s.k3[j];
+  f(t + h, s.tmp, s.k4);
+  for (std::size_t j = 0; j < n; ++j) {
+    state[j] += h / 6.0 * (s.k1[j] + 2.0 * s.k2[j] + 2.0 * s.k3[j] + s.k4[j]);
+  }
+}
+
+void vector_rk4_integrate(
+    const VectorRhs& f, double t0, double t1, double h,
+    std::vector<double>& state,
+    const std::function<void(double, const std::vector<double>&)>& observe) {
+  assert(h > 0.0);
+  VectorRk4Scratch scratch;
+  double t = t0;
+  while (t < t1 - 1e-15 * std::max(1.0, std::abs(t1))) {
+    const double step = std::min(h, t1 - t);
+    vector_rk4_step(f, t, step, state, scratch);
+    t += step;
+    if (observe) observe(t, state);
+  }
+}
+
+}  // namespace bcn::ode

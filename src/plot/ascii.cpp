@@ -1,0 +1,100 @@
+#include "plot/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/format.h"
+
+namespace bcn::plot {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+}  // namespace
+
+std::string render_ascii(const std::vector<Series>& series,
+                         const AsciiOptions& options) {
+  const int w = std::max(8, options.width);
+  const int h = std::max(4, options.height);
+
+  bool any = false;
+  double x_lo = 0.0, x_hi = 1.0, y_lo = 0.0, y_hi = 1.0;
+  for (const Series& s : series) {
+    if (s.empty()) continue;
+    if (!any) {
+      x_lo = s.min_x();
+      x_hi = s.max_x();
+      y_lo = s.min_y();
+      y_hi = s.max_y();
+      any = true;
+    } else {
+      x_lo = std::min(x_lo, s.min_x());
+      x_hi = std::max(x_hi, s.max_x());
+      y_lo = std::min(y_lo, s.min_y());
+      y_hi = std::max(y_hi, s.max_y());
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (x_hi - x_lo <= 0.0) x_hi = x_lo + 1.0;
+  if (y_hi - y_lo <= 0.0) y_hi = y_lo + 1.0;
+  // Small margins keep extreme points visible.
+  const double mx = 0.02 * (x_hi - x_lo);
+  const double my = 0.05 * (y_hi - y_lo);
+  x_lo -= mx;
+  x_hi += mx;
+  y_lo -= my;
+  y_hi += my;
+
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  auto col_of = [&](double x) {
+    return static_cast<int>((x - x_lo) / (x_hi - x_lo) * (w - 1) + 0.5);
+  };
+  auto row_of = [&](double y) {
+    return (h - 1) -
+           static_cast<int>((y - y_lo) / (y_hi - y_lo) * (h - 1) + 0.5);
+  };
+
+  if (options.draw_zero_axes) {
+    if (y_lo < 0.0 && y_hi > 0.0) {
+      const int r = row_of(0.0);
+      for (int c = 0; c < w; ++c) grid[r][c] = '-';
+    }
+    if (x_lo < 0.0 && x_hi > 0.0) {
+      const int c = col_of(0.0);
+      for (int r = 0; r < h; ++r) {
+        grid[r][c] = grid[r][c] == '-' ? '+' : '|';
+      }
+    }
+  }
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    for (const Vec2& p : series[si].points) {
+      const int c = col_of(p.x);
+      const int r = row_of(p.y);
+      if (c >= 0 && c < w && r >= 0 && r < h) grid[r][c] = glyph;
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) out += options.title + "\n";
+  out += strf("  y: [%.4g, %.4g]", y_lo, y_hi);
+  if (!options.y_label.empty()) out += "  (" + options.y_label + ")";
+  out += "\n";
+  for (const std::string& row : grid) {
+    out += "  |" + row + "\n";
+  }
+  out += "  +" + std::string(w, '-') + "\n";
+  out += strf("  x: [%.4g, %.4g]", x_lo, x_hi);
+  if (!options.x_label.empty()) out += "  (" + options.x_label + ")";
+  out += "\n";
+  std::string legend = "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    legend += strf(" %c=%s", kGlyphs[si % sizeof kGlyphs],
+                   series[si].name.c_str());
+  }
+  out += legend + "\n";
+  return out;
+}
+
+}  // namespace bcn::plot

@@ -1,0 +1,26 @@
+// ASCII line/scatter plots for terminal output.  Every bench binary prints
+// these so the paper's figures can be eyeballed without leaving the shell.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plot/series.h"
+
+namespace bcn::plot {
+
+struct AsciiOptions {
+  int width = 72;    // plot area columns (excluding axis labels)
+  int height = 20;   // plot area rows
+  bool draw_zero_axes = true;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+// Renders the series over a shared bounding box.  Each series uses its own
+// glyph ('*', '+', 'o', ...); a legend line maps glyphs to names.
+std::string render_ascii(const std::vector<Series>& series,
+                         const AsciiOptions& options = {});
+
+}  // namespace bcn::plot

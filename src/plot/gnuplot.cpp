@@ -1,0 +1,59 @@
+#include "plot/gnuplot.h"
+
+#include <fstream>
+
+#include "common/format.h"
+
+namespace bcn::plot {
+
+bool write_gnuplot(const std::filesystem::path& stem,
+                   const std::vector<Series>& series,
+                   const GnuplotOptions& options) {
+  std::error_code ec;
+  if (stem.has_parent_path()) {
+    std::filesystem::create_directories(stem.parent_path(), ec);
+    if (ec) return false;
+  }
+
+  std::filesystem::path dat = stem;
+  dat += ".dat";
+  std::filesystem::path gp = stem;
+  gp += ".gp";
+
+  {
+    std::ofstream out(dat);
+    if (!out) return false;
+    for (const Series& s : series) {
+      out << "# " << s.name << "\n";
+      for (const Vec2& p : s.points) {
+        out << strf("%.17g %.17g\n", p.x, p.y);
+      }
+      out << "\n\n";  // gnuplot block separator
+    }
+    if (!out) return false;
+  }
+
+  std::ofstream out(gp);
+  if (!out) return false;
+  out << "set terminal svg size 760,480\n";
+  out << "set output '" << stem.filename().string() << ".svg'\n";
+  if (!options.title.empty()) out << "set title '" << options.title << "'\n";
+  if (!options.x_label.empty()) {
+    out << "set xlabel '" << options.x_label << "'\n";
+  }
+  if (!options.y_label.empty()) {
+    out << "set ylabel '" << options.y_label << "'\n";
+  }
+  out << "set key outside\n";
+  out << "plot ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i != 0) out << ", \\\n     ";
+    out << "'" << dat.filename().string() << "' index " << i << " with "
+        << (options.with_lines ? "lines" : "points") << " title '"
+        << series[i].name << "'";
+  }
+  out << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace bcn::plot

@@ -1,0 +1,27 @@
+// gnuplot exporter: writes a .dat file (one block per series) plus a .gp
+// script so the paper figures can be regenerated with publication-quality
+// tooling when available.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "plot/series.h"
+
+namespace bcn::plot {
+
+struct GnuplotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool with_lines = true;
+};
+
+// Writes `<stem>.dat` and `<stem>.gp` next to each other.  Returns false
+// on I/O failure.
+bool write_gnuplot(const std::filesystem::path& stem,
+                   const std::vector<Series>& series,
+                   const GnuplotOptions& options = {});
+
+}  // namespace bcn::plot

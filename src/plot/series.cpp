@@ -1,0 +1,57 @@
+#include "plot/series.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bcn::plot {
+namespace {
+
+template <typename Proj>
+double fold(const std::vector<Vec2>& pts, Proj proj, bool want_max) {
+  assert(!pts.empty());
+  double acc = proj(pts.front());
+  for (const Vec2& p : pts) {
+    acc = want_max ? std::max(acc, proj(p)) : std::min(acc, proj(p));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double Series::min_x() const {
+  return fold(points, [](Vec2 p) { return p.x; }, false);
+}
+double Series::max_x() const {
+  return fold(points, [](Vec2 p) { return p.x; }, true);
+}
+double Series::min_y() const {
+  return fold(points, [](Vec2 p) { return p.y; }, false);
+}
+double Series::max_y() const {
+  return fold(points, [](Vec2 p) { return p.y; }, true);
+}
+
+Series series_vs_time(const ode::Trajectory& trajectory, int component,
+                      std::string name, double x_scale, double y_scale) {
+  Series s;
+  s.name = std::move(name);
+  s.points.reserve(trajectory.size());
+  for (const auto& sample : trajectory.samples()) {
+    const double v = component == 0 ? sample.z.x : sample.z.y;
+    s.add(sample.t * x_scale, v * y_scale);
+  }
+  return s;
+}
+
+Series series_phase(const ode::Trajectory& trajectory, std::string name,
+                    double x_scale, double y_scale) {
+  Series s;
+  s.name = std::move(name);
+  s.points.reserve(trajectory.size());
+  for (const auto& sample : trajectory.samples()) {
+    s.add(sample.z.x * x_scale, sample.z.y * y_scale);
+  }
+  return s;
+}
+
+}  // namespace bcn::plot

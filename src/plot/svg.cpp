@@ -1,0 +1,195 @@
+#include "plot/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/format.h"
+
+namespace bcn::plot {
+namespace {
+
+// Color-blind-safe categorical palette.
+constexpr const char* kColors[] = {"#4477aa", "#ee6677", "#228833",
+                                   "#ccbb44", "#66ccee", "#aa3377",
+                                   "#bbbbbb", "#222222"};
+
+struct Box {
+  double x_lo, x_hi, y_lo, y_hi;
+};
+
+Box bounding_box(const std::vector<Series>& series) {
+  Box b{0.0, 1.0, 0.0, 1.0};
+  bool any = false;
+  for (const Series& s : series) {
+    if (s.empty()) continue;
+    if (!any) {
+      b = {s.min_x(), s.max_x(), s.min_y(), s.max_y()};
+      any = true;
+    } else {
+      b.x_lo = std::min(b.x_lo, s.min_x());
+      b.x_hi = std::max(b.x_hi, s.max_x());
+      b.y_lo = std::min(b.y_lo, s.min_y());
+      b.y_hi = std::max(b.y_hi, s.max_y());
+    }
+  }
+  if (b.x_hi - b.x_lo <= 0.0) b.x_hi = b.x_lo + 1.0;
+  if (b.y_hi - b.y_lo <= 0.0) b.y_hi = b.y_lo + 1.0;
+  const double mx = 0.04 * (b.x_hi - b.x_lo);
+  const double my = 0.06 * (b.y_hi - b.y_lo);
+  return {b.x_lo - mx, b.x_hi + mx, b.y_lo - my, b.y_hi + my};
+}
+
+std::string escape_xml(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_svg(const std::vector<Series>& series,
+                       const SvgOptions& options) {
+  const int w = options.width;
+  const int h = options.height;
+  const double ml = 72, mr = 16, mt = options.title.empty() ? 16 : 40,
+               mb = 48;
+  const double pw = w - ml - mr;
+  const double ph = h - mt - mb;
+  const Box box = bounding_box(series);
+
+  auto sx = [&](double x) {
+    return ml + (x - box.x_lo) / (box.x_hi - box.x_lo) * pw;
+  };
+  auto sy = [&](double y) {
+    return mt + ph - (y - box.y_lo) / (box.y_hi - box.y_lo) * ph;
+  };
+
+  std::string svg = strf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"11\">\n",
+      w, h, w, h);
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    svg += strf(
+        "<text x=\"%g\" y=\"22\" font-size=\"14\" text-anchor=\"middle\">"
+        "%s</text>\n",
+        ml + pw / 2, escape_xml(options.title).c_str());
+  }
+  // Frame.
+  svg += strf(
+      "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"none\" "
+      "stroke=\"#888\"/>\n",
+      ml, mt, pw, ph);
+
+  // Ticks: 5 per axis.
+  for (int i = 0; i <= 5; ++i) {
+    const double fx = box.x_lo + (box.x_hi - box.x_lo) * i / 5.0;
+    const double fy = box.y_lo + (box.y_hi - box.y_lo) * i / 5.0;
+    svg += strf(
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#888\"/>\n",
+        sx(fx), mt + ph, sx(fx), mt + ph + 4);
+    svg += strf(
+        "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%.4g</text>\n",
+        sx(fx), mt + ph + 16, fx);
+    svg += strf(
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#888\"/>\n",
+        ml - 4, sy(fy), ml, sy(fy));
+    svg += strf(
+        "<text x=\"%g\" y=\"%g\" text-anchor=\"end\">%.4g</text>\n",
+        ml - 6, sy(fy) + 4, fy);
+  }
+  if (!options.x_label.empty()) {
+    svg += strf(
+        "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>\n",
+        ml + pw / 2, static_cast<double>(h - 8),
+        escape_xml(options.x_label).c_str());
+  }
+  if (!options.y_label.empty()) {
+    svg += strf(
+        "<text x=\"14\" y=\"%g\" text-anchor=\"middle\" "
+        "transform=\"rotate(-90 14 %g)\">%s</text>\n",
+        mt + ph / 2, mt + ph / 2, escape_xml(options.y_label).c_str());
+  }
+
+  // Zero axes and reference lines.
+  if (options.draw_zero_axes) {
+    if (box.y_lo < 0.0 && box.y_hi > 0.0) {
+      svg += strf(
+          "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#bbb\" "
+          "stroke-dasharray=\"4 3\"/>\n",
+          ml, sy(0.0), ml + pw, sy(0.0));
+    }
+    if (box.x_lo < 0.0 && box.x_hi > 0.0) {
+      svg += strf(
+          "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#bbb\" "
+          "stroke-dasharray=\"4 3\"/>\n",
+          sx(0.0), mt, sx(0.0), mt + ph);
+    }
+  }
+  for (const auto& ref : options.ref_lines) {
+    if (ref.vertical) {
+      if (ref.value < box.x_lo || ref.value > box.x_hi) continue;
+      svg += strf(
+          "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#cc3311\" "
+          "stroke-dasharray=\"6 3\"/>\n",
+          sx(ref.value), mt, sx(ref.value), mt + ph);
+      svg += strf(
+          "<text x=\"%g\" y=\"%g\" fill=\"#cc3311\">%s</text>\n",
+          sx(ref.value) + 3, mt + 12, escape_xml(ref.label).c_str());
+    } else {
+      if (ref.value < box.y_lo || ref.value > box.y_hi) continue;
+      svg += strf(
+          "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#cc3311\" "
+          "stroke-dasharray=\"6 3\"/>\n",
+          ml, sy(ref.value), ml + pw, sy(ref.value));
+      svg += strf(
+          "<text x=\"%g\" y=\"%g\" fill=\"#cc3311\">%s</text>\n",
+          ml + 4, sy(ref.value) - 4, escape_xml(ref.label).c_str());
+    }
+  }
+
+  // Series polylines + legend.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char* color = kColors[si % (sizeof kColors / sizeof kColors[0])];
+    std::string pts;
+    for (const Vec2& p : series[si].points) {
+      pts += strf("%.2f,%.2f ", sx(p.x), sy(p.y));
+    }
+    svg += strf(
+        "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" "
+        "stroke-width=\"1.5\"/>\n",
+        pts.c_str(), color);
+    const double ly = mt + 14 + 14.0 * static_cast<double>(si);
+    svg += strf(
+        "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"%s\" "
+        "stroke-width=\"2\"/>\n",
+        ml + pw - 120, ly, ml + pw - 100, ly, color);
+    svg += strf("<text x=\"%g\" y=\"%g\">%s</text>\n", ml + pw - 94, ly + 4,
+                escape_xml(series[si].name).c_str());
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+bool write_svg(const std::filesystem::path& path,
+               const std::vector<Series>& series, const SvgOptions& options) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) return false;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render_svg(series, options);
+  return static_cast<bool>(out);
+}
+
+}  // namespace bcn::plot

@@ -1,0 +1,38 @@
+// Minimal SVG line-plot writer: polylines with axes, ticks and a legend.
+// Benches write one SVG per reproduced figure into bench_out/.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "plot/series.h"
+
+namespace bcn::plot {
+
+struct SvgOptions {
+  int width = 760;
+  int height = 480;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool draw_zero_axes = true;
+  // Optional reference lines (e.g. the switching line, buffer walls).
+  struct RefLine {
+    bool vertical = false;
+    double value = 0.0;  // x for vertical, y for horizontal
+    std::string label;
+  };
+  std::vector<RefLine> ref_lines;
+};
+
+std::string render_svg(const std::vector<Series>& series,
+                       const SvgOptions& options = {});
+
+// Renders and writes to `path`; creates parent directories.  Returns false
+// on I/O failure.
+bool write_svg(const std::filesystem::path& path,
+               const std::vector<Series>& series,
+               const SvgOptions& options = {});
+
+}  // namespace bcn::plot

@@ -1,0 +1,125 @@
+#include "sim/core_switch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcn::sim {
+
+CoreSwitch::CoreSwitch(Simulator& sim, CoreSwitchConfig config,
+                       SimStats& stats)
+    : sim_(sim),
+      config_(config),
+      stats_(stats),
+      sampling_rng_(config.sampling_seed) {
+  sample_every_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(1.0 / config_.pm)));
+}
+
+void CoreSwitch::on_frame(const Frame& frame) {
+  maybe_sample(frame);
+
+  if (queue_bits_ + frame.size_bits > config_.buffer_bits) {
+    ++stats_.counters.frames_dropped;
+    maybe_pause();
+    return;
+  }
+  queue_.push_back(frame);
+  queue_bits_ += frame.size_bits;
+  ++stats_.counters.frames_enqueued;
+  maybe_pause();
+  if (!serving_) start_service();
+}
+
+void CoreSwitch::maybe_sample(const Frame& frame) {
+  if (config_.fera_mode) {
+    // Active-flow estimation: distinct sources per epoch.
+    epoch_sources_.insert(frame.source);
+    if (++epoch_arrivals_ >= config_.fera_epoch_frames) {
+      active_flow_estimate_ = std::max<std::size_t>(1, epoch_sources_.size());
+      epoch_sources_.clear();
+      epoch_arrivals_ = 0;
+    }
+  }
+
+  if (config_.random_sampling) {
+    if (!sampling_rng_.bernoulli(config_.pm)) return;
+  } else {
+    if (++arrivals_since_sample_ < sample_every_) return;
+    arrivals_since_sample_ = 0;
+  }
+  ++stats_.counters.frames_sampled;
+
+  // Eq. (1): sigma = (q0 - q) - w * delta_q over the sampling interval.
+  const double delta_q = queue_bits_ - queue_at_last_sample_;
+  queue_at_last_sample_ = queue_bits_;
+  const double sigma = (config_.q0 - queue_bits_) - config_.w * delta_q;
+
+  if (!send_bcn_) return;
+  if (config_.fera_mode) {
+    // FERA/ERICA-style explicit rate: fair share scaled by the queue
+    // deviation from the reference.
+    const double fair =
+        config_.capacity / static_cast<double>(active_flow_estimate_);
+    const double correction =
+        1.0 - config_.fera_alpha * (queue_bits_ - config_.q0) / config_.q0;
+    const double advertised = std::max(0.0, fair * correction);
+    if (sigma < 0.0) {
+      ++stats_.counters.bcn_negative;
+    } else {
+      ++stats_.counters.bcn_positive;
+    }
+    send_bcn_({.cpid = config_.cpid, .target = frame.source,
+               .sigma = sigma, .advertised_rate = advertised,
+               .sent_at = sim_.now()});
+    return;
+  }
+  if (sigma < 0.0) {
+    // Negative feedback: always sent to the sampled frame's source.
+    ++stats_.counters.bcn_negative;
+    send_bcn_({.cpid = config_.cpid, .target = frame.source,
+               .sigma = sigma, .sent_at = sim_.now()});
+  } else if (sigma > 0.0 && !config_.suppress_positive &&
+             (!config_.positive_requires_rrt ||
+              (frame.has_rrt && frame.rrt_cpid == config_.cpid)) &&
+             queue_bits_ < config_.q0) {
+    // Positive feedback: only to tagged (rate-regulated) sources, and only
+    // while the queue is below the reference (paper Section II.B).
+    ++stats_.counters.bcn_positive;
+    send_bcn_({.cpid = config_.cpid, .target = frame.source,
+               .sigma = sigma, .sent_at = sim_.now()});
+  }
+}
+
+void CoreSwitch::maybe_pause() {
+  if (!config_.enable_pause || !send_pause_) return;
+  if (queue_bits_ < config_.qsc) return;
+  if (sim_.now() < pause_cooldown_until_) return;
+  pause_cooldown_until_ = sim_.now() + config_.pause_duration;
+  ++stats_.counters.pause_frames;
+  send_pause_({config_.pause_duration, sim_.now()});
+}
+
+void CoreSwitch::start_service() {
+  if (queue_.empty()) {
+    serving_ = false;
+    return;
+  }
+  serving_ = true;
+  const double bits = queue_.front().size_bits;
+  sim_.schedule_after(transmission_time(bits, config_.capacity),
+                      [this] { finish_service(); });
+}
+
+void CoreSwitch::finish_service() {
+  const Frame frame = queue_.front();
+  queue_.pop_front();
+  queue_bits_ -= frame.size_bits;
+  queue_bits_ = std::max(queue_bits_, 0.0);
+  ++stats_.counters.frames_delivered;
+  stats_.counters.bits_delivered += frame.size_bits;
+  stats_.add_delivered(frame.source, frame.size_bits);
+  if (sink_) sink_(frame);
+  start_service();
+}
+
+}  // namespace bcn::sim

@@ -1,0 +1,103 @@
+// The core-switch congestion point (paper Fig. 1): a drop-tail FIFO queue
+// draining at the bottleneck capacity, frame sampling every 1/pm arrivals,
+// sigma computation per eq. (1), BCN message generation, and 802.3x PAUSE
+// when the queue exceeds the severe-congestion threshold qsc.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/frame.h"
+#include "sim/stats.h"
+
+namespace bcn::sim {
+
+struct CoreSwitchConfig {
+  CongestionPointId cpid = 1;
+  double capacity = 10e9;     // C [bits/s]
+  double buffer_bits = 5e6;   // B
+  double q0 = 2.5e6;          // reference queue
+  double qsc = 4.5e6;         // PAUSE threshold
+  double w = 2.0;             // sigma weight, eq. (1)
+  double pm = 0.01;           // sampling probability (deterministic 1/pm)
+  bool enable_pause = true;
+  SimTime pause_duration = 3355;  // 512-bit quanta x 65535 at 10 Gbps [ns]
+  // Draft semantics: positive BCN only reaches sources already associated
+  // (tagged) with this congestion point.  The fluid model of the paper
+  // assumes positive feedback reaches every source, so the fluid-matched
+  // cross-validation runs disable this gate.
+  bool positive_requires_rrt = true;
+  // QCN semantics: the network sends only negative feedback.
+  bool suppress_positive = false;
+  // FERA semantics: advertise an explicit allowed rate on every sample,
+  // R_adv = (C / active_flows) * (1 - alpha * (q - q0)/q0), instead of
+  // sigma-sign feedback.
+  bool fera_mode = false;
+  double fera_alpha = 0.5;
+  // Active flows are estimated as the distinct sources seen per epoch.
+  std::uint64_t fera_epoch_frames = 1000;
+  // Sampling discipline: the paper models a *deterministic* 1/pm arrival
+  // count; the original ECM proposal samples each arrival independently
+  // with probability pm.  Both are supported; random sampling is seeded
+  // and fully reproducible.
+  bool random_sampling = false;
+  std::uint64_t sampling_seed = 0x5eed;
+};
+
+class CoreSwitch {
+ public:
+  using BcnSender = std::function<void(const BcnMessage&)>;
+  using PauseSender = std::function<void(const PauseFrame&)>;
+  using FrameSink = std::function<void(const Frame&)>;
+
+  CoreSwitch(Simulator& sim, CoreSwitchConfig config, SimStats& stats);
+
+  // Downstream hop for frames completing service; unset = frames
+  // terminate here (single-bottleneck topology).
+  void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+
+  // Frame arrival from the fabric.  Samples, possibly emits BCN/PAUSE via
+  // the callbacks, then enqueues or drops.
+  void on_frame(const Frame& frame);
+
+  void set_bcn_sender(BcnSender sender) { send_bcn_ = std::move(sender); }
+  void set_pause_sender(PauseSender sender) { send_pause_ = std::move(sender); }
+
+  double queue_bits() const { return queue_bits_; }
+  const CoreSwitchConfig& config() const { return config_; }
+
+ private:
+  void maybe_sample(const Frame& frame);
+  void maybe_pause();
+  void start_service();
+  void finish_service();
+
+  Simulator& sim_;
+  CoreSwitchConfig config_;
+  SimStats& stats_;
+  BcnSender send_bcn_;
+  PauseSender send_pause_;
+  FrameSink sink_;
+
+  std::deque<Frame> queue_;
+  double queue_bits_ = 0.0;
+  bool serving_ = false;
+
+  std::uint64_t arrivals_since_sample_ = 0;
+  std::uint64_t sample_every_ = 100;  // round(1/pm)
+  double queue_at_last_sample_ = 0.0;
+  SimTime pause_cooldown_until_ = 0;
+
+  // FERA active-flow estimation.
+  std::unordered_set<SourceId> epoch_sources_;
+  std::uint64_t epoch_arrivals_ = 0;
+  std::size_t active_flow_estimate_ = 1;
+
+  Rng sampling_rng_{0x5eed};
+};
+
+}  // namespace bcn::sim

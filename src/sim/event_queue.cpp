@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcn::sim {
+
+SimTime transmission_time(double bits, double rate_bps) {
+  if (bits <= 0.0) return 0;
+  if (rate_bps <= 0.0) return kSecond * 3600;  // effectively never
+  const double ns = bits / rate_bps * 1e9;
+  return static_cast<SimTime>(std::ceil(ns));
+}
+
+EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  if (cancelled_.insert(id).second && live_ > 0) --live_;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    --live_;
+    now_ = ev.when;
+    ++executed_;
+    ++ran;
+    ev.fn();
+  }
+  now_ = std::max(now_, until);
+  return ran;
+}
+
+}  // namespace bcn::sim

@@ -1,0 +1,67 @@
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events and lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bcn::sim {
+
+// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `when` (clamped to >= now).  Events
+  // scheduled for the same instant fire in scheduling order.
+  EventId schedule_at(SimTime when, std::function<void()> fn);
+  EventId schedule_after(SimTime delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Lazily cancels the event; a no-op if it already fired or is invalid.
+  void cancel(EventId id);
+
+  // Runs until the queue drains or simulated time exceeds `until`.
+  // Returns the number of events executed.  Advances now() to `until`.
+  std::size_t run_until(SimTime until);
+
+  // True when no live events remain.
+  bool idle() const { return live_ == 0; }
+
+  std::size_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace bcn::sim

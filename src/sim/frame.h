@@ -1,0 +1,42 @@
+// Wire units exchanged in the simulated DCE: data frames, BCN messages
+// (paper Fig. 2) and 802.3x PAUSE frames.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace bcn::sim {
+
+using SourceId = std::uint32_t;
+using CongestionPointId = std::uint32_t;  // the CPID field
+
+struct Frame {
+  SourceId source = 0;
+  std::uint32_t dst = 0;       // destination id (multi-port forwarding)
+  double size_bits = 12000.0;  // 1500-byte Ethernet payload by default
+  std::uint64_t seq = 0;
+  // Rate-regulator tag: set when the source is currently associated with a
+  // congestion point; the CPID it carries (paper Section II.B).
+  bool has_rrt = false;
+  CongestionPointId rrt_cpid = 0;
+  SimTime sent_at = 0;
+};
+
+// The FB field carries sigma; positive sigma means "speed up".  FERA-mode
+// congestion points additionally advertise an explicit allowed rate
+// (advertised_rate >= 0), which explicit-rate regulators adopt directly.
+struct BcnMessage {
+  CongestionPointId cpid = 0;
+  SourceId target = 0;
+  double sigma = 0.0;            // feedback measure, eq. (1)
+  double advertised_rate = -1.0; // explicit allowed rate [bits/s], < 0 = none
+  SimTime sent_at = 0;
+};
+
+struct PauseFrame {
+  SimTime duration = 0;  // pause quanta converted to time
+  SimTime sent_at = 0;
+};
+
+}  // namespace bcn::sim

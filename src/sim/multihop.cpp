@@ -1,0 +1,136 @@
+#include "sim/multihop.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/source.h"
+#include "sim/switch_port.h"
+
+namespace bcn::sim {
+namespace {
+
+constexpr std::uint32_t kHotDst = 0;   // routed to CORE port A
+constexpr std::uint32_t kColdDst = 1;  // routed to CORE port B
+
+}  // namespace
+
+MultihopResult run_victim_scenario(const MultihopConfig& config) {
+  Simulator sim;
+
+  // --- CORE ports ------------------------------------------------------
+  SwitchPortConfig hot_cfg;
+  hot_cfg.rate = config.hot_rate;
+  hot_cfg.buffer_bits = config.core_buffer;
+  hot_cfg.pause_duration = 64 * kMicrosecond;
+  if (config.enable_pause) {
+    hot_cfg.pause_threshold =
+        config.pause_threshold_fraction * config.core_buffer;
+  }
+  if (config.enable_bcn) {
+    hot_cfg.bcn_pm = config.bcn_pm;
+    hot_cfg.bcn_q0 = config.bcn_q0;
+    hot_cfg.bcn_w = config.bcn_w;
+    hot_cfg.cpid = 7;
+  }
+  SwitchPort hot_port(sim, hot_cfg);
+
+  SwitchPortConfig cold_cfg;
+  cold_cfg.rate = config.line_rate;
+  cold_cfg.buffer_bits = config.core_buffer;
+  SwitchPort cold_port(sim, cold_cfg);
+
+  // --- edge switch E1 ----------------------------------------------------
+  SwitchPortConfig edge_cfg;
+  edge_cfg.rate = config.line_rate;
+  edge_cfg.buffer_bits = config.edge_buffer;
+  edge_cfg.pause_duration = 64 * kMicrosecond;
+  if (config.enable_pause) {
+    edge_cfg.pause_threshold =
+        config.pause_threshold_fraction * config.edge_buffer;
+  }
+  SwitchPort edge(sim, edge_cfg);
+
+  // E1 forwards to CORE: route by destination after the hop delay.
+  edge.set_sink([&](const Frame& frame) {
+    sim.schedule_after(config.propagation_delay, [&, frame] {
+      (frame.dst == kHotDst ? hot_port : cold_port).on_frame(frame);
+    });
+  });
+
+  // CORE port A back-pressures E1 (PAUSE rolls back one hop).
+  hot_port.set_pause_upstream([&](const PauseFrame& pause) {
+    sim.schedule_after(config.propagation_delay,
+                       [&, pause] { edge.on_pause(pause); });
+  });
+
+  // --- sources -----------------------------------------------------------
+  std::vector<std::unique_ptr<Source>> sources;
+  const int total = config.num_culprits + 1;
+  sources.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    const bool is_victim = i == config.num_culprits;
+    SourceConfig sc;
+    sc.id = static_cast<SourceId>(i);
+    sc.dst = is_victim ? kColdDst : kHotDst;
+    sc.frame_bits = config.frame_bits;
+    sc.initial_rate = config.offered_rate;
+    sc.regulator.min_rate = 10e6;
+    sc.regulator.max_rate = config.offered_rate;  // offered-load cap
+    sc.regulator.frame_bits = config.frame_bits;
+    // Culprits run QCN-style recovery so negative-only BCN from the hot
+    // port suffices; the victim never receives feedback.
+    sc.regulator.mode = FeedbackMode::QcnSelfIncrease;
+    sc.regulator.qcn_active_increase = 2e6;
+    sources.push_back(std::make_unique<Source>(sim, sc));
+  }
+
+  // E1 back-pressures every source.
+  edge.set_pause_upstream([&](const PauseFrame& pause) {
+    sim.schedule_after(config.propagation_delay, [&, pause] {
+      for (auto& src : sources) src->on_pause(pause);
+    });
+  });
+
+  // BCN from the hot port travels back to the culprit source.
+  hot_port.set_bcn_sender([&](const BcnMessage& msg) {
+    sim.schedule_after(2 * config.propagation_delay, [&, msg] {
+      if (msg.target < sources.size()) sources[msg.target]->on_bcn(msg);
+    });
+  });
+
+  for (auto& src : sources) {
+    src->start([&](const Frame& frame) {
+      sim.schedule_after(config.propagation_delay,
+                         [&, frame] { edge.on_frame(frame); });
+    });
+  }
+
+  // Peak-queue tracking.
+  double edge_peak = 0.0;
+  double hot_peak = 0.0;
+  std::function<void()> monitor = [&] {
+    edge_peak = std::max(edge_peak, edge.queue_bits());
+    hot_peak = std::max(hot_peak, hot_port.queue_bits());
+    sim.schedule_after(20 * kMicrosecond, monitor);
+  };
+  sim.schedule_at(0, monitor);
+
+  sim.run_until(config.duration);
+
+  MultihopResult result;
+  const double seconds = to_seconds(config.duration);
+  result.victim_throughput = cold_port.stats().bits_delivered / seconds;
+  result.culprit_throughput = hot_port.stats().bits_delivered / seconds;
+  result.core_drops = hot_port.stats().dropped + cold_port.stats().dropped;
+  result.edge_drops = edge.stats().dropped;
+  result.pauses_core_to_edge = hot_port.stats().pauses_sent;
+  result.pauses_edge_to_sources = edge.stats().pauses_sent;
+  result.bcn_messages = hot_port.stats().bcn_sent;
+  result.edge_peak_queue = edge_peak;
+  result.hot_peak_queue = hot_peak;
+  return result;
+}
+
+}  // namespace bcn::sim

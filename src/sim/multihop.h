@@ -1,0 +1,63 @@
+// The congestion-spreading scenario from the paper's introduction: PAUSE
+// "can roll back from switch to switch, affecting flows that do not
+// contribute to the congestion, but happen to share a link with flows
+// that do".
+//
+// Topology (two hops):
+//
+//   culprits (N x 1 Gbps) --\                       /-- port A: 1 Gbps  (hot)
+//   victim   (1 x 1 Gbps) ---> E1 --10 Gbps--> CORE
+//                                                   \-- port B: 10 Gbps (cold)
+//
+// Culprit traffic exits through CORE's slow port A and congests it; the
+// victim's traffic uses the uncongested port B.  With hop-by-hop PAUSE
+// alone, port A pauses the E1->CORE link, E1's queue backs up, E1 pauses
+// *all* sources -- the victim collapses with the culprits.  With BCN at
+// port A, only the culprit sources are throttled and the victim keeps its
+// full rate.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace bcn::sim {
+
+struct MultihopConfig {
+  int num_culprits = 8;
+  double line_rate = 10e9;     // sources' links, E1->CORE, CORE port B
+  double hot_rate = 1e9;       // CORE port A (the congested downlink)
+  double offered_rate = 1e9;   // per-source offered load
+  double frame_bits = 12000.0;
+  SimTime propagation_delay = 500;  // per hop [ns]
+  SimTime duration = 50 * kMillisecond;
+
+  bool enable_pause = true;  // hop-by-hop 802.3x back-pressure
+  bool enable_bcn = false;   // BCN congestion point on port A
+
+  // Buffers / thresholds.
+  double edge_buffer = 5e6;
+  double core_buffer = 5e6;
+  double pause_threshold_fraction = 0.5;  // of the buffer
+  // BCN knobs for port A.
+  double bcn_q0 = 0.3e6;
+  double bcn_pm = 0.2;
+  double bcn_w = 2.0;
+};
+
+struct MultihopResult {
+  double victim_throughput = 0.0;    // bits/s delivered via port B
+  double culprit_throughput = 0.0;   // bits/s delivered via port A
+  std::uint64_t core_drops = 0;
+  std::uint64_t edge_drops = 0;
+  std::uint64_t pauses_core_to_edge = 0;
+  std::uint64_t pauses_edge_to_sources = 0;
+  std::uint64_t bcn_messages = 0;
+  double edge_peak_queue = 0.0;
+  double hot_peak_queue = 0.0;
+};
+
+// Builds, runs and tears down one victim scenario.
+MultihopResult run_victim_scenario(const MultihopConfig& config);
+
+}  // namespace bcn::sim

@@ -1,0 +1,100 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace bcn::sim {
+
+Network::Network(NetworkConfig config) : config_(config) {
+  const core::BcnParams& p = config_.params;
+  assert(p.is_valid());
+
+  CoreSwitchConfig sw;
+  sw.cpid = 1;
+  sw.capacity = p.capacity;
+  sw.buffer_bits = p.buffer;
+  sw.q0 = p.q0;
+  sw.qsc = p.qsc;
+  sw.w = p.w;
+  sw.pm = p.pm;
+  sw.enable_pause = config_.enable_pause;
+  // Fluid-matched runs need the fluid model's bidirectional feedback;
+  // QCN-style operation sends negative feedback only.
+  sw.positive_requires_rrt =
+      config_.feedback_mode == FeedbackMode::DraftPerMessage;
+  sw.suppress_positive =
+      config_.feedback_mode == FeedbackMode::QcnSelfIncrease;
+  sw.fera_mode = config_.feedback_mode == FeedbackMode::FeraExplicitRate;
+  sw.random_sampling = config_.random_sampling;
+  sw.sampling_seed = config_.sampling_seed;
+  switch_ = std::make_unique<CoreSwitch>(sim_, sw, stats_);
+
+  const auto n = static_cast<std::size_t>(p.num_sources);
+  const double max_rate =
+      config_.max_rate > 0.0 ? config_.max_rate : p.capacity;
+  const double init_rate =
+      config_.initial_rate > 0.0 ? config_.initial_rate : p.init_rate;
+
+  sources_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SourceConfig sc;
+    sc.id = static_cast<SourceId>(i);
+    sc.frame_bits = config_.frame_bits;
+    sc.initial_rate = init_rate;
+    sc.regulator.gi = p.gi;
+    sc.regulator.gd = p.gd;
+    sc.regulator.ru = p.ru;
+    sc.regulator.min_rate = config_.min_rate;
+    sc.regulator.max_rate = max_rate;
+    sc.regulator.frame_bits = config_.frame_bits;
+    sc.regulator.mode = config_.feedback_mode;
+    sc.pattern = config_.pattern;
+    sc.on_time = config_.on_time;
+    sc.off_time = config_.off_time;
+    sc.start_at = static_cast<SimTime>(i) * config_.stagger;
+    sources_.push_back(std::make_unique<Source>(sim_, sc));
+  }
+
+  // Backward channel: BCN unicast to the tagged source, PAUSE broadcast to
+  // every upstream sender, both after the propagation delay.
+  switch_->set_bcn_sender([this](const BcnMessage& msg) {
+    sim_.schedule_after(config_.propagation_delay, [this, msg] {
+      if (msg.target < sources_.size()) sources_[msg.target]->on_bcn(msg);
+    });
+  });
+  switch_->set_pause_sender([this](const PauseFrame& pause) {
+    sim_.schedule_after(config_.propagation_delay, [this, pause] {
+      for (auto& src : sources_) src->on_pause(pause);
+    });
+  });
+
+  // Forward channel: source frames reach the switch after the propagation
+  // delay (serialization is already captured by the pacing gap).
+  for (auto& src : sources_) {
+    src->start([this](const Frame& frame) {
+      ++stats_.counters.frames_sent;
+      sim_.schedule_after(config_.propagation_delay, [this, frame] {
+        switch_->on_frame(frame);
+      });
+    });
+  }
+
+  record_sample();
+}
+
+double Network::aggregate_rate() const {
+  double sum = 0.0;
+  for (const auto& src : sources_) sum += src->rate();
+  return sum;
+}
+
+void Network::record_sample() {
+  stats_.record(sim_.now(), switch_->queue_bits(), aggregate_rate());
+  sim_.schedule_after(config_.record_interval, [this] { record_sample(); });
+}
+
+void Network::run(SimTime duration) {
+  run_until_ += duration;
+  sim_.run_until(run_until_);
+}
+
+}  // namespace bcn::sim

@@ -1,0 +1,74 @@
+// Wiring of the single-bottleneck DCE topology of paper Fig. 1:
+// N homogeneous sources -> (edge, where the rate regulators live) ->
+// core switch -> sink, with symmetric propagation delays and backward BCN
+// / PAUSE delivery.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/bcn_params.h"
+#include "sim/core_switch.h"
+#include "sim/event_queue.h"
+#include "sim/source.h"
+#include "sim/stats.h"
+
+namespace bcn::sim {
+
+struct NetworkConfig {
+  core::BcnParams params = core::BcnParams::standard_draft();
+  double frame_bits = 12000.0;
+  // One-way propagation delay on each hop (the paper assumes ~0.5 us for a
+  // 100 m run); BCN messages travel backwards over the same delay.
+  SimTime propagation_delay = 500;  // ns
+  FeedbackMode feedback_mode = FeedbackMode::FluidMatched;
+  double min_rate = 1e6;
+  double max_rate = 0.0;  // 0 -> capacity (source line rate = C)
+  // 0 -> every source starts at params.init_rate; the fluid analysis start
+  // corresponds to initial_rate = C / N with an empty queue.
+  double initial_rate = 0.0;
+  bool enable_pause = true;
+  SimTime record_interval = 10 * kMicrosecond;
+  // Random (Bernoulli-pm) frame sampling at the congestion point instead
+  // of the deterministic 1/pm count the fluid model assumes.
+  bool random_sampling = false;
+  std::uint64_t sampling_seed = 0x5eed;
+
+  // Traffic pattern knobs (flow churn): sources start staggered by
+  // `stagger` and, with TrafficPattern::OnOff, alternate bursts and
+  // silences so the number of active flows varies over time.
+  TrafficPattern pattern = TrafficPattern::Saturating;
+  SimTime on_time = 5 * kMillisecond;
+  SimTime off_time = 5 * kMillisecond;
+  SimTime stagger = 0;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config);
+
+  // Runs the simulation for `duration` of simulated time (cumulative).
+  void run(SimTime duration);
+
+  const SimStats& stats() const { return stats_; }
+  const CoreSwitch& core_switch() const { return *switch_; }
+  const std::vector<std::unique_ptr<Source>>& sources() const {
+    return sources_;
+  }
+  Simulator& simulator() { return sim_; }
+
+  double aggregate_rate() const;
+  double queue_bits() const { return switch_->queue_bits(); }
+
+ private:
+  void record_sample();
+
+  NetworkConfig config_;
+  Simulator sim_;
+  SimStats stats_;
+  std::unique_ptr<CoreSwitch> switch_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  SimTime run_until_ = 0;
+};
+
+}  // namespace bcn::sim

@@ -1,0 +1,113 @@
+#include "sim/parking_lot.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/core_switch.h"
+#include "sim/event_queue.h"
+#include "sim/source.h"
+
+namespace bcn::sim {
+
+ParkingLotResult run_parking_lot(const ParkingLotConfig& config) {
+  Simulator sim;
+  SimStats stats1;
+  SimStats stats2;
+
+  auto switch_config = [&](CongestionPointId cpid, double capacity) {
+    CoreSwitchConfig c;
+    c.cpid = cpid;
+    c.capacity = capacity;
+    c.buffer_bits = config.buffer;
+    c.q0 = config.q0;
+    c.qsc = config.qsc;
+    c.w = config.w;
+    c.pm = config.pm;
+    c.enable_pause = false;       // isolate the BCN dynamics
+    c.positive_requires_rrt = true;  // the draft's CPID-matching rule
+    return c;
+  };
+  CoreSwitch cp1(sim, switch_config(1, config.capacity1), stats1);
+  CoreSwitch cp2(sim, switch_config(2, config.capacity2), stats2);
+
+  // CP1 feeds CP2 after the hop delay.
+  cp1.set_sink([&](const Frame& frame) {
+    sim.schedule_after(config.propagation_delay,
+                       [&, frame] { cp2.on_frame(frame); });
+  });
+
+  const int total = config.group_a + config.group_b;
+  std::vector<std::unique_ptr<Source>> sources;
+  sources.reserve(total);
+  for (int i = 0; i < total; ++i) {
+    SourceConfig sc;
+    sc.id = static_cast<SourceId>(i);
+    sc.frame_bits = config.frame_bits;
+    sc.initial_rate = config.initial_rate;
+    sc.regulator.gi = config.gi;
+    sc.regulator.gd = config.gd;
+    sc.regulator.ru = config.ru;
+    sc.regulator.min_rate = 1e6;
+    sc.regulator.max_rate =
+        std::max(config.capacity1, config.capacity2);
+    sc.regulator.mode = FeedbackMode::FluidMatched;
+    sources.push_back(std::make_unique<Source>(sim, sc));
+  }
+
+  // Both congestion points unicast BCN to the sampled frame's source.
+  const auto bcn_to_source = [&](const BcnMessage& msg) {
+    sim.schedule_after(config.propagation_delay, [&, msg] {
+      if (msg.target < sources.size()) sources[msg.target]->on_bcn(msg);
+    });
+  };
+  cp1.set_bcn_sender(bcn_to_source);
+  cp2.set_bcn_sender(bcn_to_source);
+
+  // Group A enters at CP1, group B directly at CP2.
+  for (int i = 0; i < total; ++i) {
+    const bool in_group_a = i < config.group_a;
+    sources[i]->start([&, in_group_a](const Frame& frame) {
+      sim.schedule_after(config.propagation_delay, [&, frame] {
+        (in_group_a ? cp1 : cp2).on_frame(frame);
+      });
+    });
+  }
+
+  // Peak-queue monitor.
+  double peak1 = 0.0;
+  double peak2 = 0.0;
+  std::function<void()> monitor = [&] {
+    peak1 = std::max(peak1, cp1.queue_bits());
+    peak2 = std::max(peak2, cp2.queue_bits());
+    sim.schedule_after(20 * kMicrosecond, monitor);
+  };
+  sim.schedule_at(0, monitor);
+
+  sim.run_until(config.duration);
+
+  ParkingLotResult r;
+  for (int i = 0; i < total; ++i) {
+    if (i < config.group_a) {
+      r.group_a_rate += sources[i]->rate();
+      if (sources[i]->regulator().is_associated()) {
+        (sources[i]->regulator().cpid() == 1 ? r.group_a_on_cp1
+                                             : r.group_a_on_cp2)++;
+      }
+    } else {
+      r.group_b_rate += sources[i]->rate();
+    }
+  }
+  if (config.group_a > 0) r.group_a_rate /= config.group_a;
+  if (config.group_b > 0) r.group_b_rate /= config.group_b;
+  r.cp1_peak_queue = peak1;
+  r.cp2_peak_queue = peak2;
+  r.cp1_negatives = stats1.counters.bcn_negative;
+  r.cp2_negatives = stats2.counters.bcn_negative;
+  r.cp1_positives = stats1.counters.bcn_positive;
+  r.cp2_positives = stats2.counters.bcn_positive;
+  r.drops = stats1.counters.frames_dropped + stats2.counters.frames_dropped;
+  return r;
+}
+
+}  // namespace bcn::sim

@@ -1,0 +1,85 @@
+#include "sim/source.h"
+
+#include <algorithm>
+
+namespace bcn::sim {
+
+Source::Source(Simulator& sim, SourceConfig config)
+    : sim_(sim),
+      config_(config),
+      regulator_(config.regulator, config.initial_rate, config.start_at) {}
+
+void Source::start(FrameSender sender) {
+  sender_ = std::move(sender);
+  schedule_next(config_.start_at);
+  if (config_.regulator.mode == FeedbackMode::QcnSelfIncrease) {
+    sim_.schedule_at(config_.start_at + config_.qcn_increase_period,
+                     [this] { qcn_tick(); });
+  }
+}
+
+void Source::on_bcn(const BcnMessage& message) {
+  const double old_rate = regulator_.rate();
+  regulator_.on_bcn(message, sim_.now());
+  if (regulator_.rate() != old_rate) repace();
+}
+
+void Source::repace() {
+  if (pending_send_ == kInvalidEvent) return;
+  sim_.cancel(pending_send_);
+  pending_send_ = kInvalidEvent;
+  const SimTime gap = transmission_time(config_.frame_bits, regulator_.rate());
+  schedule_next(last_send_ + gap);
+}
+
+void Source::qcn_tick() {
+  const double old_rate = regulator_.rate();
+  regulator_.self_increase();
+  if (regulator_.rate() != old_rate) repace();
+  sim_.schedule_after(config_.qcn_increase_period, [this] { qcn_tick(); });
+}
+
+void Source::on_pause(const PauseFrame& pause) {
+  paused_until_ = std::max(paused_until_, sim_.now() + pause.duration);
+  if (pending_send_ != kInvalidEvent) {
+    sim_.cancel(pending_send_);
+    pending_send_ = kInvalidEvent;
+    schedule_next(paused_until_);
+  }
+}
+
+void Source::schedule_next(SimTime earliest) {
+  const SimTime when = std::max({earliest, sim_.now(), paused_until_});
+  pending_send_ = sim_.schedule_at(when, [this] { send_frame(); });
+}
+
+void Source::send_frame() {
+  pending_send_ = kInvalidEvent;
+  if (sim_.now() < paused_until_) {
+    schedule_next(paused_until_);
+    return;
+  }
+  if (config_.pattern == TrafficPattern::OnOff) {
+    const SimTime period = config_.on_time + config_.off_time;
+    const SimTime phase = (sim_.now() - config_.start_at) % period;
+    if (phase >= config_.on_time) {
+      // Silent window: resume at the start of the next burst.
+      schedule_next(sim_.now() + (period - phase));
+      return;
+    }
+  }
+  Frame frame;
+  frame.source = config_.id;
+  frame.dst = config_.dst;
+  frame.size_bits = config_.frame_bits;
+  frame.seq = frames_sent_++;
+  frame.has_rrt = regulator_.is_associated();
+  frame.rrt_cpid = regulator_.cpid();
+  frame.sent_at = sim_.now();
+  last_send_ = sim_.now();
+  if (sender_) sender_(frame);
+  const SimTime gap = transmission_time(config_.frame_bits, regulator_.rate());
+  schedule_next(last_send_ + gap);
+}
+
+}  // namespace bcn::sim

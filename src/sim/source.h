@@ -1,0 +1,75 @@
+// A traffic source behind its reaction-point rate regulator.
+//
+// The source is a saturating sender (it always has data, the parallel
+// read/write pattern of cluster file systems the paper assumes) paced at
+// the regulator's current rate; BCN messages adjust that rate, and 802.3x
+// PAUSE frames suspend transmission entirely.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/frame.h"
+#include "sim/rate_regulator.h"
+
+namespace bcn::sim {
+
+// What the application offers the regulator.
+//   Saturating: always has data (the parallel read/write pattern of the
+//     paper's Section III.A).
+//   OnOff: deterministic on/off bursts -- active for on_time, silent for
+//     off_time, repeating; models flow churn, which varies the effective
+//     N the fluid model holds constant.
+enum class TrafficPattern { Saturating, OnOff };
+
+struct SourceConfig {
+  SourceId id = 0;
+  std::uint32_t dst = 0;  // destination carried in every frame
+  double frame_bits = 12000.0;
+  double initial_rate = 1e9;  // offered/paced rate at t = 0 [bits/s]
+  SimTime start_at = 0;
+  RegulatorConfig regulator;
+  // Period of the QcnSelfIncrease recovery timer (only used in that mode;
+  // real QCN uses a byte counter -- a timer is the simulator's
+  // deterministic equivalent).
+  SimTime qcn_increase_period = 100 * kMicrosecond;
+
+  TrafficPattern pattern = TrafficPattern::Saturating;
+  SimTime on_time = 5 * kMillisecond;   // OnOff: burst length
+  SimTime off_time = 5 * kMillisecond;  // OnOff: silence length
+};
+
+class Source {
+ public:
+  using FrameSender = std::function<void(const Frame&)>;
+
+  Source(Simulator& sim, SourceConfig config);
+
+  // Begins the pacing loop; frames are handed to `sender` (the network
+  // layer adds propagation delay and delivers to the switch).
+  void start(FrameSender sender);
+
+  void on_bcn(const BcnMessage& message);
+  void on_pause(const PauseFrame& pause);
+
+  double rate() const { return regulator_.rate(); }
+  const RateRegulator& regulator() const { return regulator_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  void send_frame();
+  void schedule_next(SimTime earliest);
+  void repace();     // re-schedule the pending send under the current rate
+  void qcn_tick();   // periodic self-increase (QcnSelfIncrease mode)
+
+  Simulator& sim_;
+  SourceConfig config_;
+  RateRegulator regulator_;
+  FrameSender sender_;
+  EventId pending_send_ = kInvalidEvent;
+  SimTime last_send_ = 0;
+  SimTime paused_until_ = 0;
+  std::uint64_t frames_sent_ = 0;
+};
+
+}  // namespace bcn::sim

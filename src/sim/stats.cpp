@@ -1,0 +1,58 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace bcn::sim {
+
+double SimStats::max_queue() const {
+  double m = 0.0;
+  for (const auto& p : trace_) m = std::max(m, p.queue_bits);
+  return m;
+}
+
+double SimStats::min_queue_after(SimTime t) const {
+  double m = -1.0;
+  for (const auto& p : trace_) {
+    if (p.t < t) continue;
+    if (m < 0.0 || p.queue_bits < m) m = p.queue_bits;
+  }
+  return std::max(m, 0.0);
+}
+
+double SimStats::mean_queue() const {
+  if (trace_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : trace_) sum += p.queue_bits;
+  return sum / static_cast<double>(trace_.size());
+}
+
+double SimStats::throughput(SimTime horizon) const {
+  if (horizon <= 0) return 0.0;
+  return counters.bits_delivered / to_seconds(horizon);
+}
+
+double SimStats::jain_fairness_index() const {
+  if (per_source_bits_.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& [id, bits] : per_source_bits_) {
+    sum += bits;
+    sum_sq += bits * bits;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  const double n = static_cast<double>(per_source_bits_.size());
+  return sum * sum / (n * sum_sq);
+}
+
+ode::Trajectory SimStats::to_phase_trajectory(double q0,
+                                              double capacity) const {
+  ode::Trajectory out;
+  out.reserve(trace_.size());
+  for (const auto& p : trace_) {
+    out.push_back(to_seconds(p.t),
+                  {p.queue_bits - q0, p.aggregate_rate - capacity});
+  }
+  return out;
+}
+
+}  // namespace bcn::sim

@@ -1,0 +1,72 @@
+// Measurement infrastructure for the packet simulator: counters plus
+// fixed-interval time series of queue length and source rates.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ode/trajectory.h"
+#include "sim/frame.h"
+#include "sim/time.h"
+
+namespace bcn::sim {
+
+struct Counters {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_enqueued = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_delivered = 0;
+  double bits_delivered = 0.0;
+  std::uint64_t frames_sampled = 0;
+  std::uint64_t bcn_positive = 0;
+  std::uint64_t bcn_negative = 0;
+  std::uint64_t pause_frames = 0;
+};
+
+struct TracePoint {
+  SimTime t = 0;
+  double queue_bits = 0.0;
+  double aggregate_rate = 0.0;  // sum of regulator rates [bits/s]
+};
+
+class SimStats {
+ public:
+  Counters counters;
+
+  void record(SimTime t, double queue_bits, double aggregate_rate) {
+    trace_.push_back({t, queue_bits, aggregate_rate});
+  }
+
+  const std::vector<TracePoint>& trace() const { return trace_; }
+
+  double max_queue() const;
+  double min_queue_after(SimTime t) const;
+  // Time-average queue over the trace (simple mean of uniform samples).
+  double mean_queue() const;
+  // Delivered throughput in bits/s over [0, horizon].
+  double throughput(SimTime horizon) const;
+
+  // Converts the trace to the fluid model's phase coordinates
+  // x = q - q0, y = aggregate_rate - C for cross-validation.
+  ode::Trajectory to_phase_trajectory(double q0, double capacity) const;
+
+  // Per-flow accounting (filled by the switch on delivery).
+  void add_delivered(SourceId source, double bits) {
+    per_source_bits_[source] += bits;
+  }
+  const std::unordered_map<SourceId, double>& per_source_bits() const {
+    return per_source_bits_;
+  }
+
+  // Jain fairness index over per-source delivered bits:
+  // (sum x)^2 / (n sum x^2); 1.0 is perfectly fair, 1/n maximally unfair.
+  // Returns 1.0 when nothing was delivered.
+  double jain_fairness_index() const;
+
+ private:
+  std::vector<TracePoint> trace_;
+  std::unordered_map<SourceId, double> per_source_bits_;
+};
+
+}  // namespace bcn::sim

@@ -1,0 +1,93 @@
+#include "sim/switch_port.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcn::sim {
+
+SwitchPort::SwitchPort(Simulator& sim, SwitchPortConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.bcn_pm > 0.0) {
+    sample_every_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(1.0 / config_.bcn_pm)));
+  }
+}
+
+void SwitchPort::on_frame(const Frame& frame) {
+  maybe_sample(frame);
+  if (queue_bits_ + frame.size_bits > config_.buffer_bits) {
+    ++stats_.dropped;
+    maybe_pause_upstream();
+    return;
+  }
+  queue_.push_back(frame);
+  queue_bits_ += frame.size_bits;
+  ++stats_.enqueued;
+  maybe_pause_upstream();
+  if (!serving_ && sim_.now() >= paused_until_) start_service();
+}
+
+void SwitchPort::on_pause(const PauseFrame& pause) {
+  paused_until_ = std::max(paused_until_, sim_.now() + pause.duration);
+  // In-flight service completes (a frame on the wire cannot be recalled);
+  // the pause gates the next start_service.
+}
+
+void SwitchPort::maybe_sample(const Frame& frame) {
+  if (sample_every_ == 0 || !bcn_) return;
+  if (++arrivals_since_sample_ < sample_every_) return;
+  arrivals_since_sample_ = 0;
+  const double delta_q = queue_bits_ - queue_at_last_sample_;
+  queue_at_last_sample_ = queue_bits_;
+  const double sigma =
+      (config_.bcn_q0 - queue_bits_) - config_.bcn_w * delta_q;
+  // Negative feedback only on shared-fabric ports (positive feedback is
+  // the single-bottleneck Network's job; multi-hop scenarios rely on the
+  // sources' own recovery or on separate positive paths).
+  if (sigma < 0.0) {
+    ++stats_.bcn_sent;
+    bcn_({.cpid = config_.cpid, .target = frame.source,
+          .sigma = sigma, .sent_at = sim_.now()});
+  }
+}
+
+void SwitchPort::maybe_pause_upstream() {
+  if (config_.pause_threshold <= 0.0 || !pause_) return;
+  if (queue_bits_ < config_.pause_threshold) return;
+  if (sim_.now() < pause_cooldown_until_) return;
+  pause_cooldown_until_ = sim_.now() + config_.pause_duration;
+  ++stats_.pauses_sent;
+  pause_({config_.pause_duration, sim_.now()});
+}
+
+void SwitchPort::start_service() {
+  if (queue_.empty()) {
+    serving_ = false;
+    return;
+  }
+  if (sim_.now() < paused_until_) {
+    serving_ = true;  // reserve the server; resume when the pause expires
+    sim_.schedule_at(paused_until_, [this] {
+      serving_ = false;
+      if (sim_.now() >= paused_until_) start_service();
+    });
+    return;
+  }
+  serving_ = true;
+  const double bits = queue_.front().size_bits;
+  sim_.schedule_after(transmission_time(bits, config_.rate),
+                      [this] { finish_service(); });
+}
+
+void SwitchPort::finish_service() {
+  const Frame frame = queue_.front();
+  queue_.pop_front();
+  queue_bits_ = std::max(queue_bits_ - frame.size_bits, 0.0);
+  ++stats_.delivered;
+  stats_.bits_delivered += frame.size_bits;
+  if (sink_) sink_(frame);
+  serving_ = false;
+  start_service();
+}
+
+}  // namespace bcn::sim

@@ -1,0 +1,88 @@
+// A single switch output port: a drop-tail FIFO served at the port rate,
+// pausable by 802.3x PAUSE from the downstream receiver, with an optional
+// BCN congestion point and an upstream-PAUSE trigger on its own queue.
+//
+// Multi-port switches for the multi-hop scenarios (sim/multihop.h) compose
+// several of these behind a forwarding function.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/frame.h"
+
+namespace bcn::sim {
+
+struct SwitchPortConfig {
+  double rate = 10e9;         // service rate [bits/s]
+  double buffer_bits = 5e6;   // drop-tail limit
+  // Upstream back-pressure: when the queue exceeds this, ask the upstream
+  // hop to pause (0 disables).
+  double pause_threshold = 0.0;
+  SimTime pause_duration = 3355;
+  // Optional BCN congestion point on this port (0 disables sampling).
+  double bcn_pm = 0.0;
+  double bcn_q0 = 2.5e6;
+  double bcn_w = 2.0;
+  CongestionPointId cpid = 0;
+};
+
+struct SwitchPortStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered = 0;
+  double bits_delivered = 0.0;
+  std::uint64_t pauses_sent = 0;
+  std::uint64_t bcn_sent = 0;
+};
+
+class SwitchPort {
+ public:
+  using FrameSink = std::function<void(const Frame&)>;
+  using PauseUpstream = std::function<void(const PauseFrame&)>;
+  using BcnSender = std::function<void(const BcnMessage&)>;
+
+  SwitchPort(Simulator& sim, SwitchPortConfig config);
+
+  // Downstream delivery target for frames completing service.
+  void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+  // Called when this port wants its feeders paused.
+  void set_pause_upstream(PauseUpstream pause) { pause_ = std::move(pause); }
+  void set_bcn_sender(BcnSender sender) { bcn_ = std::move(sender); }
+
+  // Frame arrival at this port.
+  void on_frame(const Frame& frame);
+
+  // 802.3x PAUSE received from the downstream receiver: stop serving.
+  void on_pause(const PauseFrame& pause);
+
+  double queue_bits() const { return queue_bits_; }
+  const SwitchPortStats& stats() const { return stats_; }
+
+ private:
+  void maybe_sample(const Frame& frame);
+  void maybe_pause_upstream();
+  void start_service();
+  void finish_service();
+
+  Simulator& sim_;
+  SwitchPortConfig config_;
+  SwitchPortStats stats_;
+  FrameSink sink_;
+  PauseUpstream pause_;
+  BcnSender bcn_;
+
+  std::deque<Frame> queue_;
+  double queue_bits_ = 0.0;
+  bool serving_ = false;
+  SimTime paused_until_ = 0;
+  SimTime pause_cooldown_until_ = 0;
+
+  std::uint64_t arrivals_since_sample_ = 0;
+  std::uint64_t sample_every_ = 0;
+  double queue_at_last_sample_ = 0.0;
+};
+
+}  // namespace bcn::sim

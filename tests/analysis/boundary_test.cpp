@@ -1,0 +1,81 @@
+#include "analysis/boundary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace bcn::analysis {
+namespace {
+
+TEST(MinStableBufferTest, LinearizedBoundaryNearTheoremRequirement) {
+  const auto p = core::BcnParams::standard_draft();
+  const auto b_min =
+      min_stable_buffer(p, {.level = core::ModelLevel::Linearized});
+  ASSERT_TRUE(b_min);
+  // Theorem 1's linearized bound is near-tight: B_min sits within 1% of
+  // it (the raw measured peak is just below the bound; the returned value
+  // carries a small safety epsilon that can land marginally above).
+  EXPECT_NEAR(*b_min, p.theorem1_required_buffer(),
+              0.01 * p.theorem1_required_buffer());
+}
+
+TEST(MinStableBufferTest, NonlinearNeedsRoughlyHalf) {
+  const auto p = core::BcnParams::standard_draft();
+  const auto b_min =
+      min_stable_buffer(p, {.level = core::ModelLevel::Nonlinear});
+  ASSERT_TRUE(b_min);
+  EXPECT_LT(*b_min, 0.6 * p.theorem1_required_buffer());
+  EXPECT_GT(*b_min, 0.3 * p.theorem1_required_buffer());
+}
+
+TEST(MinStableBufferTest, ReturnedBufferActuallyVerdictsStable) {
+  Rng rng(77);
+  int checked = 0;
+  for (int i = 0; i < 20 && checked < 6; ++i) {
+    core::BcnParams p = core::BcnParams::standard_draft();
+    p.gi = rng.uniform(0.5, 10.0);
+    p.gd = rng.uniform(1.0 / 512.0, 1.0 / 16.0);
+    const auto b_min =
+        min_stable_buffer(p, {.level = core::ModelLevel::Linearized});
+    if (!b_min) continue;
+    ++checked;
+    core::BcnParams at = p;
+    at.buffer = *b_min;
+    at.qsc = 0.95 * *b_min;
+    if (!at.is_valid()) continue;
+    EXPECT_TRUE(core::numeric_strong_stability(
+                    at, {.level = core::ModelLevel::Linearized})
+                    .strongly_stable)
+        << at.describe();
+    // Just below, it must be unstable.
+    core::BcnParams below = p;
+    below.buffer = 0.97 * *b_min;
+    below.qsc = 0.9 * below.buffer;
+    if (below.buffer <= below.q0 || !below.is_valid()) continue;
+    EXPECT_FALSE(core::numeric_strong_stability(
+                     below, {.level = core::ModelLevel::Linearized})
+                     .strongly_stable)
+        << below.describe();
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(MinStableBufferTest, AlwaysAtLeastQ0) {
+  // Case 3 never overshoots: the minimal buffer degenerates to ~q0.
+  core::BcnParams p;
+  p.capacity = 1e6;
+  p.q0 = 1e3;
+  p.buffer = 2e4;
+  p.qsc = 1.5e4;
+  p.w = 50.0;
+  p.pm = 0.5;
+  p.ru = 8e3;
+  p.gi = 4.0;
+  p.gd = 4.0 * p.spiral_threshold() / p.capacity;
+  const auto b_min = min_stable_buffer(p);
+  ASSERT_TRUE(b_min);
+  EXPECT_NEAR(*b_min, p.q0, 0.1 * p.q0);
+}
+
+}  // namespace
+}  // namespace bcn::analysis

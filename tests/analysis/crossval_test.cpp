@@ -1,0 +1,82 @@
+#include "analysis/crossval.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::analysis {
+namespace {
+
+// Damped oscillation: x(t) = A e^{-d t} cos(w t), settling to `offset`.
+ode::Trajectory damped(double amplitude, double damping, double omega,
+                       double offset, double t_end = 10.0,
+                       double dt = 0.002) {
+  ode::Trajectory t;
+  for (double s = 0.0; s <= t_end; s += dt) {
+    t.push_back(s, {offset + amplitude * std::exp(-damping * s) *
+                                 std::cos(omega * s),
+                    0.0});
+  }
+  return t;
+}
+
+TEST(FeaturesTest, PeakTroughPeriodAndFinal) {
+  const auto f = extract_features(damped(1.0, 0.2, 6.283, 0.0), 0.05);
+  EXPECT_NEAR(f.peak_value, 1.0, 0.01);
+  EXPECT_NEAR(f.peak_time, 0.0, 0.01);
+  // First trough at half a period, value ~ -e^{-0.1}.
+  EXPECT_LT(f.trough_value, -0.5);
+  ASSERT_TRUE(f.period);
+  EXPECT_NEAR(*f.period, 1.0, 0.05);
+  EXPECT_NEAR(f.final_value, 0.0, 0.1);
+}
+
+TEST(FeaturesTest, MonotoneHasNoPeriod) {
+  ode::Trajectory t;
+  for (double s = 0.0; s <= 5.0; s += 0.01) {
+    t.push_back(s, {1.0 - std::exp(-s), 0.0});
+  }
+  const auto f = extract_features(t, 0.01);
+  EXPECT_FALSE(f.period);
+  EXPECT_NEAR(f.final_value, 1.0, 0.02);
+}
+
+TEST(FeaturesTest, ProminenceFiltersNoise) {
+  // Big oscillation with small high-frequency ripple on top.
+  ode::Trajectory t;
+  for (double s = 0.0; s <= 10.0; s += 0.002) {
+    t.push_back(s, {std::cos(6.283 * s) + 0.01 * std::cos(200.0 * s), 0.0});
+  }
+  const auto coarse = extract_features(t, 0.2);
+  ASSERT_TRUE(coarse.period);
+  EXPECT_NEAR(*coarse.period, 1.0, 0.05);  // ripple ignored
+}
+
+TEST(FeaturesTest, EmptyTrajectory) {
+  const auto f = extract_features({}, 0.1);
+  EXPECT_DOUBLE_EQ(f.peak_value, 0.0);
+  EXPECT_FALSE(f.period);
+}
+
+TEST(CompareShapesTest, SimilarOscillationsScoreLowError) {
+  const auto a = damped(1.0, 0.2, 6.283, 0.5);
+  const auto b = damped(1.05, 0.25, 6.0, 0.52);
+  const auto cmp = compare_shapes(a, b, 0.05);
+  EXPECT_TRUE(cmp.same_character);
+  EXPECT_LT(cmp.peak_rel_error, 0.1);
+  EXPECT_LT(cmp.period_rel_error, 0.1);
+  EXPECT_LT(cmp.final_rel_error, 0.1);
+}
+
+TEST(CompareShapesTest, OscillationVsMonotoneDiffer) {
+  const auto a = damped(1.0, 0.2, 6.283, 0.0);
+  ode::Trajectory mono;
+  for (double s = 0.0; s <= 10.0; s += 0.01) {
+    mono.push_back(s, {1.0 - std::exp(-s), 0.0});
+  }
+  const auto cmp = compare_shapes(a, mono, 0.05);
+  EXPECT_FALSE(cmp.same_character);
+}
+
+}  // namespace
+}  // namespace bcn::analysis

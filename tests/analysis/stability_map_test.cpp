@@ -1,0 +1,71 @@
+#include "analysis/stability_map.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.h"
+
+namespace bcn::analysis {
+namespace {
+
+TEST(StabilityMapTest, GridShapeAndCells) {
+  const auto base = core::BcnParams::standard_draft();
+  const auto gi = linspace(1.0, 8.0, 3);
+  const auto gd = logspace(1.0 / 256.0, 1.0 / 32.0, 2);
+  const auto map = compute_stability_map(base, gi, gd);
+  EXPECT_EQ(map.cells.size(), 6u);
+  EXPECT_EQ(map.gi_values.size(), 3u);
+  EXPECT_EQ(map.gd_values.size(), 2u);
+  // Row-major layout: gi outer, gd inner.
+  EXPECT_DOUBLE_EQ(map.cells[0].gi, gi[0]);
+  EXPECT_DOUBLE_EQ(map.cells[0].gd, gd[0]);
+  EXPECT_DOUBLE_EQ(map.cells[1].gi, gi[0]);
+  EXPECT_DOUBLE_EQ(map.cells[1].gd, gd[1]);
+}
+
+TEST(StabilityMapTest, AggregatesConsistent) {
+  const auto base = core::BcnParams::standard_draft();
+  const auto map = compute_stability_map(base, linspace(1.0, 8.0, 3),
+                                         logspace(1.0 / 256.0, 0.1, 3));
+  int t1 = 0, num = 0, prop = 0;
+  for (const auto& c : map.cells) {
+    if (c.report.theorem1_satisfied) ++t1;
+    if (c.numeric.strongly_stable) ++num;
+    if (c.report.proposition_satisfied) ++prop;
+  }
+  EXPECT_EQ(t1, map.theorem1_stable);
+  EXPECT_EQ(num, map.numeric_stable);
+  EXPECT_EQ(prop, map.proposition_stable);
+}
+
+TEST(StabilityMapTest, Theorem1SoundOnLinearizedNumeric) {
+  // Theorem 1 must have zero false positives against the linearized
+  // ground truth (it is a sufficient condition for that model).
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  const auto map =
+      compute_stability_map(base, linspace(0.25, 6.0, 4),
+                            logspace(1.0 / 256.0, 0.5, 4),
+                            {.numeric_level = core::ModelLevel::Linearized});
+  EXPECT_EQ(map.theorem1_false_positive, 0);
+  // Theorem 1 is only sufficient: it must not out-count the ground truth.
+  EXPECT_LE(map.theorem1_stable, map.numeric_stable);
+}
+
+TEST(StabilityMapTest, LargerBufferNeverHurts) {
+  core::BcnParams small = core::BcnParams::standard_draft();
+  core::BcnParams large = small;
+  large.buffer = 40e6;
+  large.qsc = 36e6;
+  const auto gi = linspace(1.0, 8.0, 3);
+  const auto gd = logspace(1.0 / 256.0, 0.1, 3);
+  const auto ms = compute_stability_map(small, gi, gd,
+                                        {.numeric_level = core::ModelLevel::Linearized});
+  const auto ml = compute_stability_map(large, gi, gd,
+                                        {.numeric_level = core::ModelLevel::Linearized});
+  EXPECT_GE(ml.numeric_stable, ms.numeric_stable);
+  EXPECT_GE(ml.theorem1_stable, ms.theorem1_stable);
+}
+
+}  // namespace
+}  // namespace bcn::analysis

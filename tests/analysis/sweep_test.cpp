@@ -1,0 +1,39 @@
+#include "analysis/sweep.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::analysis {
+namespace {
+
+TEST(SweepTest, LinspaceEndpointsAndSpacing) {
+  const auto v = linspace(1.0, 3.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 1.0);
+  EXPECT_DOUBLE_EQ(v.back(), 3.0);
+  EXPECT_DOUBLE_EQ(v[1] - v[0], 0.5);
+}
+
+TEST(SweepTest, LinspaceSingle) {
+  const auto v = linspace(2.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+}
+
+TEST(SweepTest, LogspaceGeometric) {
+  const auto v = logspace(1.0, 100.0, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+}
+
+TEST(SweepTest, LogspaceDescendingWorks) {
+  const auto v = logspace(100.0, 1.0, 3);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_GT(v[0], v[2]);
+}
+
+}  // namespace
+}  // namespace bcn::analysis

@@ -1,0 +1,70 @@
+#include "common/args.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> full{"prog"};
+  full.insert(full.end(), argv.begin(), argv.end());
+  return ArgParser(static_cast<int>(full.size()), full.data());
+}
+
+TEST(ArgParserTest, SpaceSeparatedValues) {
+  const auto args = parse({"--N", "50", "--C", "1e10"});
+  EXPECT_DOUBLE_EQ(args.get_double("N", 0.0), 50.0);
+  EXPECT_DOUBLE_EQ(args.get_double("C", 0.0), 1e10);
+}
+
+TEST(ArgParserTest, EqualsForm) {
+  const auto args = parse({"--q0=2.5e6", "--gi=4"});
+  EXPECT_DOUBLE_EQ(args.get_double("q0", 0.0), 2.5e6);
+  EXPECT_EQ(args.get_int("gi", 0), 4);
+}
+
+TEST(ArgParserTest, BooleanFlags) {
+  const auto args = parse({"--plot", "--N", "10", "--verbose"});
+  EXPECT_TRUE(args.get_bool("plot"));
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_DOUBLE_EQ(args.get_double("N", 0.0), 10.0);
+}
+
+TEST(ArgParserTest, ExplicitBooleanValues) {
+  const auto args = parse({"--a=true", "--b=0", "--c", "yes", "--d=off"});
+  EXPECT_TRUE(args.get_bool("a"));
+  EXPECT_FALSE(args.get_bool("b"));
+  EXPECT_TRUE(args.get_bool("c"));
+  EXPECT_FALSE(args.get_bool("d"));
+}
+
+TEST(ArgParserTest, FallbacksOnMissingOrMalformed) {
+  const auto args = parse({"--x", "notanumber"});
+  EXPECT_DOUBLE_EQ(args.get_double("x", 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(args.get_double("y", 3.0), 3.0);
+  EXPECT_EQ(args.get_int("x", -1), -1);
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  const auto args = parse({"input.csv", "--flag", "v", "more"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "more");
+}
+
+TEST(ArgParserTest, HasAndNames) {
+  const auto args = parse({"--one", "1", "--two=2"});
+  EXPECT_TRUE(args.has("one"));
+  EXPECT_TRUE(args.has("two"));
+  EXPECT_FALSE(args.has("three"));
+  EXPECT_EQ(args.flag_names().size(), 2u);
+}
+
+TEST(ArgParserTest, NegativeNumberAsValue) {
+  const auto args = parse({"--offset", "-5"});
+  EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace bcn

@@ -1,0 +1,33 @@
+#include "common/format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace bcn {
+namespace {
+
+TEST(StrfTest, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strf("%.3g", 3.14159), "3.14");
+  EXPECT_EQ(strf("%s", "hello"), "hello");
+}
+
+TEST(StrfTest, EmptyAndLongStrings) {
+  EXPECT_EQ(strf("%s", ""), "");
+  const std::string big(5000, 'x');
+  EXPECT_EQ(strf("%s", big.c_str()), big);
+}
+
+TEST(LogTest, LevelGatesOutput) {
+  // Just exercise the call paths; output goes to stderr.
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  BCN_LOG_DEBUG("hidden %d", 1);
+  BCN_LOG_ERROR("visible %d", 2);
+  set_log_level(LogLevel::Warn);
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+}  // namespace
+}  // namespace bcn

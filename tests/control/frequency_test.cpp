@@ -1,0 +1,95 @@
+#include "control/frequency.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "control/second_order.h"
+
+namespace bcn::control {
+namespace {
+
+TEST(FrequencyTest, LoopGainValues) {
+  const LoopTransfer loop{4.0, 0.5};  // L(s) = 4 (1 + 0.5 s) / s^2
+  // At omega = 2: L(2j) = 4 (1 + j) / (-4) = -(1 + j).
+  const auto v = loop_gain(loop, 2.0);
+  EXPECT_NEAR(v.real(), -1.0, 1e-12);
+  EXPECT_NEAR(v.imag(), -1.0, 1e-12);
+}
+
+TEST(FrequencyTest, DelayRotatesPhaseOnly) {
+  const LoopTransfer loop{4.0, 0.5};
+  const double omega = 3.0;
+  const auto base = loop_gain(loop, omega);
+  const auto delayed = loop_gain(loop, omega, 0.1);
+  EXPECT_NEAR(std::abs(base), std::abs(delayed), 1e-12);
+  EXPECT_NEAR(std::arg(delayed), std::arg(base) - omega * 0.1, 1e-12);
+}
+
+TEST(FrequencyTest, CrossoverHasUnitMagnitude) {
+  for (const LoopTransfer loop :
+       {LoopTransfer{1.6e9, 2e-8}, LoopTransfer{7.8125e7, 2e-8},
+        LoopTransfer{4.0, 0.5}}) {
+    const double wc = gain_crossover(loop);
+    EXPECT_NEAR(std::abs(loop_gain(loop, wc)), 1.0, 1e-9);
+  }
+}
+
+TEST(FrequencyTest, PhaseMarginMatchesDefinition) {
+  const LoopTransfer loop{4.0, 0.5};
+  const double wc = gain_crossover(loop);
+  const double pm = phase_margin(loop);
+  EXPECT_NEAR(pm, M_PI + std::arg(loop_gain(loop, wc)), 1e-9);
+  EXPECT_GT(pm, 0.0);  // the undelayed loop is always stable (Prop. 1)
+}
+
+TEST(FrequencyTest, DelayMarginBoundary) {
+  const LoopTransfer loop{4.0, 0.5};
+  const double tau_m = delay_margin(loop);
+  EXPECT_TRUE(delayed_subsystem_stable(loop, 0.9 * tau_m));
+  EXPECT_FALSE(delayed_subsystem_stable(loop, 1.1 * tau_m));
+  // At the margin the loop passes exactly through -1.
+  const double wc = gain_crossover(loop);
+  const auto at_margin = loop_gain(loop, wc, tau_m);
+  EXPECT_NEAR(at_margin.real(), -1.0, 1e-9);
+  EXPECT_NEAR(at_margin.imag(), 0.0, 1e-9);
+}
+
+TEST(FrequencyTest, StandardDraftMarginsAreTiny) {
+  // The per-subsystem delay margins of the standard draft are tens of
+  // nanoseconds -- three orders of magnitude below the ~28 us critical
+  // delay the switched nonlinear system actually tolerates (measured by
+  // core::critical_delay): per-subsystem frequency analysis with delay is
+  // extremely conservative for the variable-structure system.
+  const LoopTransfer increase{1.6e9, 2e-8};   // n = a
+  const LoopTransfer decrease{7.8125e7, 2e-8};  // n = bC
+  EXPECT_LT(delay_margin(increase), 1e-7);
+  EXPECT_LT(delay_margin(decrease), 1e-6);
+  EXPECT_GT(delay_margin(increase), 0.0);
+}
+
+TEST(FrequencyTest, CharacteristicPolynomialConsistency) {
+  // 1 + L(s) = 0 must reproduce s^2 + k n s + n = 0: check that the roots
+  // of the characteristic equation satisfy 1 + L = 0.
+  const double n = 25.0, k = 0.3;
+  const LoopTransfer loop{n, k};
+  const SecondOrderSystem sys(k * n, n);
+  for (const auto& root : sys.eigenvalues()) {
+    const std::complex<double> L =
+        loop.n * (1.0 + loop.k * root) / (root * root);
+    EXPECT_NEAR(std::abs(1.0 + L), 0.0, 1e-9);
+  }
+}
+
+TEST(FrequencyTest, CrossoverGrowsWithGain) {
+  const double k = 0.1;
+  double prev = 0.0;
+  for (const double n : {1.0, 10.0, 100.0, 1000.0}) {
+    const double wc = gain_crossover({n, k});
+    EXPECT_GT(wc, prev);
+    prev = wc;
+  }
+}
+
+}  // namespace
+}  // namespace bcn::control

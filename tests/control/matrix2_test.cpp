@@ -1,0 +1,110 @@
+#include "control/matrix2.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "control/closed_form.h"
+#include "control/second_order.h"
+
+namespace bcn::control {
+namespace {
+
+TEST(Mat2Test, Arithmetic) {
+  const Mat2 m{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.trace(), 5.0);
+  EXPECT_DOUBLE_EQ(m.det(), -2.0);
+  const Vec2 v = m.apply({1.0, -1.0});
+  EXPECT_DOUBLE_EQ(v.x, -1.0);
+  EXPECT_DOUBLE_EQ(v.y, -1.0);
+  const Mat2 sq = m * m;
+  EXPECT_DOUBLE_EQ(sq.a, 7.0);
+  EXPECT_DOUBLE_EQ(sq.b, 10.0);
+  EXPECT_DOUBLE_EQ(sq.c, 15.0);
+  EXPECT_DOUBLE_EQ(sq.d, 22.0);
+}
+
+TEST(ExpmTest, IdentityAtZeroTime) {
+  const Mat2 e = expm(companion(3.0, 2.0), 0.0);
+  EXPECT_NEAR(e.a, 1.0, 1e-14);
+  EXPECT_NEAR(e.b, 0.0, 1e-14);
+  EXPECT_NEAR(e.c, 0.0, 1e-14);
+  EXPECT_NEAR(e.d, 1.0, 1e-14);
+}
+
+TEST(ExpmTest, DiagonalMatrix) {
+  const Mat2 diag{-1.0, 0.0, 0.0, -2.0};
+  const Mat2 e = expm(diag, 0.5);
+  EXPECT_NEAR(e.a, std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(e.d, std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(e.b, 0.0, 1e-12);
+}
+
+TEST(ExpmTest, RotationMatrix) {
+  // [[0, -1], [1, 0]] generates rotations.
+  const Mat2 rot{0.0, -1.0, 1.0, 0.0};
+  const Mat2 e = expm(rot, M_PI / 2.0);
+  EXPECT_NEAR(e.a, 0.0, 1e-12);
+  EXPECT_NEAR(e.b, -1.0, 1e-12);
+  EXPECT_NEAR(e.c, 1.0, 1e-12);
+  EXPECT_NEAR(e.d, 0.0, 1e-12);
+}
+
+TEST(ExpmTest, SemigroupProperty) {
+  const Mat2 m = companion(1.0, 7.0);
+  const Mat2 one = expm(m, 0.7);
+  const Mat2 two = expm(m, 0.35);
+  const Mat2 composed = two * two;
+  EXPECT_NEAR(composed.a, one.a, 1e-10);
+  EXPECT_NEAR(composed.b, one.b, 1e-10);
+  EXPECT_NEAR(composed.c, one.c, 1e-10);
+  EXPECT_NEAR(composed.d, one.d, 1e-10);
+}
+
+// Independent cross-validation: expm-based propagation must match the
+// paper-formula LinearSolution in every eigen regime.
+TEST(ExpmVsClosedFormTest, AllRegimesAgree) {
+  struct Case {
+    double m, n;
+  };
+  Rng rng(31);
+  for (const Case c : {Case{1.0, 4.0},    // spiral
+                       Case{5.0, 4.0},    // node
+                       Case{2.0, 1.0},    // degenerate
+                       Case{0.5, 100.0},  // fast spiral
+                       Case{30.0, 2.0}}) {  // stiff node
+    const SecondOrderSystem sys(c.m, c.n);
+    const Mat2 mat = companion(c.m, c.n);
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vec2 z0{rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+      const LinearSolution sol(sys, z0);
+      for (const double t : {0.1, 0.5, 1.5, 4.0}) {
+        const Vec2 exact = sol.eval(t);
+        const Vec2 via_expm = expm(mat, t).apply(z0);
+        const double tol = 1e-9 * (exact.norm() + 1.0);
+        EXPECT_NEAR(via_expm.x, exact.x, tol)
+            << "m=" << c.m << " n=" << c.n << " t=" << t;
+        EXPECT_NEAR(via_expm.y, exact.y, tol);
+      }
+    }
+  }
+}
+
+TEST(ExpmVsClosedFormTest, BcnSubsystemScales) {
+  // Datacenter-scale coefficients: the expm path stays accurate.
+  const double m = 32.0, n = 1.6e9;  // standard-draft increase subsystem
+  const SecondOrderSystem sys(m, n);
+  const Mat2 mat = companion(m, n);
+  const Vec2 z0{-2.5e6, 0.0};
+  const LinearSolution sol(sys, z0);
+  for (const double t : {1e-5, 1e-4, 1e-3}) {
+    const Vec2 exact = sol.eval(t);
+    const Vec2 via_expm = expm(mat, t).apply(z0);
+    EXPECT_NEAR(via_expm.x, exact.x, 1e-7 * (std::abs(exact.x) + 1.0));
+    EXPECT_NEAR(via_expm.y, exact.y, 1e-7 * (std::abs(exact.y) + 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace bcn::control

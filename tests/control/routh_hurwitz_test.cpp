@@ -1,0 +1,43 @@
+#include "control/routh_hurwitz.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn::control {
+namespace {
+
+TEST(RouthHurwitzTest, Degree1) {
+  EXPECT_TRUE(routh_hurwitz_stable({1.0, 2.0}));       // s + 2
+  EXPECT_FALSE(routh_hurwitz_stable({1.0, -2.0}));     // s - 2
+  EXPECT_TRUE(routh_hurwitz_stable({-1.0, -2.0}));     // -(s + 2)
+}
+
+TEST(RouthHurwitzTest, Degree2) {
+  EXPECT_TRUE(routh_hurwitz_stable({1.0, 3.0, 2.0}));   // (s+1)(s+2)
+  EXPECT_TRUE(routh_hurwitz_stable({1.0, 2.0, 5.0}));   // -1 +- 2i
+  EXPECT_FALSE(routh_hurwitz_stable({1.0, 0.0, 1.0}));  // center
+  EXPECT_FALSE(routh_hurwitz_stable({1.0, 1.0, -2.0})); // saddle
+}
+
+TEST(RouthHurwitzTest, Degree3) {
+  // (s+1)(s+2)(s+3) = s^3 + 6 s^2 + 11 s + 6
+  EXPECT_TRUE(routh_hurwitz_stable({1.0, 6.0, 11.0, 6.0}));
+  // s^3 + s^2 + s + 10: a2*a1 = 1 < a3*a0 = 10 -> unstable despite
+  // positive coefficients (the classic counterexample).
+  EXPECT_FALSE(routh_hurwitz_stable({1.0, 1.0, 1.0, 10.0}));
+}
+
+TEST(RouthHurwitzTest, Degree4) {
+  // (s+1)^2 (s+2)(s+3) = s^4 + 7 s^3 + 17 s^2 + 17 s + 6
+  EXPECT_TRUE(routh_hurwitz_stable({1.0, 7.0, 17.0, 17.0, 6.0}));
+  // s^4 + s^3 + s^2 + s + 1: roots on/near the unit circle, unstable.
+  EXPECT_FALSE(routh_hurwitz_stable({1.0, 1.0, 1.0, 1.0, 1.0}));
+  // s^4 + 2 s^3 + 3 s^2 + 2 s + 1e-6: all minors positive -> stable.
+  EXPECT_TRUE(routh_hurwitz_stable({1.0, 2.0, 3.0, 2.0, 1e-6}));
+}
+
+TEST(RouthHurwitzTest, MissingCoefficientFails) {
+  EXPECT_FALSE(routh_hurwitz_stable({1.0, 0.0, 11.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace bcn::control

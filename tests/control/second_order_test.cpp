@@ -1,0 +1,64 @@
+#include "control/second_order.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn::control {
+namespace {
+
+TEST(SecondOrderTest, EigenvaluesRealDistinct) {
+  const SecondOrderSystem sys(3.0, 2.0);  // roots -1, -2
+  const auto eig = sys.eigenvalues();
+  EXPECT_NEAR(eig[0].real(), -2.0, 1e-12);
+  EXPECT_NEAR(eig[1].real(), -1.0, 1e-12);
+  EXPECT_GT(sys.discriminant(), 0.0);
+}
+
+TEST(SecondOrderTest, EigenvaluesComplex) {
+  const SecondOrderSystem sys(2.0, 5.0);  // -1 +- 2i
+  const auto eig = sys.eigenvalues();
+  EXPECT_NEAR(eig[0].real(), -1.0, 1e-12);
+  EXPECT_NEAR(std::abs(eig[0].imag()), 2.0, 1e-12);
+  EXPECT_LT(sys.discriminant(), 0.0);
+}
+
+TEST(SecondOrderTest, ClassifyAllTypes) {
+  EXPECT_EQ(SecondOrderSystem(2.0, 5.0).classify(),
+            EquilibriumType::StableFocus);
+  EXPECT_EQ(SecondOrderSystem(-2.0, 5.0).classify(),
+            EquilibriumType::UnstableFocus);
+  EXPECT_EQ(SecondOrderSystem(0.0, 5.0).classify(), EquilibriumType::Center);
+  EXPECT_EQ(SecondOrderSystem(3.0, 2.0).classify(),
+            EquilibriumType::StableNode);
+  EXPECT_EQ(SecondOrderSystem(-3.0, 2.0).classify(),
+            EquilibriumType::UnstableNode);
+  EXPECT_EQ(SecondOrderSystem(2.0, 1.0).classify(),
+            EquilibriumType::DegenerateStableNode);
+  EXPECT_EQ(SecondOrderSystem(-2.0, 1.0).classify(),
+            EquilibriumType::DegenerateUnstableNode);
+  EXPECT_EQ(SecondOrderSystem(1.0, -2.0).classify(), EquilibriumType::Saddle);
+}
+
+TEST(SecondOrderTest, HurwitzStability) {
+  EXPECT_TRUE(SecondOrderSystem(2.0, 5.0).is_hurwitz_stable());
+  EXPECT_TRUE(SecondOrderSystem(3.0, 2.0).is_hurwitz_stable());
+  EXPECT_FALSE(SecondOrderSystem(-2.0, 5.0).is_hurwitz_stable());
+  EXPECT_FALSE(SecondOrderSystem(0.0, 5.0).is_hurwitz_stable());
+  EXPECT_FALSE(SecondOrderSystem(1.0, -2.0).is_hurwitz_stable());
+}
+
+TEST(SecondOrderTest, RhsMatchesDefinition) {
+  const SecondOrderSystem sys(3.0, 2.0);
+  const auto f = sys.rhs();
+  const Vec2 d = f(0.0, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.x, 2.0);                    // dx/dt = y
+  EXPECT_DOUBLE_EQ(d.y, -2.0 * 1.0 - 3.0 * 2.0); // dy/dt = -n x - m y
+}
+
+TEST(SecondOrderTest, ToStringCoversAllTypes) {
+  EXPECT_EQ(to_string(EquilibriumType::StableFocus), "stable focus");
+  EXPECT_EQ(to_string(EquilibriumType::Saddle), "saddle");
+  EXPECT_FALSE(to_string(EquilibriumType::Center).empty());
+}
+
+}  // namespace
+}  // namespace bcn::control

@@ -1,0 +1,150 @@
+#include "core/analytic_tracer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+using namespace testing;
+
+TEST(AnalyticTracerTest, StandardDraftFirstRound) {
+  const BcnParams p = case1_params();
+  const AnalyticTracer tracer(p);
+  const auto trace = tracer.trace();
+  ASSERT_GE(trace.rounds.size(), 3u);
+  const auto& r0 = trace.rounds[0];
+  EXPECT_EQ(r0.region, Region::Increase);
+  EXPECT_EQ(r0.kind, control::SolutionKind::Spiral);
+  EXPECT_EQ(r0.z_start, (Vec2{-p.q0, 0.0}));
+  ASSERT_TRUE(r0.duration);
+  // The first increase round must end on the switching line.
+  ASSERT_TRUE(r0.z_end);
+  EXPECT_NEAR(r0.z_end->x + p.k() * r0.z_end->y, 0.0,
+              1e-6 * std::abs(r0.z_end->y));
+  // No interior extremum in round 1 (x rises monotonically from -q0).
+  EXPECT_FALSE(r0.extremum.has_value());
+}
+
+TEST(AnalyticTracerTest, RegionsAlternate) {
+  const auto trace = AnalyticTracer(case1_params()).trace();
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
+    EXPECT_NE(trace.rounds[i].region, trace.rounds[i - 1].region);
+  }
+}
+
+TEST(AnalyticTracerTest, RoundsChainContinuously) {
+  const auto trace = AnalyticTracer(case1_params()).trace();
+  for (std::size_t i = 1; i < trace.rounds.size(); ++i) {
+    const auto& prev = trace.rounds[i - 1];
+    const auto& cur = trace.rounds[i];
+    ASSERT_TRUE(prev.z_end);
+    EXPECT_EQ(cur.z_start, *prev.z_end);
+    ASSERT_TRUE(prev.duration);
+    EXPECT_NEAR(cur.t_start, prev.t_start + *prev.duration, 1e-12);
+  }
+}
+
+TEST(AnalyticTracerTest, Case1ExtremaAlternate) {
+  const auto trace = AnalyticTracer(case1_params()).trace();
+  // Round 1 (decrease) holds the global max; round 2 (increase) the min.
+  ASSERT_GE(trace.rounds.size(), 3u);
+  ASSERT_TRUE(trace.rounds[1].extremum);
+  EXPECT_TRUE(trace.rounds[1].extremum->is_maximum);
+  EXPECT_NEAR(trace.rounds[1].extremum->value, trace.max_x, 1e-9 * trace.max_x);
+  ASSERT_TRUE(trace.rounds[2].extremum);
+  EXPECT_FALSE(trace.rounds[2].extremum->is_maximum);
+  EXPECT_NEAR(trace.rounds[2].extremum->value, trace.min_x,
+              1e-9 * std::abs(trace.min_x));
+}
+
+TEST(AnalyticTracerTest, ContractionRatioBelowOneForLinearizedSystem) {
+  // The switched linearized system always contracts (both subsystem
+  // segments are stable), so limit cycles are impossible at this model
+  // level -- a key structural fact the Poincare analysis relies on.
+  const auto trace = AnalyticTracer(case1_params()).trace();
+  const auto ratio = trace.contraction_ratio();
+  ASSERT_TRUE(ratio);
+  EXPECT_LT(*ratio, 1.0);
+  EXPECT_GT(*ratio, 0.0);
+}
+
+TEST(AnalyticTracerTest, ContractionRatioPropertyAcrossRandomCase1Params) {
+  Rng rng(2024);
+  int checked = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    BcnParams p = case1_params();
+    p.gi = rng.uniform(0.5, 20.0);
+    p.gd = rng.uniform(1.0 / 512.0, 1.0 / 16.0);
+    p.num_sources = std::floor(rng.uniform(2.0, 100.0));
+    if (classify_case(p).paper_case != PaperCase::Case1) continue;
+    const auto trace = AnalyticTracer(p).trace();
+    const auto ratio = trace.contraction_ratio();
+    if (!ratio) continue;
+    EXPECT_LT(*ratio, 1.0) << p.describe();
+    ++checked;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(AnalyticTracerTest, Case3TerminatesInsideDecreaseRegion) {
+  const auto trace = AnalyticTracer(case3_params()).trace();
+  EXPECT_TRUE(trace.terminated_in_region);
+  EXPECT_TRUE(trace.converged);
+  ASSERT_GE(trace.rounds.size(), 2u);
+  EXPECT_EQ(trace.rounds.back().region, Region::Decrease);
+  EXPECT_FALSE(trace.rounds.back().duration.has_value());
+  // Paper Case 3: the queue never overshoots the reference q0 (max_x <= 0
+  // up to the crossing point's tiny positive x).
+  EXPECT_LT(trace.max_x, 0.05 * case3_params().q0);
+}
+
+TEST(AnalyticTracerTest, Case4TerminatesAndIsMonotoneish) {
+  const auto trace = AnalyticTracer(case4_params()).trace();
+  EXPECT_TRUE(trace.converged);
+  EXPECT_TRUE(trace.terminated_in_region);
+  EXPECT_GT(trace.min_x, -case4_params().q0);
+}
+
+TEST(AnalyticTracerTest, TraceFromCustomPoint) {
+  const BcnParams p = case1_params();
+  const Vec2 z0{0.5 * p.q0, 2e9};  // decrease region
+  const auto trace = AnalyticTracer(p).trace_from(z0);
+  ASSERT_FALSE(trace.rounds.empty());
+  EXPECT_EQ(trace.rounds[0].region, Region::Decrease);
+  EXPECT_EQ(trace.rounds[0].z_start, z0);
+}
+
+TEST(AnalyticTracerTest, ConvergenceStopsTracing) {
+  const BcnParams p = case1_params();
+  AnalyticTraceOptions opts;
+  opts.convergence_tol = 1e-3;  // loose: stops after a few rounds
+  const auto loose = AnalyticTracer(p).trace(opts);
+  opts.convergence_tol = 1e-9;
+  const auto tight = AnalyticTracer(p).trace(opts);
+  EXPECT_LE(loose.rounds.size(), tight.rounds.size());
+}
+
+TEST(AnalyticTracerTest, SampleCoversAllRounds) {
+  const BcnParams p = case1_params();
+  const AnalyticTracer tracer(p);
+  AnalyticTraceOptions opts;
+  opts.max_rounds = 6;
+  const auto trace = tracer.trace(opts);
+  const auto sampled = tracer.sample(trace, 50, 1e-4);
+  ASSERT_FALSE(sampled.empty());
+  EXPECT_EQ(sampled.size(), 50u * trace.rounds.size());
+  EXPECT_NEAR(sampled.front().z.x, -p.q0, 1e-9 * p.q0);
+  EXPECT_NEAR(sampled.front().z.y, 0.0, 1e-6 * p.capacity * 1e-3);
+  // Samples are time-ordered.
+  for (std::size_t i = 1; i < sampled.size(); ++i) {
+    EXPECT_GE(sampled[i].t, sampled[i - 1].t - 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace bcn::core

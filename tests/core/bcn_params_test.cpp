@@ -1,0 +1,95 @@
+#include "core/bcn_params.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+TEST(BcnParamsTest, DerivedCoefficients) {
+  const BcnParams p = BcnParams::standard_draft();
+  EXPECT_DOUBLE_EQ(p.a(), 8e6 * 4.0 * 50.0);            // Ru Gi N = 1.6e9
+  EXPECT_DOUBLE_EQ(p.b(), 1.0 / 128.0);                  // Gd
+  EXPECT_DOUBLE_EQ(p.k(), 2.0 / (0.01 * 10e9));          // w/(pm C) = 2e-8
+  EXPECT_DOUBLE_EQ(p.spiral_threshold(), 4.0 / (p.k() * p.k()));
+}
+
+TEST(BcnParamsTest, CharacteristicCoefficientsFollowEq35) {
+  const BcnParams p = BcnParams::standard_draft();
+  EXPECT_DOUBLE_EQ(p.increase_m(), p.a() * p.k());
+  EXPECT_DOUBLE_EQ(p.increase_n(), p.a());
+  EXPECT_DOUBLE_EQ(p.decrease_m(), p.k() * p.b() * p.capacity);
+  EXPECT_DOUBLE_EQ(p.decrease_n(), p.b() * p.capacity);
+  // Eq. (35) structure: m = k n in both regions.
+  EXPECT_DOUBLE_EQ(p.increase_m(), p.k() * p.increase_n());
+  EXPECT_DOUBLE_EQ(p.decrease_m(), p.k() * p.decrease_n());
+}
+
+TEST(BcnParamsTest, Theorem1ReproducesPaperNumericExample) {
+  // Paper Section IV remarks: N=50, C=10 Gbps, q0=2.5 Mbit, Gi=4,
+  // Gd=1/128, Ru=8 Mbit -> required buffer ~13.75 Mbit (we compute the
+  // exact closed form, 13.814 Mbit; the paper rounds).
+  const BcnParams p = BcnParams::standard_draft();
+  const double required = p.theorem1_required_buffer();
+  EXPECT_NEAR(required, 13.81e6, 0.02e6);
+  EXPECT_GT(required, 2.7 * 5e6);  // nearly 3x the BDP-sized buffer
+  EXPECT_FALSE(p.satisfies_theorem1());
+  BcnParams big = p;
+  big.buffer = 14e6;
+  big.qsc = 13.9e6;
+  EXPECT_TRUE(big.satisfies_theorem1());
+}
+
+TEST(BcnParamsTest, WarmupDurationFormula) {
+  BcnParams p = BcnParams::standard_draft();
+  p.init_rate = 0.0;
+  // T0 = (C - N mu) / (a q0)
+  EXPECT_DOUBLE_EQ(p.warmup_duration(), p.capacity / (p.a() * p.q0));
+  p.init_rate = p.capacity / p.num_sources;
+  EXPECT_DOUBLE_EQ(p.warmup_duration(), 0.0);
+}
+
+TEST(BcnParamsTest, ValidationAcceptsAllCaseFactories) {
+  using namespace testing;
+  EXPECT_TRUE(case1_params().is_valid());
+  EXPECT_TRUE(case2_params().is_valid());
+  EXPECT_TRUE(case3_params().is_valid());
+  EXPECT_TRUE(case4_params().is_valid());
+  EXPECT_TRUE(case5_increase_boundary().is_valid());
+  EXPECT_TRUE(case5_decrease_boundary().is_valid());
+}
+
+TEST(BcnParamsTest, ValidationCatchesEachViolation) {
+  const BcnParams good = BcnParams::standard_draft();
+  auto broken = [&](auto mutate) {
+    BcnParams p = good;
+    mutate(p);
+    return !p.is_valid();
+  };
+  EXPECT_TRUE(broken([](BcnParams& p) { p.num_sources = 0.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.capacity = -1.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.q0 = 0.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.buffer = p.q0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.qsc = p.q0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.qsc = p.buffer * 2.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.w = 0.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.pm = 0.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.pm = 1.5; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.gi = -1.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.gd = 0.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.ru = 0.0; }));
+  EXPECT_TRUE(broken([](BcnParams& p) { p.init_rate = -5.0; }));
+  EXPECT_TRUE(good.is_valid());
+}
+
+TEST(BcnParamsTest, DescribeMentionsKeyNumbers) {
+  const std::string s = BcnParams::standard_draft().describe();
+  EXPECT_NE(s.find("N=50"), std::string::npos);
+  EXPECT_NE(s.find("violated"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcn::core

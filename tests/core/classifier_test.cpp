@@ -1,0 +1,88 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+using control::SolutionKind;
+using namespace testing;
+
+TEST(ClassifierTest, StandardDraftIsCase1) {
+  const auto c = classify_case(case1_params());
+  EXPECT_EQ(c.paper_case, PaperCase::Case1);
+  EXPECT_EQ(c.increase_kind, SolutionKind::Spiral);
+  EXPECT_EQ(c.decrease_kind, SolutionKind::Spiral);
+  EXPECT_LT(c.increase_discriminant, 0.0);
+  EXPECT_LT(c.decrease_discriminant, 0.0);
+}
+
+TEST(ClassifierTest, Case2NodeIncrease) {
+  const auto c = classify_case(case2_params());
+  EXPECT_EQ(c.paper_case, PaperCase::Case2);
+  EXPECT_EQ(c.increase_kind, SolutionKind::Node);
+  EXPECT_EQ(c.decrease_kind, SolutionKind::Spiral);
+}
+
+TEST(ClassifierTest, Case3NodeDecrease) {
+  const auto c = classify_case(case3_params());
+  EXPECT_EQ(c.paper_case, PaperCase::Case3);
+  EXPECT_EQ(c.increase_kind, SolutionKind::Spiral);
+  EXPECT_EQ(c.decrease_kind, SolutionKind::Node);
+}
+
+TEST(ClassifierTest, Case4BothNode) {
+  const auto c = classify_case(case4_params());
+  EXPECT_EQ(c.paper_case, PaperCase::Case4);
+  EXPECT_EQ(c.increase_kind, SolutionKind::Node);
+  EXPECT_EQ(c.decrease_kind, SolutionKind::Node);
+}
+
+TEST(ClassifierTest, Case5ExactBoundaries) {
+  const auto ci = classify_case(case5_increase_boundary());
+  EXPECT_EQ(ci.paper_case, PaperCase::Case5);
+  EXPECT_EQ(ci.increase_kind, SolutionKind::Degenerate);
+  EXPECT_EQ(ci.increase_discriminant, 0.0);
+
+  const auto cd = classify_case(case5_decrease_boundary());
+  EXPECT_EQ(cd.paper_case, PaperCase::Case5);
+  EXPECT_EQ(cd.decrease_kind, SolutionKind::Degenerate);
+  EXPECT_EQ(cd.decrease_discriminant, 0.0);
+}
+
+TEST(ClassifierTest, BoundaryToleranceWidensCase5) {
+  BcnParams p = case5_increase_boundary();
+  p.gi *= 1.0 + 1e-9;  // just off the boundary
+  EXPECT_EQ(classify_case(p).paper_case, PaperCase::Case2);
+  EXPECT_EQ(classify_case(p, 1e-6).paper_case, PaperCase::Case5);
+}
+
+TEST(ClassifierTest, SubsystemsMatchParams) {
+  const BcnParams p = case1_params();
+  EXPECT_DOUBLE_EQ(increase_subsystem(p).m(), p.increase_m());
+  EXPECT_DOUBLE_EQ(increase_subsystem(p).n(), p.increase_n());
+  EXPECT_DOUBLE_EQ(decrease_subsystem(p).m(), p.decrease_m());
+  EXPECT_DOUBLE_EQ(decrease_subsystem(p).n(), p.decrease_n());
+}
+
+TEST(ClassifierTest, PaperTextLambdaBoundHolds) {
+  // Paper Section IV.C claims -1/k > lambda2 > lambda1 whenever the roots
+  // are real; verify across the node-regime factories.
+  for (const BcnParams& p : {case2_params(), case4_params()}) {
+    const auto eig = increase_subsystem(p).eigenvalues();
+    EXPECT_LT(eig[1].real(), -1.0 / p.k());
+    EXPECT_LT(eig[0].real(), eig[1].real() + 1e-30);
+  }
+  const auto eig = decrease_subsystem(case4_params()).eigenvalues();
+  EXPECT_LT(eig[1].real(), -1.0 / case4_params().k());
+}
+
+TEST(ClassifierTest, ToStringDistinct) {
+  EXPECT_NE(to_string(PaperCase::Case1), to_string(PaperCase::Case2));
+  EXPECT_FALSE(to_string(PaperCase::Case5).empty());
+}
+
+}  // namespace
+}  // namespace bcn::core

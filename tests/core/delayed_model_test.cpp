@@ -1,0 +1,132 @@
+#include "core/delayed_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/simulate.h"
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+BcnParams stable_draft() {
+  BcnParams p = BcnParams::standard_draft();
+  p.buffer = 14e6;
+  p.qsc = 13.5e6;
+  return p;
+}
+
+TEST(DelayedModelTest, ZeroDelayMatchesUndelayedFluidModel) {
+  const BcnParams p = stable_draft();
+  DelayedRunOptions opts;
+  opts.delay = 0.0;
+  opts.duration = 1e-3;
+  const auto delayed = simulate_delayed(p, opts);
+
+  FluidRunOptions fopts;
+  fopts.duration = 1e-3;
+  const auto base =
+      simulate_fluid(FluidModel(p, ModelLevel::Nonlinear), fopts);
+  EXPECT_NEAR(delayed.max_x, base.max_x, 0.01 * base.max_x);
+}
+
+TEST(DelayedModelTest, TinyDelayConvergesToUndelayed) {
+  const BcnParams p = stable_draft();
+  FluidRunOptions fopts;
+  fopts.duration = 1e-3;
+  const auto base =
+      simulate_fluid(FluidModel(p, ModelLevel::Nonlinear), fopts);
+  DelayedRunOptions opts;
+  opts.delay = 1e-9;
+  opts.duration = 1e-3;
+  const auto tiny = simulate_delayed(p, opts);
+  EXPECT_NEAR(tiny.max_x, base.max_x, 0.01 * base.max_x);
+}
+
+TEST(DelayedModelTest, PaperDelayAssumptionHolds) {
+  // The paper's dropped 0.5 us propagation delay changes the transient
+  // peak by only a couple of percent -- the assumption is sound.
+  const BcnParams p = stable_draft();
+  DelayedRunOptions opts;
+  opts.duration = 1e-3;
+  opts.delay = 0.0;
+  const double base = simulate_delayed(p, opts).max_x;
+  opts.delay = 0.5e-6;
+  const double with_delay = simulate_delayed(p, opts).max_x;
+  EXPECT_LT(std::abs(with_delay - base) / base, 0.05);
+}
+
+TEST(DelayedModelTest, OvershootGrowsWithDelay) {
+  const BcnParams p = stable_draft();
+  DelayedRunOptions opts;
+  opts.duration = 2e-3;
+  double prev = 0.0;
+  for (const double tau : {0.0, 5e-6, 20e-6, 50e-6}) {
+    opts.delay = tau;
+    const double peak = simulate_delayed(p, opts).max_x;
+    EXPECT_GT(peak, prev) << "tau=" << tau;
+    prev = peak;
+  }
+}
+
+TEST(DelayedModelTest, LargeDelayDiverges) {
+  const BcnParams p = stable_draft();
+  DelayedRunOptions opts;
+  opts.delay = 200e-6;
+  opts.duration = 5e-3;
+  const auto run = simulate_delayed(p, opts);
+  EXPECT_TRUE(run.diverged);
+}
+
+TEST(DelayedModelTest, CriticalDelayBracketsBehavior) {
+  const BcnParams p = stable_draft();
+  const auto crit = critical_delay(p, 500e-6);
+  ASSERT_TRUE(crit);
+  EXPECT_GT(*crit, 1e-6);    // far above the physical 0.5 us
+  EXPECT_LT(*crit, 100e-6);
+
+  DelayedRunOptions opts;
+  opts.duration = 5e-3;
+  opts.delay = *crit * 0.8;
+  const auto below = simulate_delayed(p, opts);
+  EXPECT_LT(below.max_x, p.buffer - p.q0);
+  opts.delay = *crit * 1.25;
+  const auto above = simulate_delayed(p, opts);
+  EXPECT_TRUE(above.diverged || above.max_x >= p.buffer - p.q0);
+}
+
+TEST(DelayedModelTest, CriticalDelayNulloptWhenAlreadyUnstable) {
+  // Standard draft with the tiny 5 Mbit buffer is unstable at tau = 0.
+  EXPECT_FALSE(critical_delay(BcnParams::standard_draft(), 100e-6));
+}
+
+TEST(DelayedModelTest, CriticalDelayNulloptWhenAlwaysStable) {
+  BcnParams p = stable_draft();
+  EXPECT_FALSE(critical_delay(p, 1e-9));  // trivially stable on the range
+}
+
+TEST(DelayedModelTest, LinearizedOptionUsesLinearDecrease) {
+  const BcnParams p = stable_draft();
+  DelayedRunOptions opts;
+  opts.duration = 1e-3;
+  opts.delay = 1e-6;
+  opts.nonlinear = false;
+  const double lin_peak = simulate_delayed(p, opts).max_x;
+  opts.nonlinear = true;
+  const double non_peak = simulate_delayed(p, opts).max_x;
+  // Linearized overshoot is much larger (same relation as undelayed).
+  EXPECT_GT(lin_peak, 2.0 * non_peak);
+}
+
+TEST(DelayedModelTest, CustomInitialPointRespected) {
+  const BcnParams p = stable_draft();
+  DelayedRunOptions opts;
+  opts.duration = 1e-4;
+  opts.z0 = Vec2{0.0, 1e9};
+  const auto run = simulate_delayed(p, opts);
+  EXPECT_EQ(run.trajectory.front().z, (Vec2{0.0, 1e9}));
+}
+
+}  // namespace
+}  // namespace bcn::core

@@ -1,0 +1,118 @@
+#include "core/fluid_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+TEST(FluidModelTest, SigmaAndRegion) {
+  const FluidModel m(BcnParams::standard_draft());
+  const double k = m.params().k();
+  // At the analysis start (-q0, 0): sigma = q0 > 0 -> increase region.
+  EXPECT_DOUBLE_EQ(m.sigma(m.analysis_initial_point()), m.params().q0);
+  EXPECT_EQ(m.region_of(m.analysis_initial_point()), Region::Increase);
+  // A point with x + k y > 0 is in the decrease region.
+  const Vec2 z{1e6, 1e9};
+  EXPECT_LT(m.sigma(z), 0.0);
+  EXPECT_EQ(m.region_of(z), Region::Decrease);
+  // Points on the switching line have sigma = 0 (boundary -> Decrease by
+  // the > 0 convention).
+  const Vec2 on_line{1e6, -1e6 / k};
+  EXPECT_NEAR(m.sigma(on_line), 0.0, 1e-3);
+}
+
+TEST(FluidModelTest, IncreaseRhsMatchesEq8) {
+  const BcnParams p = BcnParams::standard_draft();
+  const FluidModel m(p);
+  const Vec2 z{-1e6, 2e8};
+  const Vec2 d = m.increase_rhs()(0.0, z);
+  EXPECT_DOUBLE_EQ(d.x, z.y);
+  EXPECT_DOUBLE_EQ(d.y, -p.a() * (z.x + p.k() * z.y));
+}
+
+TEST(FluidModelTest, DecreaseRhsNonlinearKeepsRateFactor) {
+  const BcnParams p = BcnParams::standard_draft();
+  const FluidModel nonlinear(p, ModelLevel::Nonlinear);
+  const FluidModel linearized(p, ModelLevel::Linearized);
+  const Vec2 z{1e6, 3e9};
+  const double s = z.x + p.k() * z.y;
+  EXPECT_DOUBLE_EQ(nonlinear.decrease_rhs()(0.0, z).y,
+                   -p.b() * (z.y + p.capacity) * s);
+  EXPECT_DOUBLE_EQ(linearized.decrease_rhs()(0.0, z).y,
+                   -p.b() * p.capacity * s);
+  // They agree exactly on y = 0 (the linearization point).
+  const Vec2 z0{5e5, 0.0};
+  EXPECT_NEAR(nonlinear.decrease_rhs()(0.0, z0).y,
+              linearized.decrease_rhs()(0.0, z0).y, 1e-6);
+}
+
+TEST(FluidModelTest, CoordinateConversionsRoundTrip) {
+  const BcnParams p = BcnParams::standard_draft();
+  const FluidModel m(p);
+  EXPECT_DOUBLE_EQ(m.queue_of(m.x_of_queue(3.3e6)), 3.3e6);
+  EXPECT_DOUBLE_EQ(m.queue_of(0.0), p.q0);
+  EXPECT_DOUBLE_EQ(m.aggregate_rate_of(0.0), p.capacity);
+  EXPECT_DOUBLE_EQ(m.per_source_rate_of(0.0), p.capacity / p.num_sources);
+  EXPECT_DOUBLE_EQ(m.x_min(), -p.q0);
+  EXPECT_DOUBLE_EQ(m.x_max(), p.buffer - p.q0);
+}
+
+TEST(FluidModelTest, PhysicalInitialPoint) {
+  BcnParams p = BcnParams::standard_draft();
+  p.init_rate = 1e8;
+  const FluidModel m(p);
+  const Vec2 z = m.physical_initial_point();
+  EXPECT_DOUBLE_EQ(z.x, -p.q0);
+  EXPECT_DOUBLE_EQ(z.y, 50.0 * 1e8 - p.capacity);
+}
+
+TEST(FluidModelTest, UnclippedHybridHasTwoModesOneGuard) {
+  const FluidModel m(BcnParams::standard_draft(), ModelLevel::Nonlinear);
+  const auto sys = m.hybrid_system();
+  EXPECT_EQ(sys.modes.size(), 2u);
+  EXPECT_EQ(sys.guards.size(), 1u);
+  EXPECT_EQ(sys.mode_of(0.0, m.analysis_initial_point()), kModeIncrease);
+  EXPECT_EQ(sys.mode_of(0.0, {1e6, 1e9}), kModeDecrease);
+}
+
+TEST(FluidModelTest, ClippedHybridWallModes) {
+  const BcnParams p = BcnParams::standard_draft();
+  const FluidModel m(p, ModelLevel::Clipped);
+  const auto sys = m.hybrid_system();
+  EXPECT_EQ(sys.modes.size(), 4u);
+  EXPECT_EQ(sys.guards.size(), 4u);
+  // Empty wall: x = -q0, y <= 0.
+  EXPECT_EQ(sys.mode_of(0.0, {-p.q0, -1e8}), kModeEmptyWall);
+  EXPECT_EQ(sys.mode_of(0.0, {-p.q0, 0.0}), kModeEmptyWall);
+  // Full wall: x = B - q0, y >= 0.
+  EXPECT_EQ(sys.mode_of(0.0, {p.buffer - p.q0, 1e8}), kModeFullWall);
+  // Interior still splits by sigma.
+  EXPECT_EQ(sys.mode_of(0.0, {0.0, 1e8}), kModeDecrease);
+  EXPECT_EQ(sys.mode_of(0.0, {-1e6, 0.0}), kModeIncrease);
+}
+
+TEST(FluidModelTest, EmptyWallDynamicsMatchWarmupLaw) {
+  // On the empty wall the queue is pinned and dy/dt = a q0 (Section IV.C).
+  const BcnParams p = BcnParams::standard_draft();
+  const FluidModel m(p, ModelLevel::Clipped);
+  const auto sys = m.hybrid_system();
+  const Vec2 wall{-p.q0, -1e8};
+  const Vec2 d = sys.modes[kModeEmptyWall](0.0, wall);
+  EXPECT_DOUBLE_EQ(d.x, 0.0);
+  EXPECT_DOUBLE_EQ(d.y, p.a() * p.q0);
+}
+
+TEST(FluidModelTest, FullWallDynamicsDecreaseRate) {
+  const BcnParams p = BcnParams::standard_draft();
+  const FluidModel m(p, ModelLevel::Clipped);
+  const auto sys = m.hybrid_system();
+  const Vec2 wall{p.buffer - p.q0, 5e8};
+  const Vec2 d = sys.modes[kModeFullWall](0.0, wall);
+  EXPECT_DOUBLE_EQ(d.x, 0.0);
+  EXPECT_LT(d.y, 0.0);  // rate must fall while the buffer overflows
+}
+
+}  // namespace
+}  // namespace bcn::core

@@ -1,0 +1,100 @@
+#include "core/multiflow_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/simulate.h"
+
+namespace bcn::core {
+namespace {
+
+BcnParams gentle_params() {
+  BcnParams p = BcnParams::standard_draft();
+  p.num_sources = 5;
+  p.pm = 0.2;
+  p.gi = 0.5;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  return p;
+}
+
+TEST(MultiflowTest, HomogeneousCaseMatchesAggregateModel) {
+  // Equal initial rates: the per-flow laws sum to eq. (8), so the
+  // multiflow queue must match the 2-D nonlinear fluid model.
+  const BcnParams p = gentle_params();
+  MultiflowOptions opts;
+  opts.initial_rates.assign(5, p.capacity / 5.0);
+  opts.duration = 0.01;
+  const auto multi = simulate_multiflow(p, opts);
+
+  FluidRunOptions fopts;
+  fopts.duration = 0.01;
+  const auto agg = simulate_fluid(FluidModel(p, ModelLevel::Nonlinear), fopts);
+
+  // Compare the queue peak (the aggregate model reports x = q - q0).
+  EXPECT_NEAR(multi.max_queue, agg.max_x + p.q0,
+              0.02 * (agg.max_x + p.q0));
+  // Rates stay exactly equal (symmetry is preserved by the dynamics).
+  EXPECT_NEAR(multi.final_spread, 0.0, 1e-9);
+}
+
+TEST(MultiflowTest, HeterogeneousRatesConvergeTowardFairness) {
+  // The Chiu-Jain AIMD argument in the fluid setting: additive increase
+  // is equal, multiplicative decrease is proportional, so the spread
+  // shrinks on every decrease episode.
+  const BcnParams p = gentle_params();
+  MultiflowOptions opts;
+  opts.initial_rates = {0.5e9, 1.0e9, 2.0e9, 3.0e9, 3.5e9};
+  opts.duration = 0.2;
+  opts.record_interval = 1e-3;
+  const auto run = simulate_multiflow(p, opts);
+  EXPECT_GT(run.initial_spread, 1.0);
+  EXPECT_LT(run.final_spread, 0.35 * run.initial_spread);
+  // Ordering is preserved (trajectories cannot cross: equal increase,
+  // proportional decrease keep r_i < r_j invariant).
+  for (std::size_t i = 0; i + 1 < run.final_rates.size(); ++i) {
+    EXPECT_LE(run.final_rates[i], run.final_rates[i + 1] * (1.0 + 1e-9));
+  }
+}
+
+TEST(MultiflowTest, AggregateSettlesAtCapacity) {
+  const BcnParams p = gentle_params();
+  MultiflowOptions opts;
+  opts.initial_rates = {0.5e9, 1.5e9, 2.5e9, 3.0e9, 4.0e9};
+  opts.duration = 0.1;
+  const auto run = simulate_multiflow(p, opts);
+  double aggregate = 0.0;
+  for (const double r : run.final_rates) aggregate += r;
+  EXPECT_NEAR(aggregate, p.capacity, 0.15 * p.capacity);
+  // Queue ends near the reference.
+  EXPECT_NEAR(run.trace.back().queue, p.q0, 0.5 * p.q0);
+}
+
+TEST(MultiflowTest, QueueNeverNegativeAndRatesNonNegative) {
+  const BcnParams p = gentle_params();
+  MultiflowOptions opts;
+  opts.initial_rates = {0.0, 0.0, 8e9};  // extreme asymmetry
+  opts.duration = 0.05;
+  const auto run = simulate_multiflow(p, opts);
+  for (const auto& sample : run.trace) {
+    EXPECT_GE(sample.queue, 0.0);
+    for (const double r : sample.rates) EXPECT_GE(r, 0.0);
+  }
+}
+
+TEST(MultiflowTest, FlowCountScalesAggregateGain) {
+  // More flows -> larger effective a = Ru Gi N -> larger overshoot
+  // (Theorem 1's sqrt(N) scaling, reproduced by flow count alone).
+  const BcnParams p = gentle_params();
+  auto peak_for = [&](std::size_t n) {
+    MultiflowOptions opts;
+    opts.initial_rates.assign(n, p.capacity / static_cast<double>(n));
+    opts.duration = 0.02;
+    return simulate_multiflow(p, opts).max_queue;
+  };
+  EXPECT_GT(peak_for(20), peak_for(5));
+}
+
+}  // namespace
+}  // namespace bcn::core

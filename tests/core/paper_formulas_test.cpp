@@ -1,0 +1,150 @@
+#include "core/paper_formulas.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/analytic_tracer.h"
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+using namespace testing;
+
+TEST(PaperCase1ChainTest, MatchesAnalyticTracerOnStandardDraft) {
+  const BcnParams p = case1_params();
+  const auto chain = paper_case1_chain(p);
+  ASSERT_TRUE(chain);
+  const auto trace = AnalyticTracer(p).trace();
+  ASSERT_GE(trace.rounds.size(), 3u);
+
+  // T_i^1 is the first round duration.
+  ASSERT_TRUE(trace.rounds[0].duration);
+  EXPECT_NEAR(chain->t_i1, *trace.rounds[0].duration, 1e-9 * chain->t_i1);
+  // The first crossing point.
+  ASSERT_TRUE(trace.rounds[0].z_end);
+  EXPECT_NEAR(chain->x_d1, trace.rounds[0].z_end->x,
+              1e-6 * std::abs(chain->x_d1));
+  EXPECT_NEAR(chain->y_d1, trace.rounds[0].z_end->y,
+              1e-9 * std::abs(chain->y_d1));
+  // max1 / min1 against the stitched extrema.
+  EXPECT_NEAR(chain->max1, trace.max_x, 1e-6 * chain->max1);
+  EXPECT_NEAR(chain->min1, trace.min_x, 1e-4 * std::abs(chain->min1));
+}
+
+TEST(PaperCase1ChainTest, Td1IsHalfRotationOfDecreaseSpiral) {
+  const BcnParams p = case1_params();
+  const auto chain = paper_case1_chain(p);
+  ASSERT_TRUE(chain);
+  // T_d^1 = pi / beta_d (the paper writes 2 pi / sqrt(4bC - (kbC)^2)).
+  EXPECT_NEAR(chain->t_d1, M_PI / chain->beta_d, 1e-12);
+  const auto trace = AnalyticTracer(p).trace();
+  ASSERT_TRUE(trace.rounds[1].duration);
+  EXPECT_NEAR(chain->t_d1, *trace.rounds[1].duration,
+              1e-9 * chain->t_d1);
+}
+
+TEST(PaperCase1ChainTest, RandomizedAgreementWithTracer) {
+  Rng rng(7);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    BcnParams p = case1_params();
+    p.gi = rng.uniform(0.2, 30.0);
+    p.gd = rng.uniform(1.0 / 1024.0, 1.0 / 8.0);
+    p.num_sources = std::floor(rng.uniform(2.0, 200.0));
+    p.w = rng.uniform(0.5, 8.0);
+    p.pm = rng.uniform(0.002, 0.1);
+    if (classify_case(p).paper_case != PaperCase::Case1) continue;
+    const auto chain = paper_case1_chain(p);
+    ASSERT_TRUE(chain) << p.describe();
+    const auto trace = AnalyticTracer(p).trace();
+    EXPECT_NEAR(chain->max1, trace.max_x, 1e-5 * chain->max1)
+        << p.describe();
+    EXPECT_NEAR(chain->min1, trace.min_x, 1e-4 * std::abs(chain->min1))
+        << p.describe();
+    ++checked;
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST(PaperCase1ChainTest, RejectsNonCase1) {
+  EXPECT_FALSE(paper_case1_chain(case2_params()));
+  EXPECT_FALSE(paper_case1_chain(case4_params()));
+}
+
+TEST(PaperCase2MaxTest, MatchesAnalyticTracer) {
+  const BcnParams p = case2_params();
+  const auto max2 = paper_case2_max(p);
+  ASSERT_TRUE(max2);
+  const auto trace = AnalyticTracer(p).trace();
+  EXPECT_NEAR(*max2, trace.max_x, 1e-6 * *max2);
+}
+
+TEST(PaperCase2MaxTest, RandomizedAgreementWithTracer) {
+  Rng rng(11);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    BcnParams p = case2_params();
+    p.gi = rng.uniform(4097.0, 1e5);  // keep a above the dyadic threshold
+    p.gd = rng.uniform(0.05, 100.0);  // keep b C below it
+    if (classify_case(p).paper_case != PaperCase::Case2) continue;
+    const auto max2 = paper_case2_max(p);
+    ASSERT_TRUE(max2) << p.describe();
+    const auto trace = AnalyticTracer(p).trace();
+    EXPECT_NEAR(*max2, trace.max_x, 1e-4 * *max2) << p.describe();
+    ++checked;
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST(PaperCase2MaxTest, RejectsNonCase2) {
+  EXPECT_FALSE(paper_case2_max(case1_params()));
+  EXPECT_FALSE(paper_case2_max(case3_params()));
+}
+
+TEST(Theorem1BoundTest, DominatesCase1Extrema) {
+  // Theorem 1's proof: max1 < sqrt(a/(bC)) q0 and min1 > -q0.
+  Rng rng(13);
+  int checked = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    BcnParams p = case1_params();
+    p.gi = rng.uniform(0.2, 50.0);
+    p.gd = rng.uniform(1.0 / 2048.0, 1.0 / 4.0);
+    p.num_sources = std::floor(rng.uniform(2.0, 500.0));
+    if (classify_case(p).paper_case != PaperCase::Case1) continue;
+    const auto chain = paper_case1_chain(p);
+    ASSERT_TRUE(chain);
+    const double bound = theorem1_overshoot_bound(p);
+    EXPECT_LT(chain->max1, bound) << p.describe();
+    EXPECT_GT(chain->min1, -p.q0) << p.describe();
+    ++checked;
+  }
+  EXPECT_GE(checked, 40);
+}
+
+TEST(Theorem1BoundTest, DominatesCase2Max) {
+  Rng rng(17);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    BcnParams p = case2_params();
+    p.gi = rng.uniform(4097.0, 1e6);
+    p.gd = rng.uniform(0.05, 100.0);
+    if (classify_case(p).paper_case != PaperCase::Case2) continue;
+    const auto max2 = paper_case2_max(p);
+    ASSERT_TRUE(max2);
+    EXPECT_LT(*max2, theorem1_overshoot_bound(p)) << p.describe();
+    ++checked;
+  }
+  EXPECT_GE(checked, 30);
+}
+
+TEST(Theorem1BoundTest, MatchesRequiredBufferDecomposition) {
+  const BcnParams p = case1_params();
+  EXPECT_NEAR(p.theorem1_required_buffer(),
+              p.q0 + theorem1_overshoot_bound(p), 1e-6);
+}
+
+}  // namespace
+}  // namespace bcn::core

@@ -1,0 +1,135 @@
+#include "core/simulate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/analytic_tracer.h"
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+using namespace testing;
+
+TEST(SimulateTest, LinearizedNumericMatchesAnalyticTracer) {
+  const BcnParams p = case1_params();
+  const FluidModel model(p, ModelLevel::Linearized);
+  FluidRunOptions opts;
+  opts.duration = 2e-3;
+  opts.tol = {1e-10, 1e-10};
+  const FluidRun run = simulate_fluid(model, opts);
+  ASSERT_TRUE(run.completed);
+
+  const auto trace = AnalyticTracer(p).trace();
+  // Global transient extrema agree between the closed-form stitching and
+  // event-localized numeric integration.
+  EXPECT_NEAR(run.max_x, trace.max_x, 2e-4 * trace.max_x);
+  EXPECT_NEAR(run.post_switch_min_x, trace.min_x,
+              2e-4 * std::abs(trace.min_x));
+  // Switch times agree with the analytic round durations.
+  ASSERT_GE(run.switches.size(), 2u);
+  ASSERT_TRUE(trace.rounds[0].duration);
+  EXPECT_NEAR(run.switches[0].t, *trace.rounds[0].duration,
+              1e-5 * *trace.rounds[0].duration);
+}
+
+TEST(SimulateTest, SwitchPointsLieOnSwitchingLine) {
+  const BcnParams p = case1_params();
+  const FluidModel model(p, ModelLevel::Nonlinear);
+  FluidRunOptions opts;
+  opts.duration = 1e-3;
+  const FluidRun run = simulate_fluid(model, opts);
+  ASSERT_GE(run.switches.size(), 2u);
+  for (const auto& sw : run.switches) {
+    const double sigma = model.sigma(sw.z);
+    const double scale = std::abs(sw.z.x) + p.k() * std::abs(sw.z.y) + 1.0;
+    EXPECT_NEAR(sigma / scale, 0.0, 1e-5) << "t=" << sw.t;
+  }
+}
+
+TEST(SimulateTest, ConvergenceStopFires) {
+  // Case 4 converges fast and monotonically.
+  const BcnParams p = case4_params();
+  const FluidModel model(p, ModelLevel::Linearized);
+  FluidRunOptions opts;
+  opts.duration = 10.0;
+  opts.convergence_tol = 1e-6;
+  const FluidRun run = simulate_fluid(model, opts);
+  EXPECT_TRUE(run.converged);
+  EXPECT_LT(run.trajectory.back().t, 10.0);
+  const Vec2 zf = run.trajectory.back().z;
+  EXPECT_LT(std::abs(zf.x) / p.q0 + std::abs(zf.y) / p.capacity, 1e-5);
+}
+
+TEST(SimulateTest, NonlinearOvershootSmallerThanLinearized) {
+  // The (y + C) rate factor accelerates the decrease when rates are high,
+  // so the nonlinear overshoot is below the linearized prediction for the
+  // standard draft (a large-amplitude transient).
+  const BcnParams p = case1_params();
+  FluidRunOptions opts;
+  opts.duration = 1e-3;
+  const FluidRun lin =
+      simulate_fluid(FluidModel(p, ModelLevel::Linearized), opts);
+  const FluidRun non =
+      simulate_fluid(FluidModel(p, ModelLevel::Nonlinear), opts);
+  EXPECT_LT(non.max_x, lin.max_x);
+  EXPECT_GT(non.max_x, 0.0);
+}
+
+TEST(SimulateTest, ClippedModelRespectsBufferWalls) {
+  // Standard draft overshoots far beyond the buffer: the clipped model
+  // must pin the queue inside [0, B].
+  const BcnParams p = case1_params();
+  const FluidModel model(p, ModelLevel::Clipped);
+  FluidRunOptions opts;
+  opts.duration = 2e-3;
+  const FluidRun run = simulate_fluid(model, opts);
+  ASSERT_TRUE(run.completed);
+  const double tol = 1e-6 * p.buffer;
+  EXPECT_LE(run.max_x, model.x_max() + tol);
+  EXPECT_GE(run.min_x, model.x_min() - tol);
+  // It must actually hit the full wall for these parameters.
+  EXPECT_GT(run.max_x, model.x_max() - 0.01 * p.buffer);
+}
+
+TEST(SimulateTest, ClippedStartsInWarmupWallMode) {
+  BcnParams p = case1_params();
+  p.init_rate = 1e6;  // far below C/N: physical start deep on the empty wall
+  const FluidModel model(p, ModelLevel::Clipped);
+  FluidRunOptions opts;
+  opts.duration = 5e-5;
+  opts.z0 = model.physical_initial_point();
+  const FluidRun run = simulate_fluid(model, opts);
+  ASSERT_TRUE(run.completed);
+  // During warm-up the queue stays empty while the rate climbs: x pinned.
+  const auto& first = run.trajectory[1];
+  EXPECT_NEAR(first.z.x, -p.q0, 1e-3 * p.q0);
+  // y must have increased from the initial value.
+  EXPECT_GT(run.trajectory.back().z.y,
+            model.physical_initial_point().y);
+}
+
+TEST(SimulateTest, RecordIntervalControlsSampling) {
+  const BcnParams p = case1_params();
+  const FluidModel model(p, ModelLevel::Nonlinear);
+  FluidRunOptions opts;
+  opts.duration = 1e-4;
+  opts.record_interval = 1e-6;
+  const FluidRun run = simulate_fluid(model, opts);
+  ASSERT_GE(run.trajectory.size(), 90u);
+  EXPECT_NEAR(run.trajectory[1].t - run.trajectory[0].t, 1e-6, 1e-12);
+}
+
+TEST(SimulateTest, CustomInitialPoint) {
+  const BcnParams p = case1_params();
+  const FluidModel model(p, ModelLevel::Nonlinear);
+  FluidRunOptions opts;
+  opts.duration = 1e-5;
+  opts.z0 = Vec2{0.0, 1e9};
+  const FluidRun run = simulate_fluid(model, opts);
+  EXPECT_EQ(run.trajectory.front().z, (Vec2{0.0, 1e9}));
+}
+
+}  // namespace
+}  // namespace bcn::core

@@ -1,0 +1,111 @@
+#include "core/stability.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_params.h"
+
+namespace bcn::core {
+namespace {
+
+using namespace testing;
+
+TEST(StabilityTest, StandardDraftReport) {
+  const auto report = analyze_stability(case1_params());
+  EXPECT_EQ(report.classification.paper_case, PaperCase::Case1);
+  EXPECT_EQ(report.proposition, 2);
+  // Overshoot ~11.3 Mbit above q0 >> B - q0 = 2.5 Mbit: not strongly
+  // stable, even though the linear baseline declares it stable.
+  EXPECT_FALSE(report.proposition_satisfied);
+  EXPECT_FALSE(report.theorem1_satisfied);
+  EXPECT_TRUE(report.baseline.declared_stable);
+  EXPECT_NEAR(report.theorem1_required_buffer, 13.81e6, 0.02e6);
+  EXPECT_NEAR(report.predicted_max_x, 11.3e6, 0.05e6);
+  EXPECT_GT(report.predicted_min_x, -2.5e6);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(StabilityTest, EnlargedBufferBecomesStable) {
+  BcnParams p = case1_params();
+  p.buffer = 14e6;  // above the 13.81 Mbit requirement
+  p.qsc = 13.5e6;
+  const auto report = analyze_stability(p);
+  EXPECT_TRUE(report.theorem1_satisfied);
+  EXPECT_TRUE(report.proposition_satisfied);
+  const auto verdict = numeric_strong_stability(p);
+  EXPECT_TRUE(verdict.strongly_stable);
+}
+
+TEST(StabilityTest, NumericConfirmsDraftInstability) {
+  const auto verdict = numeric_strong_stability(case1_params());
+  EXPECT_FALSE(verdict.strongly_stable);
+  // Overflow, not underflow, is the failure mode here.
+  EXPECT_GT(verdict.max_x, case1_params().buffer - case1_params().q0);
+  EXPECT_GT(verdict.min_x, -case1_params().q0);
+}
+
+TEST(StabilityTest, Case3AlwaysStable) {
+  const auto report = analyze_stability(case3_params());
+  EXPECT_EQ(report.proposition, 4);
+  EXPECT_TRUE(report.proposition_satisfied);
+  const auto verdict = numeric_strong_stability(case3_params());
+  EXPECT_TRUE(verdict.strongly_stable);
+  // Case 3: no overshoot above the reference.
+  EXPECT_LT(verdict.max_x, 0.05 * case3_params().q0);
+}
+
+TEST(StabilityTest, Case4AlwaysStable) {
+  const auto report = analyze_stability(case4_params());
+  EXPECT_EQ(report.proposition, 4);
+  EXPECT_TRUE(report.proposition_satisfied);
+  EXPECT_TRUE(numeric_strong_stability(case4_params()).strongly_stable);
+}
+
+TEST(StabilityTest, Case2UsesProposition3) {
+  const auto report = analyze_stability(case2_params());
+  EXPECT_EQ(report.proposition, 3);
+  // With the dyadic toy buffer (B - q0 = 48) versus the predicted
+  // overshoot, the verdict must match the numeric one.
+  const auto verdict = numeric_strong_stability(
+      case2_params(), {.level = ModelLevel::Linearized});
+  EXPECT_EQ(report.proposition_satisfied, verdict.strongly_stable);
+}
+
+TEST(StabilityTest, Theorem1SoundnessOnLinearizedModel) {
+  // Property: Theorem 1 is a sufficient condition, so whenever it holds
+  // the linearized numeric verdict must be strongly stable.
+  Rng rng(23);
+  int holds = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    BcnParams p = case1_params();
+    p.gi = rng.uniform(0.2, 10.0);
+    p.gd = rng.uniform(1.0 / 512.0, 1.0 / 8.0);
+    p.buffer = rng.uniform(4e6, 40e6);
+    p.qsc = p.buffer * 0.9;
+    if (!p.is_valid()) continue;
+    if (!p.satisfies_theorem1()) continue;
+    const auto verdict =
+        numeric_strong_stability(p, {.level = ModelLevel::Linearized});
+    EXPECT_TRUE(verdict.strongly_stable) << p.describe();
+    ++holds;
+  }
+  EXPECT_GE(holds, 5);
+}
+
+TEST(StabilityTest, BaselineBlindToBuffer) {
+  // The Lu et al. baseline verdict cannot change with B -- the paper's
+  // key criticism.
+  BcnParams small = case1_params();
+  BcnParams large = case1_params();
+  large.buffer = 100e6;
+  large.qsc = 90e6;
+  const auto rs = analyze_stability(small);
+  const auto rl = analyze_stability(large);
+  EXPECT_EQ(rs.baseline.declared_stable, rl.baseline.declared_stable);
+  // While strong stability does change.
+  EXPECT_FALSE(rs.proposition_satisfied);
+  EXPECT_TRUE(rl.proposition_satisfied);
+}
+
+}  // namespace
+}  // namespace bcn::core

@@ -1,0 +1,69 @@
+// Parameter factories covering every paper case, shared by the core and
+// integration test suites.
+#pragma once
+
+#include "core/bcn_params.h"
+
+namespace bcn::core::testing {
+
+// Case 1 (spiral/spiral): the paper's standard-draft configuration.
+inline BcnParams case1_params() { return BcnParams::standard_draft(); }
+
+// A compact dyadic base: k = w/(pm C) = 1/(0.5 * 2048) = 2^-10 exactly, so
+// the spiral threshold 4/k^2 = 2^22 is exact in floating point.
+inline BcnParams dyadic_base() {
+  BcnParams p;
+  p.capacity = 2048.0;
+  p.w = 1.0;
+  p.pm = 0.5;
+  p.q0 = 16.0;
+  p.buffer = 64.0;
+  p.qsc = 32.0;
+  p.num_sources = 4.0;
+  p.ru = 4096.0;
+  p.gi = 1.0;     // a = Ru Gi N = 2^14 << 2^22: spiral
+  p.gd = 1.0;     // b C = 2^11 << 2^22: spiral
+  p.init_rate = 0.0;
+  return p;
+}
+
+// Case 2 (node increase / spiral decrease): a > 4/k^2, b C < 4/k^2.
+inline BcnParams case2_params() {
+  BcnParams p = dyadic_base();
+  p.gi = 4096.0;  // a = 2^26 > 2^22
+  p.gd = 1.0;     // b C = 2^11 < 2^22
+  return p;
+}
+
+// Case 3 (spiral increase / node decrease): a < 4/k^2, b C > 4/k^2.
+inline BcnParams case3_params() {
+  BcnParams p = dyadic_base();
+  p.gi = 1.0;       // a = 2^14 < 2^22
+  p.gd = 8192.0;    // b C = 2^24 > 2^22
+  return p;
+}
+
+// Case 4 (node/node).
+inline BcnParams case4_params() {
+  BcnParams p = dyadic_base();
+  p.gi = 4096.0;  // a = 2^26
+  p.gd = 8192.0;  // b C = 2^24
+  return p;
+}
+
+// Case 5 boundaries, exact in floating point thanks to the dyadic base.
+inline BcnParams case5_increase_boundary() {
+  BcnParams p = dyadic_base();
+  p.gi = 256.0;  // a = 2^22 = 4/k^2 exactly
+  p.gd = 1.0;
+  return p;
+}
+
+inline BcnParams case5_decrease_boundary() {
+  BcnParams p = dyadic_base();
+  p.gi = 1.0;
+  p.gd = 2048.0;  // b C = 2^22 exactly
+  return p;
+}
+
+}  // namespace bcn::core::testing

@@ -1,0 +1,108 @@
+// Property suite: the closed-form round stitching (AnalyticTracer) and
+// the event-localized hybrid integration must agree on the *switched*
+// linearized system across randomized parameters -- round durations,
+// crossing points and transient extrema.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/analytic_tracer.h"
+#include "core/simulate.h"
+
+namespace bcn::core {
+namespace {
+
+BcnParams random_case1(Rng& rng) {
+  BcnParams p = BcnParams::standard_draft();
+  p.num_sources = std::floor(rng.uniform(2.0, 150.0));
+  p.gi = rng.uniform(0.2, 20.0);
+  p.gd = rng.uniform(1.0 / 1024.0, 1.0 / 8.0);
+  p.w = rng.uniform(1.0, 4.0);
+  p.pm = rng.uniform(0.005, 0.05);
+  p.buffer = 100e6;  // wide open: we compare dynamics, not verdicts
+  p.qsc = 90e6;
+  return p;
+}
+
+struct SweepSeed {
+  std::uint64_t seed;
+};
+
+class TracerVsNumeric : public ::testing::TestWithParam<SweepSeed> {};
+
+TEST_P(TracerVsNumeric, SwitchTimesAndExtremaAgree) {
+  Rng rng(GetParam().seed);
+  int checked = 0;
+  for (int trial = 0; trial < 15 && checked < 8; ++trial) {
+    const BcnParams p = random_case1(rng);
+    if (classify_case(p).paper_case != PaperCase::Case1) continue;
+    ++checked;
+
+    AnalyticTraceOptions topts;
+    topts.max_rounds = 6;
+    const auto trace = AnalyticTracer(p).trace(topts);
+    ASSERT_GE(trace.rounds.size(), 4u);
+
+    // Numeric horizon covering those rounds.
+    double horizon = 0.0;
+    for (const auto& r : trace.rounds) {
+      horizon += r.duration.value_or(0.0);
+    }
+    FluidRunOptions opts;
+    opts.duration = horizon * 1.01;
+    opts.tol = {1e-10, 1e-10};
+    const auto run =
+        simulate_fluid(FluidModel(p, ModelLevel::Linearized), opts);
+    ASSERT_GE(run.switches.size(), 3u) << p.describe();
+
+    // Switch times match cumulative round durations.
+    double t_acc = 0.0;
+    for (std::size_t i = 0; i + 1 < trace.rounds.size() &&
+                            i < run.switches.size();
+         ++i) {
+      ASSERT_TRUE(trace.rounds[i].duration);
+      t_acc += *trace.rounds[i].duration;
+      EXPECT_NEAR(run.switches[i].t, t_acc, 1e-4 * t_acc)
+          << "round " << i << " " << p.describe();
+    }
+    // Extrema match.
+    EXPECT_NEAR(run.max_x, trace.max_x, 1e-3 * std::abs(trace.max_x))
+        << p.describe();
+    EXPECT_NEAR(run.post_switch_min_x, trace.min_x,
+                1e-3 * std::abs(trace.min_x))
+        << p.describe();
+  }
+  EXPECT_GE(checked, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TracerVsNumeric,
+                         ::testing::Values(SweepSeed{11}, SweepSeed{22},
+                                           SweepSeed{33}));
+
+TEST(TracerVsNumericNonlinear, LinearizationErrorSmallAtSmallAmplitude) {
+  // Shrink the initial offset: the nonlinear and linearized trajectories
+  // must converge onto each other (the linearization is exact at the
+  // origin), validating the Taylor step from eq. (8) to eq. (9).
+  const BcnParams p = BcnParams::standard_draft();
+  for (const double scale : {1.0, 0.1, 0.01}) {
+    FluidRunOptions opts;
+    opts.duration = 5e-4;
+    opts.z0 = Vec2{-scale * p.q0, 0.0};
+    const auto lin =
+        simulate_fluid(FluidModel(p, ModelLevel::Linearized), opts);
+    const auto non =
+        simulate_fluid(FluidModel(p, ModelLevel::Nonlinear), opts);
+    const double rel_gap =
+        std::abs(lin.max_x - non.max_x) / std::max(lin.max_x, 1.0);
+    if (scale == 1.0) {
+      EXPECT_GT(rel_gap, 0.3);  // large amplitude: models differ strongly
+    }
+    if (scale == 0.01) {
+      EXPECT_LT(rel_gap, 0.05);  // small amplitude: models agree
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bcn::core

@@ -1,0 +1,107 @@
+// E11: the packet-level simulator and the fluid ODE must agree on the
+// qualitative shape of the transient -- damped oscillation onto q0 with
+// comparable peak and settling value -- in a calibrated regime where
+// per-source feedback is frequent relative to the control dynamics.
+#include <gtest/gtest.h>
+
+#include "analysis/crossval.h"
+#include "core/simulate.h"
+#include "sim/network.h"
+
+namespace bcn {
+namespace {
+
+core::BcnParams slow_regime_params() {
+  core::BcnParams p;
+  p.num_sources = 5;
+  p.capacity = 10e9;
+  p.q0 = 2.5e6;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  p.w = 2.0;
+  p.pm = 0.2;
+  p.gi = 0.5;
+  p.gd = 1.0 / 128.0;
+  p.ru = 8e6;
+  return p;
+}
+
+class PacketVsFluid : public ::testing::Test {
+ protected:
+  static constexpr double kDuration = 0.04;  // seconds
+
+  ode::Trajectory packet_trace() {
+    sim::NetworkConfig cfg;
+    cfg.params = slow_regime_params();
+    cfg.initial_rate = cfg.params.capacity / cfg.params.num_sources;
+    cfg.record_interval = 20 * sim::kMicrosecond;
+    sim::Network net(cfg);
+    net.run(sim::from_seconds(kDuration));
+    drops_ = net.stats().counters.frames_dropped;
+    throughput_ = net.stats().throughput(sim::from_seconds(kDuration));
+    return net.stats().to_phase_trajectory(cfg.params.q0,
+                                           cfg.params.capacity);
+  }
+
+  ode::Trajectory fluid_trace(core::ModelLevel level) {
+    const core::FluidModel model(slow_regime_params(), level);
+    core::FluidRunOptions opts;
+    opts.duration = kDuration;
+    opts.record_interval = 2e-5;
+    return core::simulate_fluid(model, opts).trajectory;
+  }
+
+  std::uint64_t drops_ = 0;
+  double throughput_ = 0.0;
+};
+
+TEST_F(PacketVsFluid, ShapeAgreementOnNonlinearModel) {
+  const auto packet = packet_trace();
+  const auto fluid = fluid_trace(core::ModelLevel::Nonlinear);
+  const double prominence = 0.05 * slow_regime_params().q0;
+  const auto cmp = analysis::compare_shapes(fluid, packet, prominence);
+
+  // Same character: both are damped oscillations with a period.
+  EXPECT_TRUE(cmp.same_character);
+  // Peak overshoot within 2x of the fluid prediction (frame quantization
+  // and per-source message timing make this a shape test, not an exact
+  // one; see EXPERIMENTS.md E11).
+  EXPECT_LT(cmp.peak_rel_error, 1.0);
+  // Both settle at the reference: final x within 20% of q0 around 0.
+  EXPECT_LT(std::abs(cmp.b.final_value), 0.2 * slow_regime_params().q0);
+  EXPECT_LT(std::abs(cmp.a.final_value), 0.2 * slow_regime_params().q0);
+}
+
+TEST_F(PacketVsFluid, OscillationPeriodSameOrder) {
+  const auto packet = packet_trace();
+  const auto fluid = fluid_trace(core::ModelLevel::Nonlinear);
+  const double prominence = 0.05 * slow_regime_params().q0;
+  const auto fa = analysis::extract_features(fluid, prominence);
+  const auto fb = analysis::extract_features(packet, prominence);
+  ASSERT_TRUE(fa.period);
+  ASSERT_TRUE(fb.period);
+  EXPECT_GT(*fb.period, 0.3 * *fa.period);
+  EXPECT_LT(*fb.period, 3.0 * *fa.period);
+}
+
+TEST_F(PacketVsFluid, NoDropsAndFullUtilizationInStableRegime) {
+  packet_trace();
+  EXPECT_EQ(drops_, 0u);
+  EXPECT_GT(throughput_, 0.93 * slow_regime_params().capacity);
+}
+
+TEST_F(PacketVsFluid, FluidLevelsAgreeAtSmallAmplitude) {
+  // In this gentle regime the linearized and nonlinear fluid solutions
+  // stay close (y stays well above -C), validating the linearization the
+  // paper's analysis rests on.
+  const auto lin = fluid_trace(core::ModelLevel::Linearized);
+  const auto non = fluid_trace(core::ModelLevel::Nonlinear);
+  const double prominence = 0.05 * slow_regime_params().q0;
+  const auto cmp = analysis::compare_shapes(lin, non, prominence);
+  EXPECT_TRUE(cmp.same_character);
+  EXPECT_LT(cmp.peak_rel_error, 0.35);
+  EXPECT_LT(cmp.period_rel_error, 0.2);
+}
+
+}  // namespace
+}  // namespace bcn

@@ -1,0 +1,98 @@
+#include "ode/dopri5.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::ode {
+namespace {
+
+const Rhs kDecay = [](double, Vec2 z) -> Vec2 { return {-z.x, -2.0 * z.y}; };
+const Rhs kOscillator = [](double, Vec2 z) -> Vec2 { return {z.y, -z.x}; };
+
+TEST(Dopri5Test, SingleStepFifthOrderAccuracy) {
+  const Dopri5 stepper(kDecay);
+  const Vec2 z0{1.0, 1.0};
+  const double h = 0.1;
+  const auto step = stepper.trial_step(0.0, z0, stepper.compute_k1(0.0, z0), h);
+  EXPECT_NEAR(step.z_new.x, std::exp(-h), 1e-9);
+  EXPECT_NEAR(step.z_new.y, std::exp(-2.0 * h), 1e-7);
+}
+
+TEST(Dopri5Test, FsalStageEqualsRhsAtEndpoint) {
+  const Dopri5 stepper(kOscillator);
+  const Vec2 z0{1.0, 0.0};
+  const auto step =
+      stepper.trial_step(0.0, z0, stepper.compute_k1(0.0, z0), 0.2);
+  const Vec2 expected = kOscillator(0.2, step.z_new);
+  EXPECT_DOUBLE_EQ(step.k_last.x, expected.x);
+  EXPECT_DOUBLE_EQ(step.k_last.y, expected.y);
+}
+
+TEST(Dopri5Test, ErrorEstimateTracksTolerance) {
+  // A large step on the oscillator must report error > 1 at tight tol.
+  const Dopri5 tight(kOscillator, {1e-12, 1e-12});
+  const Vec2 z0{1.0, 0.0};
+  const auto big =
+      tight.trial_step(0.0, z0, tight.compute_k1(0.0, z0), 1.0);
+  EXPECT_GT(big.error, 1.0);
+  const auto small =
+      tight.trial_step(0.0, z0, tight.compute_k1(0.0, z0), 1e-4);
+  EXPECT_LT(small.error, 1.0);
+}
+
+TEST(Dopri5Test, DenseOutputMatchesEndpoints) {
+  const Dopri5 stepper(kOscillator);
+  const Vec2 z0{1.0, 0.0};
+  const double h = 0.3;
+  const auto step =
+      stepper.trial_step(0.0, z0, stepper.compute_k1(0.0, z0), h);
+  const DenseOutput dense(0.0, h, step.rcont);
+  EXPECT_NEAR(dense.eval(0.0).x, z0.x, 1e-12);
+  EXPECT_NEAR(dense.eval(0.0).y, z0.y, 1e-12);
+  EXPECT_NEAR(dense.eval(h).x, step.z_new.x, 1e-12);
+  EXPECT_NEAR(dense.eval(h).y, step.z_new.y, 1e-12);
+}
+
+TEST(Dopri5Test, DenseOutputAccurateInside) {
+  const Dopri5 stepper(kOscillator);
+  const Vec2 z0{1.0, 0.0};
+  const double h = 0.2;
+  const auto step =
+      stepper.trial_step(0.0, z0, stepper.compute_k1(0.0, z0), h);
+  const DenseOutput dense(0.0, h, step.rcont);
+  // The continuous extension is 4th order: expect ~h^5-scale error.
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const double t = frac * h;
+    EXPECT_NEAR(dense.eval(t).x, std::cos(t), 3e-7) << "frac=" << frac;
+    EXPECT_NEAR(dense.eval(t).y, -std::sin(t), 3e-7) << "frac=" << frac;
+  }
+}
+
+TEST(Dopri5Test, DenseOutputClampsOutsideInterval) {
+  const Dopri5 stepper(kDecay);
+  const Vec2 z0{1.0, 1.0};
+  const auto step =
+      stepper.trial_step(0.0, z0, stepper.compute_k1(0.0, z0), 0.1);
+  const DenseOutput dense(0.0, 0.1, step.rcont);
+  EXPECT_EQ(dense.eval(-5.0).x, dense.eval(0.0).x);
+  EXPECT_EQ(dense.eval(5.0).x, dense.eval(0.1).x);
+}
+
+TEST(Dopri5Test, StepControllerShrinksOnLargeError) {
+  const Dopri5 stepper(kDecay);
+  EXPECT_LT(stepper.next_step_size(0.1, 100.0), 0.1);
+  EXPECT_GT(stepper.next_step_size(0.1, 1e-6), 0.1);
+  // Growth is clamped.
+  EXPECT_LE(stepper.next_step_size(0.1, 0.0), 0.5 + 1e-12);
+}
+
+TEST(Dopri5Test, InitialStepSizeIsPositiveAndModest) {
+  const Dopri5 stepper(kOscillator);
+  const double h0 = stepper.initial_step_size(0.0, {1.0, 0.0});
+  EXPECT_GT(h0, 0.0);
+  EXPECT_LT(h0, 1.0);  // period is ~6.28; the heuristic must stay well below
+}
+
+}  // namespace
+}  // namespace bcn::ode

@@ -1,0 +1,118 @@
+#include "ode/hybrid.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ode/integrate.h"
+
+namespace bcn::ode {
+namespace {
+
+// A switched oscillator: stiffness 1 for x > 0, stiffness 4 for x < 0.
+// Solutions alternate half-periods pi (right) and pi/2 (left); amplitude in
+// velocity is conserved, amplitude in x halves on the left half-plane.
+HybridSystem switched_oscillator() {
+  HybridSystem sys;
+  sys.modes.push_back([](double, Vec2 z) -> Vec2 { return {z.y, -z.x}; });
+  sys.modes.push_back(
+      [](double, Vec2 z) -> Vec2 { return {z.y, -4.0 * z.x}; });
+  sys.mode_of = [](double, Vec2 z) { return z.x > 0.0 ? 0 : 1; };
+  sys.guards.push_back([](double, Vec2 z) { return z.x; });
+  return sys;
+}
+
+TEST(HybridTest, SwitchesAtTheSurface) {
+  const auto sys = switched_oscillator();
+  HybridOptions opts;
+  opts.tol = {1e-10, 1e-10};
+  // Start at x=1, v=0: half-period pi in mode 0, then crosses into mode 1.
+  const auto res = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 2.5, opts);
+  ASSERT_TRUE(res.completed);
+  ASSERT_GE(res.switches.size(), 1u);
+  const auto& sw = res.switches.front();
+  EXPECT_NEAR(sw.t, 1.5707963267948966, 1e-7);  // quarter period: x=cos t
+  EXPECT_EQ(sw.from_mode, 0);
+  EXPECT_EQ(sw.to_mode, 1);
+  EXPECT_NEAR(sw.z.x, 0.0, 1e-7);
+  EXPECT_NEAR(sw.z.y, -1.0, 1e-7);
+}
+
+TEST(HybridTest, VelocityAmplitudePreservedAcrossManySwitches) {
+  // Both modes conserve their own energy; at the switching surface x = 0
+  // the energy is y^2/2 in both, so |y| at every crossing equals 1.
+  const auto sys = switched_oscillator();
+  HybridOptions opts;
+  opts.tol = {1e-11, 1e-11};
+  const auto res = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 20.0, opts);
+  ASSERT_TRUE(res.completed);
+  ASSERT_GE(res.switches.size(), 6u);
+  for (const auto& sw : res.switches) {
+    EXPECT_NEAR(std::abs(sw.z.y), 1.0, 1e-6) << "at t=" << sw.t;
+  }
+}
+
+TEST(HybridTest, MatchesSmoothIntegratorWhenNoSwitching) {
+  HybridSystem sys;
+  sys.modes.push_back([](double, Vec2 z) -> Vec2 { return {z.y, -z.x}; });
+  sys.mode_of = [](double, Vec2) { return 0; };
+  // A guard that never crosses.
+  sys.guards.push_back([](double, Vec2) { return 1.0; });
+  HybridOptions opts;
+  opts.tol = {1e-10, 1e-10};
+  const auto hybrid = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 5.0, opts);
+  AdaptiveOptions aopts;
+  aopts.tol = {1e-10, 1e-10};
+  const auto smooth =
+      integrate_adaptive(sys.modes[0], 0.0, {1.0, 0.0}, 5.0, aopts);
+  ASSERT_TRUE(hybrid.completed);
+  ASSERT_TRUE(smooth.completed);
+  EXPECT_TRUE(hybrid.switches.empty());
+  EXPECT_NEAR(hybrid.trajectory.back().z.x, smooth.trajectory.back().z.x,
+              1e-7);
+}
+
+TEST(HybridTest, StopWhenFires) {
+  const auto sys = switched_oscillator();
+  HybridOptions opts;
+  opts.stop_when = [](double t, Vec2) { return t > 1.0; };
+  const auto res = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 100.0, opts);
+  EXPECT_TRUE(res.stopped_early);
+  EXPECT_TRUE(res.completed);
+  EXPECT_LT(res.trajectory.back().t, 2.0);
+}
+
+TEST(HybridTest, RecordIntervalResamplesUniformly) {
+  const auto sys = switched_oscillator();
+  HybridOptions opts;
+  opts.record_interval = 0.1;
+  const auto res = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 1.0, opts);
+  ASSERT_TRUE(res.completed);
+  ASSERT_GE(res.trajectory.size(), 10u);
+  EXPECT_NEAR(res.trajectory[1].t - res.trajectory[0].t, 0.1, 1e-9);
+  EXPECT_NEAR(res.trajectory[1].z.x, std::cos(0.1), 1e-6);
+}
+
+TEST(HybridTest, DegenerateSpanCompletes) {
+  const auto sys = switched_oscillator();
+  const auto res = integrate_hybrid(sys, 1.0, {1.0, 0.0}, 1.0, {});
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.trajectory.size(), 1u);
+}
+
+TEST(HybridTest, WallModeSaturation) {
+  // Mode 0: fall with constant velocity; mode 1 (wall at x<=0): stay.
+  HybridSystem sys;
+  sys.modes.push_back([](double, Vec2) -> Vec2 { return {-1.0, 0.0}; });
+  sys.modes.push_back([](double, Vec2) -> Vec2 { return {0.0, 0.0}; });
+  sys.mode_of = [](double, Vec2 z) { return z.x > 1e-12 ? 0 : 1; };
+  sys.guards.push_back([](double, Vec2 z) { return z.x; });
+  const auto res = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 5.0, {});
+  ASSERT_TRUE(res.completed);
+  EXPECT_NEAR(res.trajectory.back().z.x, 0.0, 1e-6);
+  ASSERT_EQ(res.switches.size(), 1u);
+  EXPECT_NEAR(res.switches[0].t, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace bcn::ode

@@ -1,0 +1,89 @@
+#include "ode/integrate.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::ode {
+namespace {
+
+const Rhs kDecay = [](double, Vec2 z) -> Vec2 { return {-z.x, -2.0 * z.y}; };
+const Rhs kOscillator = [](double, Vec2 z) -> Vec2 { return {z.y, -z.x}; };
+
+TEST(IntegrateFixedTest, LandsExactlyOnEndTime) {
+  FixedStepOptions opts;
+  opts.step = 0.3;  // does not divide 1.0
+  const Trajectory t = integrate_fixed(kDecay, 0.0, {1.0, 1.0}, 1.0, opts);
+  EXPECT_NEAR(t.back().t, 1.0, 1e-12);
+  EXPECT_NEAR(t.back().z.x, std::exp(-1.0), 1e-4);  // RK4 at a coarse h=0.3
+}
+
+TEST(IntegrateFixedTest, DegenerateSpanReturnsInitialPoint) {
+  const Trajectory t = integrate_fixed(kDecay, 1.0, {2.0, 3.0}, 1.0, {});
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].z, (Vec2{2.0, 3.0}));
+}
+
+TEST(IntegrateFixedTest, StepperSelection) {
+  FixedStepOptions euler{Stepper::Euler, 0.001};
+  FixedStepOptions rk4{Stepper::Rk4, 0.001};
+  const double ex =
+      integrate_fixed(kDecay, 0.0, {1.0, 1.0}, 1.0, euler).back().z.x;
+  const double rx =
+      integrate_fixed(kDecay, 0.0, {1.0, 1.0}, 1.0, rk4).back().z.x;
+  EXPECT_LT(std::abs(rx - std::exp(-1.0)), std::abs(ex - std::exp(-1.0)));
+}
+
+TEST(IntegrateAdaptiveTest, MeetsToleranceOnOscillator) {
+  AdaptiveOptions opts;
+  opts.tol = {1e-10, 1e-10};
+  const double t_end = 20.0;
+  const auto res = integrate_adaptive(kOscillator, 0.0, {1.0, 0.0}, t_end, opts);
+  ASSERT_TRUE(res.completed);
+  EXPECT_NEAR(res.trajectory.back().z.x, std::cos(t_end), 1e-7);
+  EXPECT_NEAR(res.trajectory.back().z.y, -std::sin(t_end), 1e-7);
+  EXPECT_GT(res.steps_accepted, 10u);
+}
+
+TEST(IntegrateAdaptiveTest, RecordIntervalProducesUniformSamples) {
+  AdaptiveOptions opts;
+  opts.record_interval = 0.25;
+  const auto res = integrate_adaptive(kDecay, 0.0, {1.0, 1.0}, 1.0, opts);
+  ASSERT_TRUE(res.completed);
+  ASSERT_GE(res.trajectory.size(), 5u);
+  // Samples at 0, .25, .5, .75, 1.0 (plus maybe the final point).
+  EXPECT_NEAR(res.trajectory[1].t, 0.25, 1e-12);
+  EXPECT_NEAR(res.trajectory[2].t, 0.5, 1e-12);
+  EXPECT_NEAR(res.trajectory[1].z.x, std::exp(-0.25), 1e-7);
+}
+
+TEST(IntegrateAdaptiveTest, MaxStepRespected) {
+  AdaptiveOptions opts;
+  opts.max_step = 0.01;
+  const auto res = integrate_adaptive(kDecay, 0.0, {1.0, 1.0}, 1.0, opts);
+  ASSERT_TRUE(res.completed);
+  for (std::size_t i = 1; i < res.trajectory.size(); ++i) {
+    EXPECT_LE(res.trajectory[i].t - res.trajectory[i - 1].t, 0.01 + 1e-12);
+  }
+}
+
+TEST(IntegrateAdaptiveTest, RejectionsAreCounted) {
+  // Strongly nonlinear growth forces step rejections at a loose first step.
+  const Rhs stiff = [](double, Vec2 z) -> Vec2 {
+    return {-2000.0 * z.x, -2000.0 * z.y};
+  };
+  AdaptiveOptions opts;
+  opts.tol = {1e-12, 1e-12};
+  const auto res = integrate_adaptive(stiff, 0.0, {1.0, 1.0}, 0.01, opts);
+  EXPECT_TRUE(res.completed);
+  EXPECT_NEAR(res.trajectory.back().z.x, std::exp(-20.0), 1e-9);
+}
+
+TEST(IntegrateAdaptiveTest, BackwardSpanCompletesTrivially) {
+  const auto res = integrate_adaptive(kDecay, 1.0, {1.0, 1.0}, 0.5, {});
+  EXPECT_TRUE(res.completed);
+  EXPECT_EQ(res.trajectory.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bcn::ode

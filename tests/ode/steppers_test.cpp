@@ -1,0 +1,74 @@
+#include "ode/steppers.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::ode {
+namespace {
+
+// dz/dt = (-z.x, -2 z.y): exact solution (e^{-t}, e^{-2t}).
+const Rhs kDecay = [](double, Vec2 z) -> Vec2 { return {-z.x, -2.0 * z.y}; };
+
+// Harmonic oscillator x'' = -x as a system; energy x^2 + y^2 conserved.
+const Rhs kOscillator = [](double, Vec2 z) -> Vec2 { return {z.y, -z.x}; };
+
+double decay_error(Vec2 (*step)(const Rhs&, double, Vec2, double), double h) {
+  Vec2 z{1.0, 1.0};
+  double t = 0.0;
+  while (t < 1.0 - 1e-12) {
+    z = step(kDecay, t, z, h);
+    t += h;
+  }
+  return std::abs(z.x - std::exp(-1.0)) + std::abs(z.y - std::exp(-2.0));
+}
+
+TEST(SteppersTest, EulerFirstOrderConvergence) {
+  const double e1 = decay_error(&euler_step, 0.01);
+  const double e2 = decay_error(&euler_step, 0.005);
+  EXPECT_NEAR(e1 / e2, 2.0, 0.3);  // halving h halves the error
+}
+
+TEST(SteppersTest, HeunSecondOrderConvergence) {
+  const double e1 = decay_error(&heun_step, 0.02);
+  const double e2 = decay_error(&heun_step, 0.01);
+  EXPECT_NEAR(e1 / e2, 4.0, 0.8);
+}
+
+TEST(SteppersTest, Rk4FourthOrderConvergence) {
+  const double e1 = decay_error(&rk4_step, 0.04);
+  const double e2 = decay_error(&rk4_step, 0.02);
+  EXPECT_NEAR(e1 / e2, 16.0, 4.0);
+}
+
+TEST(SteppersTest, Rk4AccurateOnOscillator) {
+  Vec2 z{1.0, 0.0};
+  const int n = 628;
+  const double h = 6.283185307179586 / n;
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    z = rk4_step(kOscillator, t, z, h);
+    t += h;
+  }
+  // One full period returns to the start.
+  EXPECT_NEAR(z.x, 1.0, 1e-8);
+  EXPECT_NEAR(z.y, 0.0, 1e-8);
+}
+
+TEST(SteppersTest, ZeroStepIsIdentity) {
+  const Vec2 z{2.0, -3.0};
+  EXPECT_EQ(euler_step(kDecay, 0.0, z, 0.0), z);
+  EXPECT_EQ(heun_step(kDecay, 0.0, z, 0.0), z);
+  EXPECT_EQ(rk4_step(kDecay, 0.0, z, 0.0), z);
+}
+
+TEST(SteppersTest, TimeDependentRhsUsesStageTimes) {
+  // dz/dt = (t, 0): exact x(t) = t^2/2.  Euler lags, RK4 is exact.
+  const Rhs f = [](double t, Vec2) -> Vec2 { return {t, 0.0}; };
+  Vec2 z{0.0, 0.0};
+  z = rk4_step(f, 0.0, z, 1.0);
+  EXPECT_NEAR(z.x, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace bcn::ode

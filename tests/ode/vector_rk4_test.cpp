@@ -1,0 +1,93 @@
+#include "ode/vector_rk4.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::ode {
+namespace {
+
+// Coupled 3-D linear system with known solution: independent decays.
+const VectorRhs kDecay3 = [](double, const std::vector<double>& y,
+                             std::vector<double>& dy) {
+  dy[0] = -y[0];
+  dy[1] = -2.0 * y[1];
+  dy[2] = -0.5 * y[2];
+};
+
+TEST(VectorRk4Test, MatchesExactSolution) {
+  std::vector<double> y{1.0, 1.0, 2.0};
+  vector_rk4_integrate(kDecay3, 0.0, 1.0, 0.01, y);
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-8);
+  EXPECT_NEAR(y[1], std::exp(-2.0), 1e-8);
+  EXPECT_NEAR(y[2], 2.0 * std::exp(-0.5), 1e-8);
+}
+
+TEST(VectorRk4Test, FourthOrderConvergence) {
+  auto err_at = [](double h) {
+    std::vector<double> y{1.0, 1.0, 2.0};
+    vector_rk4_integrate(kDecay3, 0.0, 1.0, h, y);
+    return std::abs(y[1] - std::exp(-2.0));
+  };
+  const double coarse = err_at(0.04);
+  const double fine = err_at(0.02);
+  EXPECT_NEAR(coarse / fine, 16.0, 5.0);
+}
+
+TEST(VectorRk4Test, ObserverSeesEveryStep) {
+  std::vector<double> y{1.0, 0.0, 0.0};
+  int calls = 0;
+  double last_t = 0.0;
+  vector_rk4_integrate(
+      kDecay3, 0.0, 1.0, 0.25, y,
+      [&](double t, const std::vector<double>& state) {
+        ++calls;
+        last_t = t;
+        EXPECT_EQ(state.size(), 3u);
+      });
+  EXPECT_EQ(calls, 4);
+  EXPECT_NEAR(last_t, 1.0, 1e-12);
+}
+
+TEST(VectorRk4Test, LastStepShortenedToLandOnT1) {
+  std::vector<double> y{1.0, 1.0, 1.0};
+  double final_t = 0.0;
+  vector_rk4_integrate(kDecay3, 0.0, 1.0, 0.3, y,
+                       [&](double t, const std::vector<double>&) {
+                         final_t = t;
+                       });
+  EXPECT_NEAR(final_t, 1.0, 1e-12);
+  EXPECT_NEAR(y[0], std::exp(-1.0), 1e-4);  // coarse h = 0.3
+}
+
+TEST(VectorRk4Test, TimeDependentRhs) {
+  // dy/dt = [t]; y(1) = 0.5 from y(0) = 0.
+  const VectorRhs f = [](double t, const std::vector<double>&,
+                         std::vector<double>& dy) { dy[0] = t; };
+  std::vector<double> y{0.0};
+  vector_rk4_integrate(f, 0.0, 1.0, 0.1, y);
+  EXPECT_NEAR(y[0], 0.5, 1e-12);
+}
+
+TEST(VectorRk4Test, HighDimensionalState) {
+  // 100 coupled oscillator pairs: energy of each pair conserved by RK4 to
+  // high accuracy over one period.
+  const std::size_t pairs = 100;
+  const VectorRhs f = [&](double, const std::vector<double>& y,
+                          std::vector<double>& dy) {
+    for (std::size_t i = 0; i < pairs; ++i) {
+      dy[2 * i] = y[2 * i + 1];
+      dy[2 * i + 1] = -y[2 * i];
+    }
+  };
+  std::vector<double> y(2 * pairs);
+  for (std::size_t i = 0; i < pairs; ++i) y[2 * i] = 1.0;
+  vector_rk4_integrate(f, 0.0, 2.0 * M_PI, 0.01, y);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    EXPECT_NEAR(y[2 * i], 1.0, 1e-7);
+    EXPECT_NEAR(y[2 * i + 1], 0.0, 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace bcn::ode

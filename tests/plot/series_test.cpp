@@ -1,0 +1,42 @@
+#include "plot/series.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn::plot {
+namespace {
+
+ode::Trajectory ramp() {
+  ode::Trajectory t;
+  t.push_back(0.0, {1.0, -2.0});
+  t.push_back(1.0, {3.0, 4.0});
+  t.push_back(2.0, {-5.0, 0.5});
+  return t;
+}
+
+TEST(SeriesTest, Bounds) {
+  Series s{"s", {{0.0, 1.0}, {2.0, -3.0}, {-1.0, 5.0}}};
+  EXPECT_DOUBLE_EQ(s.min_x(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max_x(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min_y(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max_y(), 5.0);
+}
+
+TEST(SeriesTest, VsTimeExtractsComponentWithScaling) {
+  const auto s = series_vs_time(ramp(), 0, "x(t)", 1e3, 2.0);
+  EXPECT_EQ(s.name, "x(t)");
+  ASSERT_EQ(s.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.points[1].x, 1e3);   // t scaled
+  EXPECT_DOUBLE_EQ(s.points[1].y, 6.0);   // x scaled
+  const auto sy = series_vs_time(ramp(), 1, "y(t)");
+  EXPECT_DOUBLE_EQ(sy.points[0].y, -2.0);
+}
+
+TEST(SeriesTest, PhasePortrait) {
+  const auto s = series_phase(ramp(), "phase", 0.5, 0.25);
+  ASSERT_EQ(s.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.points[0].x, 0.5);
+  EXPECT_DOUBLE_EQ(s.points[0].y, -0.5);
+}
+
+}  // namespace
+}  // namespace bcn::plot

@@ -1,0 +1,163 @@
+#include "sim/core_switch.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bcn::sim {
+namespace {
+
+struct Harness {
+  Simulator sim;
+  SimStats stats;
+  CoreSwitchConfig config;
+  std::vector<BcnMessage> bcn;
+  std::vector<PauseFrame> pauses;
+
+  explicit Harness(CoreSwitchConfig c) : config(c), sw(sim, c, stats) {
+    sw.set_bcn_sender([this](const BcnMessage& m) { bcn.push_back(m); });
+    sw.set_pause_sender([this](const PauseFrame& p) { pauses.push_back(p); });
+  }
+
+  Frame frame(SourceId src, double bits = 12000.0, bool rrt = false,
+              CongestionPointId cpid = 1) {
+    Frame f;
+    f.source = src;
+    f.size_bits = bits;
+    f.has_rrt = rrt;
+    f.rrt_cpid = cpid;
+    return f;
+  }
+
+  CoreSwitch sw;
+};
+
+CoreSwitchConfig small_config() {
+  CoreSwitchConfig c;
+  c.capacity = 1e9;
+  c.buffer_bits = 120000.0;  // 10 frames
+  c.q0 = 60000.0;            // 5 frames
+  c.qsc = 96000.0;           // 8 frames
+  c.w = 2.0;
+  c.pm = 0.5;  // sample every 2nd frame
+  c.positive_requires_rrt = false;
+  return c;
+}
+
+TEST(CoreSwitchTest, EnqueueAndDrain) {
+  Harness h(small_config());
+  h.sw.on_frame(h.frame(0));
+  EXPECT_DOUBLE_EQ(h.sw.queue_bits(), 12000.0);
+  // Drain at 1 Gbps: 12 us per frame.
+  h.sim.run_until(12 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(h.sw.queue_bits(), 0.0);
+  EXPECT_EQ(h.stats.counters.frames_delivered, 1u);
+  EXPECT_DOUBLE_EQ(h.stats.counters.bits_delivered, 12000.0);
+}
+
+TEST(CoreSwitchTest, DropsWhenBufferFull) {
+  Harness h(small_config());
+  for (int i = 0; i < 12; ++i) h.sw.on_frame(h.frame(0));
+  // 10 fit (120000 bits), 2 dropped.
+  EXPECT_EQ(h.stats.counters.frames_enqueued, 10u);
+  EXPECT_EQ(h.stats.counters.frames_dropped, 2u);
+  EXPECT_DOUBLE_EQ(h.sw.queue_bits(), 120000.0);
+}
+
+TEST(CoreSwitchTest, SamplesEveryNthFrame) {
+  Harness h(small_config());  // pm = 0.5 -> every 2nd
+  for (int i = 0; i < 10; ++i) h.sw.on_frame(h.frame(0));
+  EXPECT_EQ(h.stats.counters.frames_sampled, 5u);
+}
+
+TEST(CoreSwitchTest, NegativeBcnWhenCongested) {
+  Harness h(small_config());
+  // Fill to 8 frames quickly: q = 96000 > q0 = 60000, delta_q > 0 ->
+  // sigma < 0 on the later samples.
+  for (int i = 0; i < 8; ++i) h.sw.on_frame(h.frame(3));
+  EXPECT_GT(h.stats.counters.bcn_negative, 0u);
+  ASSERT_FALSE(h.bcn.empty());
+  EXPECT_EQ(h.bcn.back().target, 3u);
+  EXPECT_LT(h.bcn.back().sigma, 0.0);
+  EXPECT_EQ(h.bcn.back().cpid, 1u);
+}
+
+TEST(CoreSwitchTest, SigmaFollowsEq1) {
+  Harness h(small_config());
+  // First two arrivals: sample fires on the 2nd with q = 12000 (one frame
+  // enqueued before sampling of the 2nd happens pre-enqueue), delta_q =
+  // 12000 - 0.  sigma = (q0 - q) - w dq = (60000-12000) - 2*12000 = 24000.
+  h.sw.on_frame(h.frame(0));
+  h.sw.on_frame(h.frame(0));
+  ASSERT_EQ(h.bcn.size(), 1u);
+  EXPECT_DOUBLE_EQ(h.bcn[0].sigma, 24000.0);
+}
+
+TEST(CoreSwitchTest, PositiveBcnOnlyBelowQ0) {
+  Harness h(small_config());
+  h.sw.on_frame(h.frame(5));
+  h.sw.on_frame(h.frame(5));  // sampled: q = 12000 < q0, sigma > 0
+  ASSERT_EQ(h.bcn.size(), 1u);
+  EXPECT_GT(h.bcn[0].sigma, 0.0);
+  EXPECT_EQ(h.stats.counters.bcn_positive, 1u);
+}
+
+TEST(CoreSwitchTest, PositiveRequiresRrtWhenConfigured) {
+  CoreSwitchConfig c = small_config();
+  c.positive_requires_rrt = true;
+  Harness h(c);
+  h.sw.on_frame(h.frame(0));
+  h.sw.on_frame(h.frame(0));  // sampled, untagged -> no positive BCN
+  EXPECT_TRUE(h.bcn.empty());
+  // Tagged frame with matching CPID gets positive feedback.
+  h.sw.on_frame(h.frame(0, 12000.0, true, 1));
+  h.sw.on_frame(h.frame(0, 12000.0, true, 1));
+  h.sim.run_until(80 * kMicrosecond);  // drain below q0
+  h.sw.on_frame(h.frame(0, 12000.0, true, 1));
+  h.sw.on_frame(h.frame(0, 12000.0, true, 1));
+  EXPECT_GE(h.stats.counters.bcn_positive, 1u);
+}
+
+TEST(CoreSwitchTest, MismatchedCpidGetsNoPositive) {
+  CoreSwitchConfig c = small_config();
+  c.positive_requires_rrt = true;
+  Harness h(c);
+  h.sw.on_frame(h.frame(0, 12000.0, true, 99));
+  h.sw.on_frame(h.frame(0, 12000.0, true, 99));
+  EXPECT_EQ(h.stats.counters.bcn_positive, 0u);
+}
+
+TEST(CoreSwitchTest, PauseAboveQsc) {
+  Harness h(small_config());
+  for (int i = 0; i < 9; ++i) h.sw.on_frame(h.frame(0));
+  EXPECT_GE(h.stats.counters.pause_frames, 1u);
+  ASSERT_FALSE(h.pauses.empty());
+  EXPECT_GT(h.pauses[0].duration, 0);
+}
+
+TEST(CoreSwitchTest, PauseCooldownLimitsRate) {
+  Harness h(small_config());
+  for (int i = 0; i < 10; ++i) h.sw.on_frame(h.frame(0));
+  // All arrivals above qsc land within the cooldown window.
+  EXPECT_EQ(h.stats.counters.pause_frames, 1u);
+}
+
+TEST(CoreSwitchTest, PauseDisabled) {
+  CoreSwitchConfig c = small_config();
+  c.enable_pause = false;
+  Harness h(c);
+  for (int i = 0; i < 10; ++i) h.sw.on_frame(h.frame(0));
+  EXPECT_EQ(h.stats.counters.pause_frames, 0u);
+  EXPECT_TRUE(h.pauses.empty());
+}
+
+TEST(CoreSwitchTest, ServiceKeepsDrainingBackToBack) {
+  Harness h(small_config());
+  for (int i = 0; i < 5; ++i) h.sw.on_frame(h.frame(0));
+  h.sim.run_until(60 * kMicrosecond);  // 5 frames x 12 us
+  EXPECT_EQ(h.stats.counters.frames_delivered, 5u);
+  EXPECT_DOUBLE_EQ(h.sw.queue_bits(), 0.0);
+}
+
+}  // namespace
+}  // namespace bcn::sim

@@ -1,0 +1,123 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bcn::sim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMicrosecond), 1e-6);
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(from_seconds(to_seconds(12345)), 12345);
+}
+
+TEST(SimTimeTest, TransmissionTimeRoundsUp) {
+  // 12000 bits at 10 Gbps = 1200 ns exactly.
+  EXPECT_EQ(transmission_time(12000.0, 10e9), 1200);
+  // 1 bit at 10 Gbps = 0.1 ns -> rounds up to 1 ns.
+  EXPECT_EQ(transmission_time(1.0, 10e9), 1);
+  EXPECT_EQ(transmission_time(0.0, 10e9), 0);
+  // Zero rate never completes (huge sentinel).
+  EXPECT_GT(transmission_time(1.0, 0.0), kSecond);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(10, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+  sim.run_until(25);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(5, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until(100);
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, CancelInvalidAndFiredIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  const EventId id = sim.schedule_at(10, [&] { ++fired; });
+  sim.run_until(50);
+  sim.cancel(id);           // already fired
+  sim.cancel(kInvalidEvent);  // invalid handle
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, EventsScheduledInPastClampToNow) {
+  Simulator sim;
+  sim.run_until(50);
+  SimTime fired_at = -1;
+  sim.schedule_at(10, [&] { fired_at = sim.now(); });
+  sim.run_until(60);
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(SimulatorTest, EventsCanScheduleChains) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) sim.schedule_after(5, tick);
+  };
+  sim.schedule_at(0, tick);
+  const std::size_t executed = sim.run_until(1000);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(executed, 10u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulatorTest, IdleReflectsLiveEvents) {
+  Simulator sim;
+  EXPECT_TRUE(sim.idle());
+  const EventId id = sim.schedule_at(10, [] {});
+  EXPECT_FALSE(sim.idle());
+  sim.cancel(id);
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace bcn::sim

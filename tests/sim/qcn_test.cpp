@@ -1,0 +1,139 @@
+// QcnSelfIncrease feedback mode: negative-only quantized feedback with
+// source-driven recovery (the QCN direction the paper's Section II
+// sketches).
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "sim/rate_regulator.h"
+
+namespace bcn::sim {
+namespace {
+
+RegulatorConfig qcn_config() {
+  RegulatorConfig c;
+  c.mode = FeedbackMode::QcnSelfIncrease;
+  c.min_rate = 1e6;
+  c.max_rate = 10e9;
+  c.frame_bits = 12000.0;
+  c.max_decrease = 0.5;
+  c.qcn_active_increase = 5e6;
+  return c;
+}
+
+TEST(QcnRegulatorTest, PositiveFeedbackIgnored) {
+  RateRegulator reg(qcn_config(), 1e9, 0);
+  reg.on_bcn({1, 0, 1e6, 0}, 100);
+  EXPECT_DOUBLE_EQ(reg.rate(), 1e9);
+}
+
+TEST(QcnRegulatorTest, NegativeFeedbackQuantizedDecrease) {
+  RateRegulator reg(qcn_config(), 1e9, 0);
+  // sigma = -64 frames -> full-scale Fb = 63 -> factor 1 - 0.5*63/64.
+  reg.on_bcn({1, 0, -64.0 * 12000.0, 0}, 100);
+  EXPECT_NEAR(reg.rate(), 1e9 * (1.0 - 0.5 * 63.0 / 64.0), 1e3);
+  EXPECT_DOUBLE_EQ(reg.target_rate(), 1e9);
+  EXPECT_TRUE(reg.in_fast_recovery());
+}
+
+TEST(QcnRegulatorTest, SmallSigmaStillQuantizesToOneStep) {
+  RateRegulator reg(qcn_config(), 1e9, 0);
+  // A tiny violation maps to Fb = 1, not zero (ceil quantization).
+  reg.on_bcn({1, 0, -0.1 * 12000.0, 0}, 100);
+  EXPECT_NEAR(reg.rate(), 1e9 * (1.0 - 0.5 * 1.0 / 64.0), 1e3);
+}
+
+TEST(QcnRegulatorTest, FastRecoveryHalvesTowardTarget) {
+  RateRegulator reg(qcn_config(), 1e9, 0);
+  reg.on_bcn({1, 0, -64.0 * 12000.0, 0}, 100);
+  const double after_drop = reg.rate();
+  reg.self_increase();
+  EXPECT_NEAR(reg.rate(), (after_drop + 1e9) / 2.0, 1e3);
+  // Five cycles bring the rate within ~3% of the target.
+  for (int i = 0; i < 4; ++i) reg.self_increase();
+  EXPECT_GT(reg.rate(), 0.97e9);
+  EXPECT_FALSE(reg.in_fast_recovery());
+}
+
+TEST(QcnRegulatorTest, ActiveIncreaseProbesBeyondTarget) {
+  RateRegulator reg(qcn_config(), 1e9, 0);
+  reg.on_bcn({1, 0, -64.0 * 12000.0, 0}, 100);
+  for (int i = 0; i < 5; ++i) reg.self_increase();  // finish fast recovery
+  const double recovered = reg.rate();
+  reg.self_increase();  // active increase raises the target by R_AI
+  EXPECT_GT(reg.rate(), recovered);
+  EXPECT_GT(reg.target_rate(), 1e9);
+}
+
+TEST(QcnRegulatorTest, SelfIncreaseNoopInOtherModes) {
+  RegulatorConfig c = qcn_config();
+  c.mode = FeedbackMode::FluidMatched;
+  RateRegulator reg(c, 1e9, 0);
+  reg.self_increase();
+  EXPECT_DOUBLE_EQ(reg.rate(), 1e9);
+}
+
+TEST(QcnNetworkTest, NegativeOnlyFeedbackStillControlsQueue) {
+  NetworkConfig cfg;
+  core::BcnParams p;
+  p.num_sources = 5;
+  p.capacity = 10e9;
+  p.q0 = 2.5e6;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  p.pm = 0.2;
+  cfg.params = p;
+  cfg.feedback_mode = FeedbackMode::QcnSelfIncrease;
+  cfg.initial_rate = 3e9;  // overloaded start: 15 Gbps aggregate
+  Network net(cfg);
+  net.run(60 * kMillisecond);
+  const auto& st = net.stats();
+  // No positive BCN ever sent.
+  EXPECT_EQ(st.counters.bcn_positive, 0u);
+  EXPECT_GT(st.counters.bcn_negative, 0u);
+  EXPECT_EQ(st.counters.frames_dropped, 0u);
+  // The queue is kept bounded well below the buffer...
+  EXPECT_LT(st.max_queue(), 0.5 * p.buffer);
+  // ...and the link stays highly utilized in the steady half.
+  double tail_rate = 0.0;
+  int n = 0;
+  for (const auto& tp : st.trace()) {
+    if (tp.t < 30 * kMillisecond) continue;
+    tail_rate += tp.aggregate_rate;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(tail_rate / n, 0.85 * p.capacity);
+}
+
+TEST(QcnNetworkTest, SawtoothAroundLinkCapacity) {
+  // QCN's probe-and-back-off makes the aggregate rate a sawtooth around
+  // C, unlike the BCN equilibrium at q0.
+  NetworkConfig cfg;
+  core::BcnParams p;
+  p.num_sources = 5;
+  p.capacity = 10e9;
+  p.q0 = 2.5e6;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  p.pm = 0.2;
+  cfg.params = p;
+  cfg.feedback_mode = FeedbackMode::QcnSelfIncrease;
+  cfg.initial_rate = 2e9;
+  Network net(cfg);
+  net.run(100 * kMillisecond);
+  // Rate repeatedly crosses C: count crossings in the second half.
+  int crossings = 0;
+  bool above = false;
+  bool first = true;
+  for (const auto& tp : net.stats().trace()) {
+    if (tp.t < 50 * kMillisecond) continue;
+    const bool now_above = tp.aggregate_rate > p.capacity;
+    if (!first && now_above != above) ++crossings;
+    above = now_above;
+    first = false;
+  }
+  EXPECT_GE(crossings, 2);
+}
+
+}  // namespace
+}  // namespace bcn::sim

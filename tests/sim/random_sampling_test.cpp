@@ -1,0 +1,86 @@
+// Random (Bernoulli) frame sampling at the congestion point -- the
+// original ECM proposal's discipline -- versus the deterministic 1/pm
+// count the paper's fluid model assumes.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace bcn::sim {
+namespace {
+
+NetworkConfig slow_regime(bool random, std::uint64_t seed = 0x5eed) {
+  NetworkConfig cfg;
+  core::BcnParams p;
+  p.num_sources = 5;
+  p.capacity = 10e9;
+  p.q0 = 2.5e6;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  p.pm = 0.2;
+  p.gi = 0.5;
+  cfg.params = p;
+  cfg.initial_rate = p.capacity / p.num_sources;
+  cfg.random_sampling = random;
+  cfg.sampling_seed = seed;
+  return cfg;
+}
+
+TEST(RandomSamplingTest, SampleRateMatchesPm) {
+  Network net(slow_regime(true));
+  net.run(20 * kMillisecond);
+  const auto& c = net.stats().counters;
+  const double observed = static_cast<double>(c.frames_sampled) /
+                          static_cast<double>(c.frames_enqueued);
+  EXPECT_NEAR(observed, 0.2, 0.02);
+}
+
+TEST(RandomSamplingTest, ReproducibleForSameSeed) {
+  Network a(slow_regime(true, 42));
+  Network b(slow_regime(true, 42));
+  a.run(10 * kMillisecond);
+  b.run(10 * kMillisecond);
+  EXPECT_EQ(a.stats().counters.frames_sampled,
+            b.stats().counters.frames_sampled);
+  EXPECT_DOUBLE_EQ(a.queue_bits(), b.queue_bits());
+}
+
+TEST(RandomSamplingTest, DifferentSeedsDiverge) {
+  Network a(slow_regime(true, 1));
+  Network b(slow_regime(true, 2));
+  a.run(10 * kMillisecond);
+  b.run(10 * kMillisecond);
+  // Same law, different sampling noise: aggregate rates drift apart.
+  EXPECT_NE(a.aggregate_rate(), b.aggregate_rate());
+}
+
+TEST(RandomSamplingTest, ControlStillConvergesWithSamplingNoise) {
+  // The fluid model's conclusions survive Bernoulli sampling jitter: the
+  // queue still settles near q0 with zero drops.
+  Network net(slow_regime(true));
+  net.run(40 * kMillisecond);
+  EXPECT_EQ(net.stats().counters.frames_dropped, 0u);
+  double tail = 0.0;
+  int n = 0;
+  for (const auto& tp : net.stats().trace()) {
+    if (tp.t < 30 * kMillisecond) continue;
+    tail += tp.queue_bits;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_NEAR(tail / n, 2.5e6, 0.5e6);
+}
+
+TEST(RandomSamplingTest, DeterministicModeUnaffectedBySeed) {
+  Network a(slow_regime(false, 1));
+  Network b(slow_regime(false, 999));
+  a.run(10 * kMillisecond);
+  b.run(10 * kMillisecond);
+  EXPECT_DOUBLE_EQ(a.queue_bits(), b.queue_bits());
+  EXPECT_EQ(a.stats().counters.frames_sampled,
+            b.stats().counters.frames_sampled);
+}
+
+}  // namespace
+}  // namespace bcn::sim

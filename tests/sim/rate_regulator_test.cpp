@@ -1,0 +1,120 @@
+#include "sim/rate_regulator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace bcn::sim {
+namespace {
+
+RegulatorConfig fluid_config() {
+  RegulatorConfig c;
+  c.gi = 4.0;
+  c.gd = 1.0 / 128.0;
+  c.ru = 8e6;
+  c.min_rate = 1e6;
+  c.max_rate = 10e9;
+  c.mode = FeedbackMode::FluidMatched;
+  return c;
+}
+
+TEST(RateRegulatorTest, FluidIncreaseIntegratesOdeExactly) {
+  RateRegulator reg(fluid_config(), 1e9, 0);
+  // One positive message after 1 ms: dr = Gi Ru sigma dt.
+  BcnMessage msg{1, 0, 1000.0, 0};
+  reg.on_bcn(msg, kMillisecond);
+  const double expected = 1e9 + 4.0 * 8e6 * 1000.0 * 1e-3;
+  EXPECT_NEAR(reg.rate(), expected, 1e-3);
+}
+
+TEST(RateRegulatorTest, FluidDecreaseIsExponential) {
+  RateRegulator reg(fluid_config(), 1e9, 0);
+  BcnMessage msg{1, 0, -1000.0, 0};
+  reg.on_bcn(msg, kMillisecond);
+  const double expected = 1e9 * std::exp(-1000.0 / 128.0 * 1e-3);
+  EXPECT_NEAR(reg.rate(), expected, 1.0);
+}
+
+TEST(RateRegulatorTest, TwoHalfStepsComposeLikeOneFullStep) {
+  // The exponential decrease makes the update path-consistent in time.
+  RateRegulator once(fluid_config(), 1e9, 0);
+  once.on_bcn({1, 0, -500.0, 0}, 2 * kMillisecond);
+  RateRegulator twice(fluid_config(), 1e9, 0);
+  twice.on_bcn({1, 0, -500.0, 0}, kMillisecond);
+  twice.on_bcn({1, 0, -500.0, 0}, 2 * kMillisecond);
+  EXPECT_NEAR(once.rate(), twice.rate(), 1e-3);
+}
+
+TEST(RateRegulatorTest, AssociationOnFirstNegative) {
+  RateRegulator reg(fluid_config(), 1e9, 0);
+  EXPECT_FALSE(reg.is_associated());
+  reg.on_bcn({7, 0, 500.0, 0}, 10);  // positive: no association
+  EXPECT_FALSE(reg.is_associated());
+  reg.on_bcn({7, 0, -500.0, 0}, 20);
+  EXPECT_TRUE(reg.is_associated());
+  EXPECT_EQ(reg.cpid(), 7u);
+}
+
+TEST(RateRegulatorTest, DissociatesAtLineRate) {
+  RegulatorConfig c = fluid_config();
+  c.max_rate = 2e9;
+  RateRegulator reg(c, 1.9e9, 0);
+  reg.on_bcn({3, 0, -100.0, 0}, kMicrosecond);
+  EXPECT_TRUE(reg.is_associated());
+  // A huge positive correction drives the rate to the cap -> dissociation.
+  reg.on_bcn({3, 0, 1e6, 0}, kSecond);
+  EXPECT_DOUBLE_EQ(reg.rate(), 2e9);
+  EXPECT_FALSE(reg.is_associated());
+}
+
+TEST(RateRegulatorTest, ClampsToMinRate) {
+  RateRegulator reg(fluid_config(), 2e6, 0);
+  reg.on_bcn({1, 0, -1e9, 0}, kSecond);
+  EXPECT_DOUBLE_EQ(reg.rate(), 1e6);
+}
+
+TEST(RateRegulatorTest, InitialRateClamped) {
+  RateRegulator low(fluid_config(), 0.0, 0);
+  EXPECT_DOUBLE_EQ(low.rate(), 1e6);
+  RateRegulator high(fluid_config(), 1e12, 0);
+  EXPECT_DOUBLE_EQ(high.rate(), 10e9);
+}
+
+TEST(RateRegulatorTest, ZeroSigmaLeavesRateUnchanged) {
+  RateRegulator reg(fluid_config(), 5e8, 0);
+  reg.on_bcn({1, 0, 0.0, 0}, kMillisecond);
+  EXPECT_DOUBLE_EQ(reg.rate(), 5e8);
+}
+
+TEST(RateRegulatorTest, DraftModeAppliesPerMessageJump) {
+  RegulatorConfig c = fluid_config();
+  c.mode = FeedbackMode::DraftPerMessage;
+  c.frame_bits = 12000.0;
+  RateRegulator reg(c, 1e9, 0);
+  // sigma = +12000 bits = +1 frame: dr = Gi Ru * 1, independent of dt.
+  reg.on_bcn({1, 0, 12000.0, 0}, 12345);
+  EXPECT_NEAR(reg.rate(), 1e9 + 4.0 * 8e6, 1.0);
+}
+
+TEST(RateRegulatorTest, DraftModeMultiplicativeDecrease) {
+  RegulatorConfig c = fluid_config();
+  c.mode = FeedbackMode::DraftPerMessage;
+  RateRegulator reg(c, 1e9, 0);
+  // sigma = -12.8 frames: factor = 1 - 12.8/128 = 0.9.
+  reg.on_bcn({1, 0, -12.8 * 12000.0, 0}, 1);
+  EXPECT_NEAR(reg.rate(), 0.9e9, 1e3);
+}
+
+TEST(RateRegulatorTest, DraftModeDecreaseFloorBoundsJump) {
+  RegulatorConfig c = fluid_config();
+  c.mode = FeedbackMode::DraftPerMessage;
+  c.max_decrease = 0.5;
+  RateRegulator reg(c, 1e9, 0);
+  // An enormous negative sigma would make the factor negative; the floor
+  // keeps one message from removing more than half the rate.
+  reg.on_bcn({1, 0, -1e9, 0}, 1);
+  EXPECT_NEAR(reg.rate(), 0.5e9, 1e3);
+}
+
+}  // namespace
+}  // namespace bcn::sim

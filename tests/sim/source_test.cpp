@@ -1,0 +1,117 @@
+#include "sim/source.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bcn::sim {
+namespace {
+
+SourceConfig basic_config() {
+  SourceConfig c;
+  c.id = 4;
+  c.frame_bits = 12000.0;
+  c.initial_rate = 1e9;  // 12 us per frame
+  c.regulator.min_rate = 1e6;
+  c.regulator.max_rate = 10e9;
+  c.regulator.mode = FeedbackMode::FluidMatched;
+  return c;
+}
+
+TEST(SourceTest, PacesAtConfiguredRate) {
+  Simulator sim;
+  Source src(sim, basic_config());
+  std::vector<SimTime> times;
+  src.start([&](const Frame& f) {
+    times.push_back(sim.now());
+    EXPECT_EQ(f.source, 4u);
+    EXPECT_DOUBLE_EQ(f.size_bits, 12000.0);
+  });
+  sim.run_until(120 * kMicrosecond);
+  // 1 Gbps, 12000-bit frames: one every 12 us -> ~11 frames in 120 us.
+  ASSERT_GE(times.size(), 10u);
+  EXPECT_EQ(times[1] - times[0], 12 * kMicrosecond);
+  EXPECT_EQ(times[2] - times[1], 12 * kMicrosecond);
+}
+
+TEST(SourceTest, FramesCarrySequentialSeq) {
+  Simulator sim;
+  Source src(sim, basic_config());
+  std::vector<std::uint64_t> seqs;
+  src.start([&](const Frame& f) { seqs.push_back(f.seq); });
+  sim.run_until(60 * kMicrosecond);
+  for (std::size_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+  EXPECT_EQ(src.frames_sent(), seqs.size());
+}
+
+TEST(SourceTest, NegativeBcnSlowsPacing) {
+  Simulator sim;
+  Source src(sim, basic_config());
+  int count = 0;
+  src.start([&](const Frame&) { ++count; });
+  sim.run_until(24 * kMicrosecond);
+  const int before = count;
+  // Halve-ish the rate via a strong negative sigma.
+  BcnMessage msg{1, 4, -88723.0, 0};  // exp(gd*sigma*dt) shaped by dt
+  src.on_bcn(msg);
+  sim.run_until(240 * kMicrosecond);
+  const double late_rate = src.rate();
+  EXPECT_LT(late_rate, 1e9);
+  EXPECT_GT(count, before);  // still sending, just slower
+}
+
+TEST(SourceTest, RrtTagAppearsAfterAssociation) {
+  Simulator sim;
+  Source src(sim, basic_config());
+  std::vector<bool> tags;
+  src.start([&](const Frame& f) { tags.push_back(f.has_rrt); });
+  sim.run_until(20 * kMicrosecond);
+  EXPECT_FALSE(tags.back());
+  src.on_bcn({9, 4, -1000.0, 0});
+  sim.run_until(60 * kMicrosecond);
+  EXPECT_TRUE(tags.back());
+  EXPECT_EQ(src.regulator().cpid(), 9u);
+}
+
+TEST(SourceTest, PauseSuspendsTransmission) {
+  Simulator sim;
+  Source src(sim, basic_config());
+  std::vector<SimTime> times;
+  src.start([&](const Frame&) { times.push_back(sim.now()); });
+  sim.run_until(12 * kMicrosecond);
+  const auto before = times.size();
+  src.on_pause({100 * kMicrosecond, sim.now()});
+  sim.run_until(100 * kMicrosecond);
+  EXPECT_EQ(times.size(), before);  // nothing during the pause window
+  sim.run_until(200 * kMicrosecond);
+  EXPECT_GT(times.size(), before);  // resumed afterwards
+}
+
+TEST(SourceTest, OverlappingPausesExtendNotShorten) {
+  Simulator sim;
+  Source src(sim, basic_config());
+  std::vector<SimTime> times;
+  src.start([&](const Frame&) { times.push_back(sim.now()); });
+  sim.run_until(kMicrosecond);
+  src.on_pause({100 * kMicrosecond, sim.now()});
+  sim.run_until(2 * kMicrosecond);
+  src.on_pause({10 * kMicrosecond, sim.now()});  // shorter: must not shrink
+  times.clear();
+  sim.run_until(100 * kMicrosecond);
+  EXPECT_TRUE(times.empty());
+}
+
+TEST(SourceTest, StartDelayHonored) {
+  Simulator sim;
+  SourceConfig c = basic_config();
+  c.start_at = 50 * kMicrosecond;
+  Source src(sim, c);
+  std::vector<SimTime> times;
+  src.start([&](const Frame&) { times.push_back(sim.now()); });
+  sim.run_until(200 * kMicrosecond);
+  ASSERT_FALSE(times.empty());
+  EXPECT_GE(times.front(), 50 * kMicrosecond);
+}
+
+}  // namespace
+}  // namespace bcn::sim

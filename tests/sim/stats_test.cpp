@@ -1,0 +1,49 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn::sim {
+namespace {
+
+TEST(SimStatsTest, QueueAggregates) {
+  SimStats s;
+  s.record(0, 0.0, 1e9);
+  s.record(10, 5e5, 1.2e9);
+  s.record(20, 2e5, 0.8e9);
+  s.record(30, 8e5, 1e9);
+  EXPECT_DOUBLE_EQ(s.max_queue(), 8e5);
+  EXPECT_DOUBLE_EQ(s.mean_queue(), (0.0 + 5e5 + 2e5 + 8e5) / 4.0);
+  EXPECT_DOUBLE_EQ(s.min_queue_after(15), 2e5);
+  EXPECT_DOUBLE_EQ(s.min_queue_after(25), 8e5);
+}
+
+TEST(SimStatsTest, MinQueueAfterEmptyTailIsZero) {
+  SimStats s;
+  s.record(0, 5.0, 0.0);
+  EXPECT_DOUBLE_EQ(s.min_queue_after(100), 0.0);
+}
+
+TEST(SimStatsTest, Throughput) {
+  SimStats s;
+  s.counters.bits_delivered = 1e9;
+  EXPECT_DOUBLE_EQ(s.throughput(kSecond), 1e9);
+  EXPECT_DOUBLE_EQ(s.throughput(kSecond / 2), 2e9);
+  EXPECT_DOUBLE_EQ(s.throughput(0), 0.0);
+}
+
+TEST(SimStatsTest, PhaseTrajectoryConversion) {
+  SimStats s;
+  s.record(0, 0.0, 1e10);
+  s.record(kMillisecond, 3e6, 1.1e10);
+  const auto traj = s.to_phase_trajectory(2.5e6, 1e10);
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_DOUBLE_EQ(traj[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(traj[0].z.x, -2.5e6);
+  EXPECT_DOUBLE_EQ(traj[0].z.y, 0.0);
+  EXPECT_DOUBLE_EQ(traj[1].t, 1e-3);
+  EXPECT_DOUBLE_EQ(traj[1].z.x, 0.5e6);
+  EXPECT_DOUBLE_EQ(traj[1].z.y, 1e9);
+}
+
+}  // namespace
+}  // namespace bcn::sim

@@ -1,0 +1,125 @@
+// bcn_analyze: one-shot stability analysis of a BCN configuration.
+//
+//   bcn_analyze [--N 50] [--C 10e9] [--q0 2.5e6] [--B 5e6] [--qsc 4.5e6]
+//               [--gi 4] [--gd 0.0078125] [--ru 8e6] [--w 2] [--pm 0.01]
+//               [--delay 0] [--plot] [--duration 1.5e-3]
+//
+// Prints: parameter echo, case classification, closed-form transient
+// extrema, Propositions 2-4 / Theorem 1 / baseline verdicts, numeric
+// verdicts at every model level, transient estimates, frequency-domain
+// margins, and (with --plot) an ASCII queue transient.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/transient.h"
+#include "common/args.h"
+#include "control/frequency.h"
+#include "core/delayed_model.h"
+#include "core/simulate.h"
+#include "core/stability.h"
+#include "plot/ascii.h"
+
+using namespace bcn;
+
+namespace {
+
+void usage() {
+  std::puts(
+      "usage: bcn_analyze [--N n] [--C bps] [--q0 bits] [--B bits]\n"
+      "                   [--qsc bits] [--gi x] [--gd x] [--ru bps]\n"
+      "                   [--w x] [--pm x] [--delay seconds]\n"
+      "                   [--duration seconds] [--plot] [--help]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.get_bool("help")) {
+    usage();
+    return 0;
+  }
+
+  core::BcnParams p = core::BcnParams::standard_draft();
+  p.num_sources = args.get_double("N", p.num_sources);
+  p.capacity = args.get_double("C", p.capacity);
+  p.q0 = args.get_double("q0", p.q0);
+  p.buffer = args.get_double("B", p.buffer);
+  p.qsc = args.get_double("qsc", std::min(0.9 * p.buffer, p.buffer - 1.0));
+  p.gi = args.get_double("gi", p.gi);
+  p.gd = args.get_double("gd", p.gd);
+  p.ru = args.get_double("ru", p.ru);
+  p.w = args.get_double("w", p.w);
+  p.pm = args.get_double("pm", p.pm);
+
+  const auto issues = p.validate();
+  if (!issues.empty()) {
+    std::fprintf(stderr, "invalid parameters:\n");
+    for (const auto& issue : issues) {
+      std::fprintf(stderr, "  - %s\n", issue.c_str());
+    }
+    return 1;
+  }
+
+  std::printf("%s\n\n", p.describe().c_str());
+
+  const auto report = core::analyze_stability(p);
+  std::printf("analysis: %s\n\n", report.summary().c_str());
+
+  for (const auto& [level, name] :
+       {std::pair{core::ModelLevel::Linearized, "linearized (eq.9) "},
+        std::pair{core::ModelLevel::Nonlinear, "nonlinear  (eq.8) "}}) {
+    const auto verdict = core::numeric_strong_stability(p, {.level = level});
+    std::printf("numeric %s: %-22s peak q = %.6g, dip q = %.6g\n", name,
+                verdict.strongly_stable ? "strongly stable"
+                                        : "NOT strongly stable",
+                verdict.max_x + p.q0, verdict.min_x + p.q0);
+  }
+
+  if (const auto est = analysis::estimate_transient(p)) {
+    std::printf("\ntransient estimate: cycle %.4g s, contraction %.6f per "
+                "cycle, settling to 5%% band in %.4g s\n",
+                est->cycle_time, est->contraction_ratio, est->settling_time);
+  }
+
+  const control::LoopTransfer inc{p.a(), p.k()};
+  const control::LoopTransfer dec{p.b() * p.capacity, p.k()};
+  std::printf("\nfrequency margins: increase crossover %.4g rad/s, phase "
+              "margin %.4g rad, delay margin %.4g s; decrease %.4g rad/s, "
+              "%.4g rad, %.4g s\n",
+              control::gain_crossover(inc), control::phase_margin(inc),
+              control::delay_margin(inc), control::gain_crossover(dec),
+              control::phase_margin(dec), control::delay_margin(dec));
+
+  const double delay = args.get_double("delay", 0.0);
+  if (delay > 0.0) {
+    core::DelayedRunOptions dopts;
+    dopts.delay = delay;
+    dopts.duration = args.get_double("duration", 5e-3);
+    const auto run = core::simulate_delayed(p, dopts);
+    std::printf("\nwith feedback delay %.4g s: peak q = %.6g%s\n", delay,
+                run.max_x + p.q0, run.diverged ? " (DIVERGED)" : "");
+    if (const auto crit = core::critical_delay(p, 1e-3)) {
+      std::printf("critical delay for this buffer: %.4g s\n", *crit);
+    }
+  }
+
+  if (args.get_bool("plot")) {
+    const core::FluidModel model(p, core::ModelLevel::Nonlinear);
+    core::FluidRunOptions opts;
+    opts.duration = args.get_double("duration", 1.5e-3);
+    opts.record_interval = opts.duration / 1000.0;
+    const auto run = core::simulate_fluid(model, opts);
+    plot::Series q;
+    q.name = "q(t)";
+    for (const auto& s : run.trajectory.samples()) {
+      q.add(s.t * 1e3, (s.z.x + p.q0) / 1e6);
+    }
+    plot::AsciiOptions ascii;
+    ascii.title = "queue transient (nonlinear fluid model)";
+    ascii.x_label = "t [ms]";
+    ascii.y_label = "q [Mbit]";
+    std::printf("\n%s", plot::render_ascii({q}, ascii).c_str());
+  }
+  return 0;
+}
