@@ -1,0 +1,6 @@
+// The one main() shared by every registered bench binary.
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  return bcn::bench::bench_main(argc, argv);
+}

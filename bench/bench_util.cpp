@@ -12,9 +12,18 @@
 
 namespace bcn::bench {
 
+namespace {
+std::filesystem::path g_output_dir_override;
+}  // namespace
+
 std::filesystem::path output_dir() {
+  if (!g_output_dir_override.empty()) return g_output_dir_override;
   if (const char* env = std::getenv("BCN_BENCH_OUT")) return env;
   return "bench_out";
+}
+
+void set_output_dir(std::filesystem::path dir) {
+  g_output_dir_override = std::move(dir);
 }
 
 plot::Series phase_series(const ode::Trajectory& trajectory,

@@ -15,8 +15,12 @@
 
 namespace bcn::bench {
 
-// Where CSV/SVG artifacts go: $BCN_BENCH_OUT or ./bench_out.
+// Where CSV/SVG artifacts go: the runner's --out override, else
+// $BCN_BENCH_OUT, else ./bench_out.
 std::filesystem::path output_dir();
+
+// Installs the --out override (set by bench_main before experiments run).
+void set_output_dir(std::filesystem::path dir);
 
 // Phase-portrait series in paper-friendly units: x in Mbit, y in Gbps.
 plot::Series phase_series(const ode::Trajectory& trajectory,

@@ -7,12 +7,16 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/table.h"
 #include "sim/network.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E17: BCN under flow churn ===\n");
   core::BcnParams p;
   p.num_sources = 20;
@@ -102,3 +106,7 @@ int main() {
               "concurrently active flows.)\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("churn_robustness", "E17: strong stability under on/off flow churn", run)

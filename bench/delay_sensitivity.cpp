@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/format.h"
 #include "common/table.h"
 #include "control/frequency.h"
@@ -17,7 +18,10 @@
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E13: feedback-delay sensitivity (extension) ===\n");
   core::BcnParams p = core::BcnParams::standard_draft();
   p.buffer = 14e6;  // sized per Theorem 1, so tau = 0 is strongly stable
@@ -88,3 +92,7 @@ int main() {
   bench::emit_figure("delay_sensitivity", queue_series, ascii, svg);
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("delay_sensitivity", "E13: feedback-delay sensitivity and the critical delay", run)

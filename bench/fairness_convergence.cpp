@@ -6,13 +6,17 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/format.h"
 #include "common/table.h"
 #include "core/multiflow_model.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E19: AIMD fairness convergence (multi-flow fluid) "
               "===\n");
   core::BcnParams p = core::BcnParams::standard_draft();
@@ -73,3 +77,7 @@ int main() {
   bench::emit_figure("fairness_convergence", series, ascii, svg);
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fairness_convergence", "E19: AIMD fairness convergence in the multi-flow fluid model", run)

@@ -5,10 +5,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 10: Case 4 dynamics (a > 4pm^2C^2/w^2, "
               "b > 4pm^2C/w^2) ===\n");
   core::BcnParams p = bench::scaled_plant();
@@ -25,3 +29,7 @@ int main() {
               r.strongly_stable_numeric ? "yes" : "NO?");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig10_case4_dynamics", "Fig. 10 / E7: Case 4 (node/node) dynamics", run)

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/table.h"
 #include "core/simulate.h"
 #include "core/stability.h"
@@ -23,7 +24,10 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 3: strong vs classical stability taxonomy ===\n\n");
 
   std::vector<Scenario> scenarios;
@@ -79,3 +83,7 @@ int main() {
               "numbers.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig3_strong_stability_taxonomy", "Fig. 3 / E10: strong vs classical stability taxonomy", run)

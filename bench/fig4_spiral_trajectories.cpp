@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/format.h"
 #include "common/table.h"
 #include "control/closed_form.h"
@@ -13,7 +14,10 @@
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 4: spiral (H-type) trajectories, m^2 - 4n < 0 ===\n");
   const core::BcnParams params = core::BcnParams::standard_draft();
   const control::SecondOrderSystem sys = core::decrease_subsystem(params);
@@ -76,3 +80,7 @@ int main() {
               "(stable focus), extrema alternate across the x axis.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig4_spiral_trajectories", "Fig. 4 / E1: spiral (H-type) subsystem trajectories", run)

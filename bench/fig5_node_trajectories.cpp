@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/format.h"
 #include "common/table.h"
 #include "control/closed_form.h"
@@ -12,7 +13,10 @@
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 5: node (F-type) trajectories, m^2 - 4n > 0 ===\n");
   // A node-regime subsystem (scaled to paper-like magnitudes): the
   // increase subsystem when a exceeds 4 pm^2 C^2 / w^2.
@@ -86,3 +90,7 @@ int main() {
               "extremum each.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig5_node_trajectories", "Fig. 5 / E2: node (F-type) subsystem trajectories", run)

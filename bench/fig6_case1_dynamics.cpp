@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/table.h"
 #include "core/analytic_tracer.h"
 #include "core/paper_formulas.h"
@@ -15,7 +16,10 @@
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 6: Case 1 dynamics (a < 4pm^2C^2/w^2, "
               "b < 4pm^2C/w^2) ===\n");
   const core::BcnParams p = core::BcnParams::standard_draft();
@@ -118,3 +122,7 @@ int main() {
               "the paper's example argues.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig6_case1_dynamics", "Fig. 6 / E3: Case 1 composite dynamics, three extrema paths", run)

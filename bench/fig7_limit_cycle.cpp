@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/table.h"
 #include "core/analytic_tracer.h"
 #include "core/poincare.h"
@@ -19,12 +20,16 @@
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
   std::printf("=== Fig. 7: limit-cycle analysis ===\n");
   const core::BcnParams p = core::BcnParams::standard_draft();
   bench::print_params(p);
 
-  // (a) Poincare return map across amplitudes and model levels.
+  // (a) Poincare return map across amplitudes and model levels; the
+  // per-amplitude returns are independent integrations, swept on
+  // ctx.threads workers.
   TablePrinter map_table({"s (Gbps-scale)", "P(s)/s linearized",
                           "P(s)/s nonlinear", "P(s)/s clipped"});
   core::PoincareOptions popts;
@@ -32,12 +37,17 @@ int main() {
   const core::PoincareMap lin(core::FluidModel(p, core::ModelLevel::Linearized), popts);
   const core::PoincareMap non(core::FluidModel(p, core::ModelLevel::Nonlinear), popts);
   const core::PoincareMap clip(core::FluidModel(p, core::ModelLevel::Clipped), popts);
-  for (const double s : {1e9, 5e9, 2e10, 8e10, 2e11}) {
-    auto fmt = [](std::optional<double> r) {
+  const std::vector<double> amplitudes = {1e9, 5e9, 2e10, 8e10, 2e11};
+  const auto lin_r = core::scan_contraction_ratios(lin, amplitudes, ctx.threads);
+  const auto non_r = core::scan_contraction_ratios(non, amplitudes, ctx.threads);
+  const auto clip_r =
+      core::scan_contraction_ratios(clip, amplitudes, ctx.threads);
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    auto fmt = [](const std::optional<double>& r) {
       return r ? TablePrinter::format(*r) : std::string("none");
     };
-    map_table.add_row({TablePrinter::format(s / 1e9), fmt(lin.ratio(s)),
-                       fmt(non.ratio(s)), fmt(clip.ratio(s))});
+    map_table.add_row({TablePrinter::format(amplitudes[i] / 1e9),
+                       fmt(lin_r[i]), fmt(non_r[i]), fmt(clip_r[i])});
   }
   std::fputs(map_table
                  .to_string("Poincare return-map contraction P(s)/s "
@@ -50,6 +60,7 @@ int main() {
   copts.s_lo = 1e9;
   copts.s_hi = 2e11;
   copts.bracket_samples = 10;
+  copts.threads = ctx.threads;
   for (const auto level : {core::ModelLevel::Nonlinear, core::ModelLevel::Clipped}) {
     const auto cycle = core::find_limit_cycle(core::FluidModel(p, level), copts);
     std::printf("limit-cycle search (%s): %s\n",
@@ -128,3 +139,7 @@ int main() {
                      ascii_q, svg_q);
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig7_limit_cycle", "Fig. 7 / E4: Poincare return map and limit-cycle verdict", run)

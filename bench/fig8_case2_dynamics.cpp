@@ -11,12 +11,16 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/math.h"
 #include "core/paper_formulas.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 8: Case 2 dynamics (a > 4pm^2C^2/w^2, "
               "b < 4pm^2C/w^2) ===\n");
   core::BcnParams p = bench::scaled_plant();
@@ -42,3 +46,7 @@ int main() {
               p.buffer - p.q0);
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig8_case2_dynamics", "Fig. 8 / E5: Case 2 (node/spiral) dynamics", run)

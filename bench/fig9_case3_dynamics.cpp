@@ -6,10 +6,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Fig. 9: Case 3 dynamics (a < 4pm^2C^2/w^2, "
               "b > 4pm^2C/w^2) ===\n");
   core::BcnParams p = bench::scaled_plant();
@@ -28,3 +32,7 @@ int main() {
               r.strongly_stable_numeric ? "strongly stable" : "UNSTABLE?");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("fig9_case3_dynamics", "Fig. 9 / E6: Case 3 (spiral/node) dynamics", run)

@@ -6,12 +6,16 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "runner.h"
 #include "common/table.h"
 #include "sim/network.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E14: BCN vs draft-AIMD vs QCN-style vs FERA feedback "
               "===\n");
   core::BcnParams p;
@@ -99,3 +103,7 @@ int main() {
               "sawtooth around C) for a one-way feedback channel.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("mechanism_comparison", "E14: BCN vs draft vs QCN vs FERA feedback disciplines", run)

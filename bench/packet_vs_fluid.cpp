@@ -5,6 +5,7 @@
 
 #include "analysis/crossval.h"
 #include "bench_util.h"
+#include "runner.h"
 #include "common/table.h"
 #include "core/simulate.h"
 #include "sim/network.h"
@@ -34,7 +35,9 @@ std::string fmt_period(const std::optional<double>& period) {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
   std::printf("=== E11: packet simulator vs fluid model ===\n");
   const core::BcnParams p = slow_regime();
   bench::print_params(p);
@@ -64,9 +67,11 @@ int main() {
   const auto packet = net.stats().to_phase_trajectory(p.q0, p.capacity);
 
   const double prominence = 0.05 * p.q0;
-  const auto f_lin = analysis::extract_features(lin.trajectory, prominence);
-  const auto f_non = analysis::extract_features(non.trajectory, prominence);
-  const auto f_pkt = analysis::extract_features(packet, prominence);
+  const auto features = analysis::extract_features_batch(
+      {&lin.trajectory, &non.trajectory, &packet}, prominence, ctx.threads);
+  const auto& f_lin = features[0];
+  const auto& f_non = features[1];
+  const auto& f_pkt = features[2];
 
   TablePrinter table({"system", "peak q (Mbit)", "peak t (ms)",
                       "trough q (Mbit)", "period (ms)", "settle q (Mbit)"});
@@ -124,3 +129,7 @@ int main() {
               "timing are real effects the fluid model drops).\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("packet_vs_fluid", "E11: packet simulator vs fluid model cross-validation", run)

@@ -5,12 +5,16 @@
 #include <cstdio>
 
 #include "common/format.h"
+#include "runner.h"
 #include "common/table.h"
 #include "sim/parking_lot.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E18: parking-lot CPID association ===\n");
   std::printf("topology: group A (4) -> CP1 -> CP2 -> sink; "
               "group B (4) -> CP2 -> sink\n\n");
@@ -58,3 +62,7 @@ int main() {
               "throttling.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("parking_lot_association", "E18: CPID association in a dual-CP parking lot", run)

@@ -7,11 +7,15 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "runner.h"
 #include "sim/multihop.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E15: PAUSE congestion rollback vs BCN (victim flow) "
               "===\n");
   std::printf("topology: 8 culprits + 1 victim -> E1 -(10G)-> CORE; "
@@ -55,3 +59,7 @@ int main() {
               "802.1Qau intended.\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("pause_vs_bcn_multihop", "E15: PAUSE congestion rollback vs BCN, two-hop victim flow", run)

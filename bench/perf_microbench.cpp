@@ -1,9 +1,19 @@
 // E12: performance microbenchmarks (google-benchmark) for the numeric
-// substrates, including the event-detection ablation cost.
+// substrates, including the event-detection ablation cost, plus the
+// tracked serial-vs-parallel stability-map comparison emitted as
+// BENCH_parallel_sweep.json (the perf trajectory of the exec layer).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "analysis/stability_map.h"
+#include "analysis/sweep.h"
+#include "bench_util.h"
+#include "common/json.h"
 #include "core/analytic_tracer.h"
 #include "core/simulate.h"
+#include "exec/parallel_for.h"
 #include "ode/hybrid.h"
 #include "ode/integrate.h"
 #include "ode/steppers.h"
@@ -110,6 +120,71 @@ void BM_PacketSimulatorMillisecond(benchmark::State& state) {
 }
 BENCHMARK(BM_PacketSimulatorMillisecond)->Arg(5)->Arg(50);
 
+void BM_StabilityMapCell(benchmark::State& state) {
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  core::NumericVerdictOptions nopts;
+  nopts.level = core::ModelLevel::Linearized;
+  for (auto _ : state) {
+    const auto verdict = core::numeric_strong_stability(base, nopts);
+    benchmark::DoNotOptimize(verdict.max_x);
+  }
+  state.SetLabel("one (Gi, Gd) map cell, linearized ground truth");
+}
+BENCHMARK(BM_StabilityMapCell);
+
+// Serial vs parallel wall-clock on a fixed stability-map grid, written as
+// a machine-readable artifact so the perf trajectory of the exec layer is
+// tracked from PR to PR.
+void emit_parallel_sweep_json() {
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  constexpr int kGrid = 16;
+  const auto gi = analysis::logspace(0.125, 32.0, kGrid);
+  const auto gd = analysis::logspace(1.0 / 1024.0, 0.5, kGrid);
+
+  auto time_map = [&](int threads) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto map = analysis::compute_stability_map(
+        base, gi, gd,
+        {.numeric_level = core::ModelLevel::Linearized, .threads = threads});
+    benchmark::DoNotOptimize(map.numeric_stable);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  const double serial = time_map(1);
+  const double parallel = time_map(0);
+  const int hw = exec::resolve_threads(0);
+
+  JsonWriter json;
+  json.add("benchmark", "parallel_sweep");
+  json.add("grid", kGrid);
+  json.add("cells", kGrid * kGrid);
+  json.add("hardware_threads", hw);
+  json.add("serial_seconds", serial);
+  json.add("parallel_seconds", parallel);
+  json.add("speedup", parallel > 0.0 ? serial / parallel : 0.0);
+  const auto path = bench::output_dir() / "BENCH_parallel_sweep.json";
+  if (json.write_file(path)) {
+    std::printf("parallel sweep: %dx%d grid, serial %.3f s, parallel %.3f s "
+                "on %d hardware threads (%.2fx)\n  [artifact] %s\n",
+                kGrid, kGrid, serial, parallel, hw,
+                parallel > 0.0 ? serial / parallel : 0.0,
+                path.string().c_str());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_parallel_sweep_json();
+  return 0;
+}

@@ -1,17 +1,26 @@
 // E9 / paper Propositions 1-4: subsystem Hurwitz stability, the
 // case-by-case strong-stability verdicts over a (Gi, Gd) gain grid, and a
 // numeric probe of Proposition 4's a-boundary branch.
+//
+// The grid is the parallel-sweep showcase: --grid n sweeps an n x n gain
+// grid and --threads 0 evaluates its cells on every hardware thread, with
+// the per-cell CSV bitwise identical to the serial run.
 #include <cstdio>
 
 #include "analysis/stability_map.h"
 #include "analysis/sweep.h"
 #include "bench_util.h"
+#include "common/csv.h"
+#include "common/format.h"
 #include "common/table.h"
 #include "control/routh_hurwitz.h"
+#include "runner.h"
 
 using namespace bcn;
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
   std::printf("=== Propositions 1-4: stability map ===\n");
   core::BcnParams base = core::BcnParams::standard_draft();
   base.buffer = 12e6;
@@ -27,10 +36,16 @@ int main() {
               rep.decrease.hurwitz_stable ? "stable" : "UNSTABLE");
 
   // (Gi, Gd) map against the linearized numeric ground truth.
-  const auto gi = analysis::logspace(0.125, 32.0, 9);
-  const auto gd = analysis::logspace(1.0 / 1024.0, 0.5, 9);
+  const int grid = ctx.args->get_int("grid", 9);
+  if (grid < 2) {
+    std::fprintf(stderr, "--grid must be >= 2\n");
+    return 2;
+  }
+  const auto gi = analysis::logspace(0.125, 32.0, grid);
+  const auto gd = analysis::logspace(1.0 / 1024.0, 0.5, grid);
   const auto map = analysis::compute_stability_map(
-      base, gi, gd, {.numeric_level = core::ModelLevel::Linearized});
+      base, gi, gd,
+      {.numeric_level = core::ModelLevel::Linearized, .threads = ctx.threads});
 
   std::printf("\nmap legend: numeric ground truth per cell -- '#' strongly "
               "stable, '.' unstable; columns Gd=%.4g..%.4g (log), rows "
@@ -55,7 +70,10 @@ int main() {
                TablePrinter::format(map.proposition_false_positive)});
   agg.add_row({"numeric ground truth",
                TablePrinter::format(map.numeric_stable), "0"});
-  std::fputs(agg.to_string("\naggregate over the 9x9 grid").c_str(), stdout);
+  std::fputs(
+      agg.to_string(strf("\naggregate over the %dx%d grid", grid, grid))
+          .c_str(),
+      stdout);
 
   std::printf("\nTheorem 1 soundness: %s (a sound sufficient criterion must "
               "have 0 false positives)\n",
@@ -70,6 +88,25 @@ int main() {
               "Case5=%d\n",
               case_counts[0], case_counts[1], case_counts[2], case_counts[3],
               case_counts[4]);
+
+  // Per-cell CSV: the artifact the determinism acceptance check diffs
+  // between --threads 1 and --threads 0 runs.
+  CsvWriter csv({"gi", "gd", "paper_case", "theorem1_satisfied",
+                 "proposition_satisfied", "numeric_stable", "max_x_bits",
+                 "min_x_bits"});
+  for (const auto& cell : map.cells) {
+    csv.add_row({CsvWriter::format(cell.gi), CsvWriter::format(cell.gd),
+                 core::to_string(cell.report.classification.paper_case),
+                 cell.report.theorem1_satisfied ? "1" : "0",
+                 cell.report.proposition_satisfied ? "1" : "0",
+                 cell.numeric.strongly_stable ? "1" : "0",
+                 CsvWriter::format(cell.numeric.max_x),
+                 CsvWriter::format(cell.numeric.min_x)});
+  }
+  const auto csv_path = ctx.out_dir / "propositions_stability_map.csv";
+  if (csv.write_file(csv_path)) {
+    std::printf("  [artifact] %s\n", csv_path.string().c_str());
+  }
 
   // --- Proposition 4 boundary probe -------------------------------------
   // The paper claims a = 4 pm^2 C^2 / w^2 (with any b) is unconditionally
@@ -102,3 +139,9 @@ int main() {
   (void)report;
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("propositions_stability_map",
+               "Propositions 1-4 + Theorem-1 soundness over a (Gi, Gd) grid",
+               run, "grid")

@@ -1,0 +1,136 @@
+#include "runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "common/json.h"
+
+namespace bcn::bench {
+namespace {
+
+std::vector<Experiment>& registry() {
+  static std::vector<Experiment> experiments;
+  return experiments;
+}
+
+const std::vector<std::string> kStandardFlags = {
+    "help", "list", "run", "threads", "out", "seed", "json"};
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s [--run name] [--threads n] [--out dir] [--seed n]\n"
+      "          [--json bool] [--list] [--help]\n\n"
+      "  --threads n   worker threads for parallel sweeps (0 = all\n"
+      "                hardware threads, 1 = serial; BCN_THREADS env\n"
+      "                fallback)\n"
+      "  --out dir     artifact directory (BCN_BENCH_OUT env fallback,\n"
+      "                default ./bench_out)\n"
+      "  --seed n      seed for randomized scenarios (default 0)\n"
+      "  --json bool   write RUN_<name>.json per experiment (default on)\n"
+      "  --run name    run one registered experiment (default: all)\n"
+      "  --list        list registered experiments and exit\n\n"
+      "experiments:\n",
+      prog);
+  for (const auto& e : experiments()) {
+    std::printf("  %-32s %s\n", e.name.c_str(), e.description.c_str());
+    for (const auto& flag : e.extra_flags) {
+      std::printf("  %-32s   accepts --%s\n", "", flag.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+void register_experiment(Experiment experiment) {
+  registry().push_back(std::move(experiment));
+  std::sort(registry().begin(), registry().end(),
+            [](const Experiment& a, const Experiment& b) {
+              return a.name < b.name;
+            });
+}
+
+const std::vector<Experiment>& experiments() { return registry(); }
+
+int bench_main(int argc, const char* const* argv) {
+  const ArgParser args(argc, argv);
+  const char* prog = argc > 0 ? argv[0] : "bench";
+
+  if (args.get_bool("help")) {
+    print_usage(prog);
+    return 0;
+  }
+  if (args.get_bool("list")) {
+    for (const auto& e : experiments()) std::printf("%s\n", e.name.c_str());
+    return 0;
+  }
+
+  // Select the experiments to run before flag validation so only their
+  // extra flags count as known.
+  std::vector<const Experiment*> selected;
+  const auto run_name = args.get("run");
+  for (const auto& e : experiments()) {
+    if (!run_name || e.name == *run_name) selected.push_back(&e);
+  }
+  if (selected.empty()) {
+    if (run_name) {
+      std::fprintf(stderr, "no experiment named '%s' (try --list)\n",
+                   run_name->c_str());
+    } else {
+      std::fprintf(stderr, "no experiments registered\n");
+    }
+    return 2;
+  }
+
+  std::vector<std::string> known = kStandardFlags;
+  for (const Experiment* e : selected) {
+    known.insert(known.end(), e->extra_flags.begin(), e->extra_flags.end());
+  }
+  if (!reject_unknown_flags(args, known)) {
+    std::fprintf(stderr, "run with --help for the flag list\n");
+    return 2;
+  }
+
+  RunContext ctx;
+  ctx.args = &args;
+  ctx.threads = thread_count(args, 1);
+  ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  if (const auto out = args.get("out")) {
+    set_output_dir(*out);
+  }
+  ctx.out_dir = output_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(ctx.out_dir, ec);
+
+  const bool emit_json = args.get_bool("json", true);
+  int exit_status = 0;
+  for (const Experiment* e : selected) {
+    const auto start = std::chrono::steady_clock::now();
+    const int status = e->fn(ctx);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::printf("\n[runner] %s: %s in %.3f s (threads=%d, seed=%llu)\n",
+                e->name.c_str(), status == 0 ? "ok" : "FAILED", wall,
+                ctx.threads, static_cast<unsigned long long>(ctx.seed));
+    if (emit_json) {
+      JsonWriter json;
+      json.add("experiment", e->name);
+      json.add("description", e->description);
+      json.add("status", status);
+      json.add("wall_seconds", wall);
+      json.add("threads", ctx.threads);
+      json.add("seed", static_cast<std::int64_t>(ctx.seed));
+      const auto path = ctx.out_dir / ("RUN_" + e->name + ".json");
+      if (json.write_file(path)) {
+        std::printf("  [artifact] %s\n", path.string().c_str());
+      }
+    }
+    if (status != 0 && exit_status == 0) exit_status = status;
+  }
+  return exit_status;
+}
+
+}  // namespace bcn::bench

@@ -10,6 +10,7 @@
 
 #include "analysis/boundary.h"
 #include "bench_util.h"
+#include "runner.h"
 #include "common/csv.h"
 #include "common/table.h"
 #include "core/simulate.h"
@@ -29,7 +30,10 @@ double measured_peak_queue(const core::BcnParams& p, core::ModelLevel level) {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== Theorem 1: buffer sizing for strong stability ===\n");
   const core::BcnParams p = core::BcnParams::standard_draft();
   bench::print_params(p);
@@ -154,3 +158,7 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("theorem1_buffer_sizing", "E8: Theorem-1 buffer sizing and scaling sweeps", run)

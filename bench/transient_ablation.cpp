@@ -8,6 +8,7 @@
 
 #include "analysis/transient.h"
 #include "bench_util.h"
+#include "runner.h"
 #include "common/format.h"
 #include "common/table.h"
 
@@ -31,7 +32,10 @@ void row(TablePrinter& table, const char* label, const core::BcnParams& p) {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run(bench::RunContext& ctx) {
+  (void)ctx;
   std::printf("=== E16: transient-performance ablation (w, pm, Gi, Gd) "
               "===\n");
   const core::BcnParams base = core::BcnParams::standard_draft();
@@ -80,3 +84,7 @@ int main() {
               "deeper rate undershoot (see fig6's nonlinear traces).\n");
   return 0;
 }
+
+}  // namespace
+
+BCN_EXPERIMENT("transient_ablation", "E16: w/pm transient ablation (future-work experiment)", run)

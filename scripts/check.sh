@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Thread-safety gate for the execution layer: builds the tree under
+# ThreadSanitizer (-DBCN_SANITIZE=thread) and runs the exec + analysis
+# test suites, which exercise parallel_for / ThreadPool / the parallel
+# stability map under real concurrency.  Any data race fails the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "$BUILD_DIR" -S . -DBCN_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target bcn_exec_tests bcn_analysis_tests
+
+# halt_on_error turns any race into a hard test failure instead of a
+# buried log line; second_deadlock_stack improves mutex reports.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
+
+# Run the suites directly (not via ctest) so unbuilt sibling suites'
+# NOT_BUILT placeholder tests cannot pollute the result.
+"$BUILD_DIR"/tests/exec/bcn_exec_tests
+"$BUILD_DIR"/tests/analysis/bcn_analysis_tests
+
+echo "[check.sh] ThreadSanitizer run clean"

@@ -7,6 +7,10 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Sweeps use all hardware threads unless the caller pins BCN_THREADS;
+# results are bitwise identical at any thread count.
+export BCN_THREADS=${BCN_THREADS:-0}
+
 mkdir -p bench_out
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] && "$b"

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/math.h"
+#include "exec/parallel_for.h"
 
 namespace bcn::analysis {
 namespace {
@@ -101,6 +102,34 @@ ShapeComparison compare_shapes(const ode::Trajectory& a,
   cmp.same_character =
       cmp.a.period.has_value() == cmp.b.period.has_value();
   return cmp;
+}
+
+std::vector<TrajectoryFeatures> extract_features_batch(
+    const std::vector<const ode::Trajectory*>& trajectories,
+    double min_prominence, int threads) {
+  exec::ParallelForOptions opts;
+  opts.threads = threads;
+  return exec::parallel_map<TrajectoryFeatures>(
+      trajectories.size(),
+      [&](std::size_t i) {
+        return extract_features(*trajectories[i], min_prominence);
+      },
+      opts);
+}
+
+std::vector<ShapeComparison> compare_shapes_batch(
+    const std::vector<std::pair<const ode::Trajectory*,
+                                const ode::Trajectory*>>& pairs,
+    double min_prominence, int threads) {
+  exec::ParallelForOptions opts;
+  opts.threads = threads;
+  return exec::parallel_map<ShapeComparison>(
+      pairs.size(),
+      [&](std::size_t i) {
+        return compare_shapes(*pairs[i].first, *pairs[i].second,
+                              min_prominence);
+      },
+      opts);
 }
 
 }  // namespace bcn::analysis

@@ -9,6 +9,8 @@
 #pragma once
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "ode/trajectory.h"
 
@@ -44,5 +46,21 @@ struct ShapeComparison {
 ShapeComparison compare_shapes(const ode::Trajectory& a,
                                const ode::Trajectory& b,
                                double min_prominence);
+
+// Batch feature extraction over many trajectories (a cross-validation
+// grid produces one per cell).  Slot i holds the features of
+// *trajectories[i]; parallel when threads != 1 (0 = all hardware
+// threads), with output order independent of the thread count.
+std::vector<TrajectoryFeatures> extract_features_batch(
+    const std::vector<const ode::Trajectory*>& trajectories,
+    double min_prominence, int threads = 1);
+
+// Batch shape comparison: slot i compares *pairs[i].first (reference)
+// against *pairs[i].second.  Same threading/ordering contract as
+// extract_features_batch.
+std::vector<ShapeComparison> compare_shapes_batch(
+    const std::vector<std::pair<const ode::Trajectory*,
+                                const ode::Trajectory*>>& pairs,
+    double min_prominence, int threads = 1);
 
 }  // namespace bcn::analysis

@@ -1,5 +1,7 @@
 #include "analysis/stability_map.h"
 
+#include "exec/parallel_for.h"
+
 namespace bcn::analysis {
 
 StabilityMap compute_stability_map(const core::BcnParams& base,
@@ -9,34 +11,42 @@ StabilityMap compute_stability_map(const core::BcnParams& base,
   StabilityMap map;
   map.gi_values = gi_values;
   map.gd_values = gd_values;
-  map.cells.reserve(gi_values.size() * gd_values.size());
 
   core::NumericVerdictOptions nopts;
   nopts.level = options.numeric_level;
   nopts.duration = options.numeric_duration;
 
-  for (double gi : gi_values) {
-    for (double gd : gd_values) {
-      core::BcnParams p = base;
-      p.gi = gi;
-      p.gd = gd;
-      MapCell cell;
-      cell.gi = gi;
-      cell.gd = gd;
-      cell.report = core::analyze_stability(p);
-      cell.numeric = core::numeric_strong_stability(p, nopts);
+  // Row-major grid, one independent task per cell; parallel_map places
+  // cell (i, j) at index i * |gd| + j whatever the thread count, so the
+  // parallel map is cell-for-cell identical to the serial one.
+  const std::size_t cols = gd_values.size();
+  exec::ParallelForOptions popts;
+  popts.threads = options.threads;
+  map.cells = exec::parallel_map<MapCell>(
+      gi_values.size() * cols,
+      [&](std::size_t idx) {
+        MapCell cell;
+        cell.gi = gi_values[idx / cols];
+        cell.gd = gd_values[idx % cols];
+        core::BcnParams p = base;
+        p.gi = cell.gi;
+        p.gd = cell.gd;
+        cell.report = core::analyze_stability(p);
+        cell.numeric = core::numeric_strong_stability(p, nopts);
+        return cell;
+      },
+      popts);
 
-      if (cell.report.theorem1_satisfied) ++map.theorem1_stable;
-      if (cell.numeric.strongly_stable) ++map.numeric_stable;
-      if (cell.report.proposition_satisfied) ++map.proposition_stable;
-      if (cell.report.theorem1_satisfied && !cell.numeric.strongly_stable) {
-        ++map.theorem1_false_positive;
-      }
-      if (cell.report.proposition_satisfied &&
-          !cell.numeric.strongly_stable) {
-        ++map.proposition_false_positive;
-      }
-      map.cells.push_back(std::move(cell));
+  // Aggregates are accumulated serially, in index order.
+  for (const MapCell& cell : map.cells) {
+    if (cell.report.theorem1_satisfied) ++map.theorem1_stable;
+    if (cell.numeric.strongly_stable) ++map.numeric_stable;
+    if (cell.report.proposition_satisfied) ++map.proposition_stable;
+    if (cell.report.theorem1_satisfied && !cell.numeric.strongly_stable) {
+      ++map.theorem1_false_positive;
+    }
+    if (cell.report.proposition_satisfied && !cell.numeric.strongly_stable) {
+      ++map.proposition_false_positive;
     }
   }
   return map;

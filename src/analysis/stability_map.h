@@ -37,6 +37,11 @@ struct StabilityMap {
 struct StabilityMapOptions {
   core::ModelLevel numeric_level = core::ModelLevel::Linearized;
   double numeric_duration = 0.0;  // 0 -> auto
+  // Worker threads for the per-cell evaluation (0 = all hardware threads,
+  // 1 = legacy serial path).  Cells are independent and land in the
+  // output vector by index, so the map is bitwise identical at any
+  // thread count.
+  int threads = 1;
 };
 
 // Evaluates the map over the cross product of the gain vectors, holding

@@ -3,24 +3,45 @@
 #include <cassert>
 #include <cmath>
 
+#include "exec/parallel_for.h"
+
 namespace bcn::analysis {
 
 std::vector<double> linspace(double lo, double hi, int n) {
-  assert(n >= 1);
+  if (n <= 0) return {};
   if (n == 1) return {lo};
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(n));
+  if (lo == hi) {
+    out.assign(static_cast<std::size_t>(n), lo);
+    return out;
+  }
   for (int i = 0; i < n; ++i) {
     out.push_back(lo + (hi - lo) * static_cast<double>(i) / (n - 1));
   }
+  out.back() = hi;  // exact endpoint, no accumulated rounding
   return out;
 }
 
 std::vector<double> logspace(double lo, double hi, int n) {
   assert(lo > 0.0 && hi > 0.0);
+  if (n <= 0) return {};
+  if (n == 1) return {lo};
+  if (lo == hi) return std::vector<double>(static_cast<std::size_t>(n), lo);
   std::vector<double> out = linspace(std::log(lo), std::log(hi), n);
   for (double& v : out) v = std::exp(v);
+  out.front() = lo;  // exact endpoints: exp(log(x)) need not round-trip
+  out.back() = hi;
   return out;
+}
+
+std::vector<double> sweep_values(const std::vector<double>& values,
+                                 const std::function<double(double)>& fn,
+                                 int threads) {
+  exec::ParallelForOptions opts;
+  opts.threads = threads;
+  return exec::parallel_map<double>(
+      values.size(), [&](std::size_t i) { return fn(values[i]); }, opts);
 }
 
 }  // namespace bcn::analysis

@@ -2,14 +2,25 @@
 // benchmark harnesses.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 namespace bcn::analysis {
 
-// n evenly spaced values from lo to hi inclusive (n >= 2; n == 1 -> {lo}).
+// n evenly spaced values from lo to hi inclusive.  Degenerate shapes are
+// well defined: n <= 0 -> {}, n == 1 -> {lo}, lo == hi -> n copies of lo;
+// both endpoints are exact (no accumulated rounding at hi).
 std::vector<double> linspace(double lo, double hi, int n);
 
-// n log-spaced values from lo to hi inclusive (lo, hi > 0).
+// n log-spaced values from lo to hi inclusive (lo, hi > 0).  Same
+// degenerate shapes and exact endpoints as linspace.
 std::vector<double> logspace(double lo, double hi, int n);
+
+// Evaluates fn over every value, in parallel when threads != 1 (0 = all
+// hardware threads).  Results keep input order regardless of thread
+// count: slot i is fn(values[i]).
+std::vector<double> sweep_values(const std::vector<double>& values,
+                                 const std::function<double(double)>& fn,
+                                 int threads = 1);
 
 }  // namespace bcn::analysis

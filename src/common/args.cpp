@@ -1,5 +1,7 @@
 #include "common/args.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 namespace bcn {
@@ -63,6 +65,41 @@ std::vector<std::string> ArgParser::flag_names() const {
   names.reserve(flags_.size());
   for (const auto& [name, value] : flags_) names.push_back(name);
   return names;
+}
+
+int thread_count(const ArgParser& args, int fallback) {
+  if (const auto v = args.get("threads")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(v->c_str(), &end, 10);
+    if (end && *end == '\0' && parsed >= 0) return static_cast<int>(parsed);
+    return fallback;
+  }
+  if (const char* env = std::getenv("BCN_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end && *end == '\0' && parsed >= 0) return static_cast<int>(parsed);
+  }
+  return fallback;
+}
+
+std::vector<std::string> unknown_flags(const ArgParser& args,
+                                       const std::vector<std::string>& known) {
+  std::vector<std::string> unknown;
+  for (const auto& name : args.flag_names()) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      unknown.push_back(name);
+    }
+  }
+  return unknown;
+}
+
+bool reject_unknown_flags(const ArgParser& args,
+                          const std::vector<std::string>& known) {
+  const auto unknown = unknown_flags(args, known);
+  for (const auto& name : unknown) {
+    std::fprintf(stderr, "unknown flag --%s (try --help)\n", name.c_str());
+  }
+  return unknown.empty();
 }
 
 }  // namespace bcn

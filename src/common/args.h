@@ -31,4 +31,20 @@ class ArgParser {
   std::vector<std::string> positional_;
 };
 
+// Worker-count knob shared by every tool/bench: the --threads flag, with
+// the BCN_THREADS environment variable as fallback when the flag is
+// absent.  Returns `fallback` when neither is set.  The convention is
+// 0 = all hardware threads, 1 = serial (see exec::resolve_threads).
+int thread_count(const ArgParser& args, int fallback = 1);
+
+// Flags that were passed but are not in `known` — callers reject these
+// instead of silently ignoring a typo like --thread or --grd.
+std::vector<std::string> unknown_flags(const ArgParser& args,
+                                       const std::vector<std::string>& known);
+
+// Convenience guard: prints "unknown flag --x (try --help)" to stderr for
+// each unknown flag and returns false if any were found.
+bool reject_unknown_flags(const ArgParser& args,
+                          const std::vector<std::string>& known);
+
 }  // namespace bcn

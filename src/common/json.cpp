@@ -1,0 +1,96 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace bcn {
+
+void JsonWriter::add(const std::string& key, const std::string& value) {
+  fields_.emplace_back(key, quote(value));
+}
+
+void JsonWriter::add(const std::string& key, const char* value) {
+  add(key, std::string(value));
+}
+
+void JsonWriter::add(const std::string& key, double value) {
+  fields_.emplace_back(key, format(value));
+}
+
+void JsonWriter::add(const std::string& key, std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+}
+
+void JsonWriter::add(const std::string& key, int value) {
+  add(key, static_cast<std::int64_t>(value));
+}
+
+void JsonWriter::add(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+}
+
+void JsonWriter::add(const std::string& key,
+                     const std::vector<double>& values) {
+  std::string raw = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) raw += ", ";
+    raw += format(values[i]);
+  }
+  raw += "]";
+  fields_.emplace_back(key, std::move(raw));
+}
+
+std::string JsonWriter::to_string() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += "  " + quote(fields_[i].first) + ": " + fields_[i].second;
+    if (i + 1 < fields_.size()) out += ",";
+    out += "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+bool JsonWriter::write_file(const std::filesystem::path& path) const {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::string JsonWriter::quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonWriter::format(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace bcn

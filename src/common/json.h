@@ -1,0 +1,45 @@
+// Minimal flat JSON-object writer for machine-readable bench/runner
+// artifacts (RUN_*.json, BENCH_*.json).  Keys keep insertion order;
+// doubles are emitted with round-trip precision; strings are escaped per
+// RFC 8259.  Deliberately not a general JSON library — nothing in the
+// tree needs nesting beyond one object of scalars and flat arrays.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bcn {
+
+class JsonWriter {
+ public:
+  void add(const std::string& key, const std::string& value);
+  void add(const std::string& key, const char* value);
+  void add(const std::string& key, double value);
+  void add(const std::string& key, std::int64_t value);
+  void add(const std::string& key, int value);
+  void add(const std::string& key, bool value);
+  // Array of numbers, e.g. per-run wall clocks.
+  void add(const std::string& key, const std::vector<double>& values);
+
+  std::size_t size() const { return fields_.size(); }
+
+  // One pretty-printed object, one "key": value per line.
+  std::string to_string() const;
+
+  // Writes to `path`, creating parent directories as needed; false on I/O
+  // failure.
+  bool write_file(const std::filesystem::path& path) const;
+
+  // JSON string literal (with quotes) for `s`.
+  static std::string quote(const std::string& s);
+  // Round-trip double formatting; inf/nan become null (JSON has neither).
+  static std::string format(double v);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> raw
+};
+
+}  // namespace bcn

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "common/math.h"
+#include "exec/parallel_for.h"
 #include "ode/hybrid.h"
 
 namespace bcn::core {
@@ -119,14 +120,28 @@ std::optional<LimitCycle> find_limit_cycle(const FluidModel& model,
     return r ? *r - s : -s;
   };
 
-  // Geometric scan for a sign change of P(s) - s.
+  // Geometric scan for a sign change of P(s) - s.  Every sample is an
+  // independent hybrid integration, so the scan evaluates them in
+  // parallel; the serial bracket walk below then sees the same values in
+  // the same order whatever the thread count.
   const int n = std::max(2, options.bracket_samples);
-  double prev_s = s_lo;
-  double prev_d = displacement(prev_s);
-  for (int i = 1; i < n; ++i) {
+  std::vector<double> sample_s(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
     const double u = static_cast<double>(i) / (n - 1);
-    const double s = s_lo * std::pow(s_hi / s_lo, u);
-    const double d = displacement(s);
+    sample_s[static_cast<std::size_t>(i)] =
+        i == 0 ? s_lo : s_lo * std::pow(s_hi / s_lo, u);
+  }
+  exec::ParallelForOptions popts;
+  popts.threads = options.threads;
+  const std::vector<double> sample_d = exec::parallel_map<double>(
+      sample_s.size(),
+      [&](std::size_t i) { return displacement(sample_s[i]); }, popts);
+
+  double prev_s = sample_s[0];
+  double prev_d = sample_d[0];
+  for (int i = 1; i < n; ++i) {
+    const double s = sample_s[static_cast<std::size_t>(i)];
+    const double d = sample_d[static_cast<std::size_t>(i)];
     if (sign(prev_d) != sign(d) && prev_d != 0.0) {
       const auto fixed =
           bisect(displacement, prev_s, s, 1e-9 * s_hi, 80);
@@ -163,6 +178,16 @@ std::optional<LimitCycle> find_limit_cycle(const FluidModel& model,
     prev_d = d;
   }
   return std::nullopt;
+}
+
+std::vector<std::optional<double>> scan_contraction_ratios(
+    const PoincareMap& map, const std::vector<double>& amplitudes,
+    int threads) {
+  exec::ParallelForOptions opts;
+  opts.threads = threads;
+  return exec::parallel_map<std::optional<double>>(
+      amplitudes.size(), [&](std::size_t i) { return map.ratio(amplitudes[i]); },
+      opts);
 }
 
 }  // namespace bcn::core

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "core/fluid_model.h"
 #include "ode/trajectory.h"
@@ -70,7 +71,19 @@ struct CycleSearchOptions {
   double s_lo = 0.0;  // 0 -> derived from q0
   double s_hi = 0.0;  // 0 -> derived from q0 and capacity
   int bracket_samples = 24;
+  // Worker threads for the bracket scan (each P(s) sample is an
+  // independent hybrid integration).  0 = all hardware threads,
+  // 1 = serial.  The sample points and the refined fixed point do not
+  // depend on the thread count.
+  int threads = 1;
 };
+
+// P(s)/s at each amplitude (slot i = ratio(amplitudes[i])), evaluated in
+// parallel when threads != 1.  This is the bulk operation behind the
+// return-map scans of the limit-cycle bench.
+std::vector<std::optional<double>> scan_contraction_ratios(
+    const PoincareMap& map, const std::vector<double>& amplitudes,
+    int threads = 1);
 
 // Scans [s_lo, s_hi] for sign changes of P(s) - s and refines each to a
 // fixed point; returns the first stable cycle found.

@@ -1,0 +1,106 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace bcn::exec {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ParallelForStats parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              const ParallelForOptions& options) {
+  ParallelForStats stats;
+  const auto start = Clock::now();
+  if (options.progress) options.progress->reset(n);
+
+  const int threads = options.pool ? options.pool->size()
+                                   : resolve_threads(options.threads);
+  stats.threads = threads;
+
+  // Legacy serial path: the plain loop in the calling thread, no pool, no
+  // atomics.  threads == 1 through the pool would compute the same thing;
+  // this keeps the single-threaded cost profile unchanged.
+  if (threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.cancel && options.cancel->stop_requested()) {
+        stats.wall_seconds = seconds_since(start);
+        return stats;
+      }
+      body(i);
+      ++stats.items;
+      if (options.progress) options.progress->add(1);
+    }
+    stats.chunks = n > 0 ? 1 : 0;
+    stats.completed = true;
+    stats.wall_seconds = seconds_since(start);
+    return stats;
+  }
+
+  // Chunk size: enough chunks per worker to balance uneven cells without
+  // drowning in queue traffic.
+  const std::size_t chunk =
+      options.chunk > 0
+          ? options.chunk
+          : std::max<std::size_t>(
+                1, n / (static_cast<std::size_t>(threads) * 8));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done_items{0};
+  std::atomic<std::size_t> issued_chunks{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_chunks = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      if (options.cancel && options.cancel->stop_requested()) return;
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      issued_chunks.fetch_add(1, std::memory_order_relaxed);
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          body(i);
+          done_items.fetch_add(1, std::memory_order_relaxed);
+          if (options.progress) options.progress->add(1);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool* pool = options.pool;
+  if (!pool) {
+    owned = std::make_unique<ThreadPool>(threads);
+    pool = owned.get();
+  }
+  for (int t = 0; t < threads; ++t) pool->submit(run_chunks);
+  pool->wait_idle();
+
+  stats.items = done_items.load();
+  stats.chunks = issued_chunks.load();
+  stats.wall_seconds = seconds_since(start);
+  if (first_error) std::rethrow_exception(first_error);
+  stats.completed =
+      !(options.cancel && options.cancel->stop_requested()) || stats.items == n;
+  return stats;
+}
+
+}  // namespace bcn::exec

@@ -52,6 +52,63 @@ TEST(StabilityMapTest, Theorem1SoundOnLinearizedNumeric) {
   EXPECT_LE(map.theorem1_stable, map.numeric_stable);
 }
 
+TEST(StabilityMapTest, ParallelBitwiseIdenticalToSerial) {
+  // The determinism contract of the exec layer: threads=4 must place the
+  // exact same bits in every cell as the legacy serial path.
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  const auto gi = linspace(0.25, 8.0, 5);
+  const auto gd = logspace(1.0 / 256.0, 0.5, 5);
+  StabilityMapOptions serial_opts;
+  serial_opts.numeric_level = core::ModelLevel::Linearized;
+  serial_opts.threads = 1;
+  StabilityMapOptions parallel_opts = serial_opts;
+  parallel_opts.threads = 4;
+  const auto serial = compute_stability_map(base, gi, gd, serial_opts);
+  const auto parallel = compute_stability_map(base, gi, gd, parallel_opts);
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const auto& s = serial.cells[i];
+    const auto& p = parallel.cells[i];
+    // EXPECT_EQ on doubles is exact (bitwise up to -0.0 == 0.0), not a
+    // tolerance comparison.
+    EXPECT_EQ(s.gi, p.gi) << "cell " << i;
+    EXPECT_EQ(s.gd, p.gd) << "cell " << i;
+    EXPECT_EQ(s.numeric.strongly_stable, p.numeric.strongly_stable);
+    EXPECT_EQ(s.numeric.converged, p.numeric.converged);
+    EXPECT_EQ(s.numeric.max_x, p.numeric.max_x) << "cell " << i;
+    EXPECT_EQ(s.numeric.min_x, p.numeric.min_x) << "cell " << i;
+    EXPECT_EQ(s.report.theorem1_satisfied, p.report.theorem1_satisfied);
+    EXPECT_EQ(s.report.proposition_satisfied, p.report.proposition_satisfied);
+    EXPECT_EQ(s.report.predicted_max_x, p.report.predicted_max_x);
+    EXPECT_EQ(s.report.predicted_min_x, p.report.predicted_min_x);
+  }
+  EXPECT_EQ(serial.theorem1_stable, parallel.theorem1_stable);
+  EXPECT_EQ(serial.numeric_stable, parallel.numeric_stable);
+  EXPECT_EQ(serial.proposition_stable, parallel.proposition_stable);
+  EXPECT_EQ(serial.theorem1_false_positive, parallel.theorem1_false_positive);
+  EXPECT_EQ(serial.proposition_false_positive,
+            parallel.proposition_false_positive);
+}
+
+TEST(StabilityMapTest, HardwareThreadsMatchesSerialToo) {
+  // threads = 0 (all hardware threads) goes through the same contract.
+  const auto base = core::BcnParams::standard_draft();
+  const auto gi = linspace(1.0, 8.0, 3);
+  const auto gd = logspace(1.0 / 256.0, 0.1, 3);
+  StabilityMapOptions auto_opts;
+  auto_opts.threads = 0;
+  const auto serial = compute_stability_map(base, gi, gd);
+  const auto parallel = compute_stability_map(base, gi, gd, auto_opts);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].numeric.max_x, parallel.cells[i].numeric.max_x);
+    EXPECT_EQ(serial.cells[i].numeric.min_x, parallel.cells[i].numeric.min_x);
+  }
+}
+
 TEST(StabilityMapTest, LargerBufferNeverHurts) {
   core::BcnParams small = core::BcnParams::standard_draft();
   core::BcnParams large = small;

@@ -35,5 +35,52 @@ TEST(SweepTest, LogspaceDescendingWorks) {
   EXPECT_GT(v[0], v[2]);
 }
 
+TEST(SweepTest, NonPositiveCountIsEmpty) {
+  EXPECT_TRUE(linspace(1.0, 2.0, 0).empty());
+  EXPECT_TRUE(linspace(1.0, 2.0, -3).empty());
+  EXPECT_TRUE(logspace(1.0, 2.0, 0).empty());
+  EXPECT_TRUE(logspace(1.0, 2.0, -1).empty());
+}
+
+TEST(SweepTest, LogspaceSingle) {
+  const auto v = logspace(0.5, 64.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+}
+
+TEST(SweepTest, DegenerateRangeRepeatsEndpoint) {
+  const auto lin = linspace(3.25, 3.25, 4);
+  ASSERT_EQ(lin.size(), 4u);
+  for (const double x : lin) EXPECT_EQ(x, 3.25);
+  const auto log = logspace(7.5, 7.5, 3);
+  ASSERT_EQ(log.size(), 3u);
+  for (const double x : log) EXPECT_EQ(x, 7.5);
+}
+
+TEST(SweepTest, EndpointsAreExact) {
+  // No accumulated floating-point drift: the last element is exactly hi.
+  const auto lin = linspace(0.1, 0.7, 7);
+  EXPECT_EQ(lin.front(), 0.1);
+  EXPECT_EQ(lin.back(), 0.7);
+  const auto log = logspace(1.0 / 512.0, 0.25, 9);
+  EXPECT_EQ(log.front(), 1.0 / 512.0);
+  EXPECT_EQ(log.back(), 0.25);
+}
+
+TEST(SweepTest, SweepValuesPreservesOrderAcrossThreadCounts) {
+  const auto xs = linspace(0.0, 10.0, 101);
+  auto f = [](double x) { return std::cos(x) * x; };
+  const auto serial = sweep_values(xs, f, 1);
+  ASSERT_EQ(serial.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(serial[i], f(xs[i]));
+  }
+  const auto parallel = sweep_values(xs, f, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "i=" << i;
+  }
+}
+
 }  // namespace
 }  // namespace bcn::analysis

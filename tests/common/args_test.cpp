@@ -1,5 +1,7 @@
 #include "common/args.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 namespace bcn {
@@ -64,6 +66,62 @@ TEST(ArgParserTest, HasAndNames) {
 TEST(ArgParserTest, NegativeNumberAsValue) {
   const auto args = parse({"--offset", "-5"});
   EXPECT_EQ(args.get_int("offset", 0), -5);
+}
+
+class ThreadCountTest : public ::testing::Test {
+ protected:
+  void SetUp() override { unsetenv("BCN_THREADS"); }
+  void TearDown() override { unsetenv("BCN_THREADS"); }
+};
+
+TEST_F(ThreadCountTest, FlagWins) {
+  const auto args = parse({"--threads", "6"});
+  EXPECT_EQ(thread_count(args, 1), 6);
+  setenv("BCN_THREADS", "3", 1);
+  EXPECT_EQ(thread_count(args, 1), 6);  // flag beats env
+}
+
+TEST_F(ThreadCountTest, EnvFallback) {
+  const auto args = parse({});
+  setenv("BCN_THREADS", "5", 1);
+  EXPECT_EQ(thread_count(args, 1), 5);
+}
+
+TEST_F(ThreadCountTest, DefaultWhenUnset) {
+  const auto args = parse({});
+  EXPECT_EQ(thread_count(args, 1), 1);
+  EXPECT_EQ(thread_count(args, 4), 4);
+}
+
+TEST_F(ThreadCountTest, ZeroMeansAllHardwareThreadsIsAccepted) {
+  const auto args = parse({"--threads", "0"});
+  EXPECT_EQ(thread_count(args, 1), 0);
+}
+
+TEST_F(ThreadCountTest, InvalidValuesFallBack) {
+  EXPECT_EQ(thread_count(parse({"--threads", "abc"}), 2), 2);
+  EXPECT_EQ(thread_count(parse({"--threads", "-3"}), 2), 2);
+  EXPECT_EQ(thread_count(parse({"--threads", "4x"}), 2), 2);
+  setenv("BCN_THREADS", "garbage", 1);
+  EXPECT_EQ(thread_count(parse({}), 2), 2);
+}
+
+TEST(UnknownFlagsTest, FindsTyposOnly) {
+  const auto args = parse({"--gi", "4", "--grd", "0.1", "--plot"});
+  const auto unknown = unknown_flags(args, {"gi", "gd", "plot", "help"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "grd");
+}
+
+TEST(UnknownFlagsTest, AllKnownIsEmpty) {
+  const auto args = parse({"--gi", "4", "--plot"});
+  EXPECT_TRUE(unknown_flags(args, {"gi", "plot"}).empty());
+  EXPECT_TRUE(reject_unknown_flags(args, {"gi", "plot"}));
+}
+
+TEST(UnknownFlagsTest, RejectReturnsFalseOnUnknown) {
+  const auto args = parse({"--bogus"});
+  EXPECT_FALSE(reject_unknown_flags(args, {"help"}));
 }
 
 }  // namespace

@@ -1,0 +1,74 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace bcn {
+namespace {
+
+TEST(JsonWriterTest, InsertionOrderAndTypes) {
+  JsonWriter w;
+  w.add("name", "sweep");
+  w.add("cells", 81);
+  w.add("speedup", 3.5);
+  w.add("ok", true);
+  const std::string s = w.to_string();
+  // Keys appear in insertion order.
+  EXPECT_LT(s.find("\"name\""), s.find("\"cells\""));
+  EXPECT_LT(s.find("\"cells\""), s.find("\"speedup\""));
+  EXPECT_NE(s.find("\"name\": \"sweep\""), std::string::npos);
+  EXPECT_NE(s.find("\"cells\": 81"), std::string::npos);
+  EXPECT_NE(s.find("\"speedup\": 3.5"), std::string::npos);
+  EXPECT_NE(s.find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_EQ(s.back(), '\n');
+}
+
+TEST(JsonWriterTest, QuoteEscapesSpecials) {
+  EXPECT_EQ(JsonWriter::quote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonWriter::quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonWriter::quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonWriter::quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonWriter::quote("tab\there"), "\"tab\\there\"");
+  // Control characters use \u00XX.
+  EXPECT_EQ(JsonWriter::quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriterTest, DoubleFormatRoundTripsAndHandlesNonFinite) {
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(JsonWriter::format(v)), v);
+  EXPECT_EQ(JsonWriter::format(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(JsonWriter::format(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::format(2.0), "2");
+}
+
+TEST(JsonWriterTest, NumberArray) {
+  JsonWriter w;
+  w.add("walls", std::vector<double>{0.5, 1.25});
+  EXPECT_NE(w.to_string().find("[0.5, 1.25]"), std::string::npos);
+}
+
+TEST(JsonWriterTest, WriteFileCreatesParentDirs) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "bcn_json_test" / "nested";
+  std::filesystem::remove_all(dir.parent_path());
+  JsonWriter w;
+  w.add("k", 1);
+  const auto path = dir / "out.json";
+  ASSERT_TRUE(w.write_file(path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), w.to_string());
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+}  // namespace
+}  // namespace bcn

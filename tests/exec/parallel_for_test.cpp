@@ -1,0 +1,144 @@
+#include "exec/parallel_for.h"
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace bcn::exec {
+namespace {
+
+TEST(ResolveThreadsTest, ZeroMeansHardwareAndExplicitIsLiteral) {
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(7), 7);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  const auto stats = parallel_for(
+      kN, [&](std::size_t i) { visits[i].fetch_add(1); }, {.threads = 4});
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.items, kN);
+  EXPECT_EQ(stats.threads, 4);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelForTest, OrderingDeterministicAcrossThreadCounts) {
+  constexpr std::size_t kN = 513;  // not a multiple of any chunk size
+  auto cell = [](std::size_t i) {
+    // An irrational-ish value so any index mixup changes bits.
+    return std::sin(static_cast<double>(i) * 0.7) * 1e9;
+  };
+  const auto serial = parallel_map<double>(kN, cell, {.threads = 1});
+  for (const int threads : {2, 4, 8}) {
+    const auto parallel = parallel_map<double>(kN, cell, {.threads = threads});
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < kN; ++i) {
+      // Bitwise identity, not tolerance: slot i is always cell(i).
+      EXPECT_EQ(parallel[i], serial[i]) << "i=" << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRange) {
+  const auto stats =
+      parallel_for(0, [](std::size_t) { FAIL(); }, {.threads = 4});
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.items, 0u);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  for (const int threads : {1, 4}) {
+    EXPECT_THROW(
+        parallel_for(
+            100,
+            [](std::size_t i) {
+              if (i == 37) throw std::runtime_error("cell 37 failed");
+            },
+            {.threads = threads}),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, CancellationStopsIssuingWork) {
+  CancelToken cancel;
+  cancel.request_stop();
+  const std::size_t kN = 10000;
+  std::atomic<std::size_t> ran{0};
+  ParallelForOptions opts;
+  opts.threads = 4;
+  opts.cancel = &cancel;
+  const auto stats =
+      parallel_for(kN, [&](std::size_t) { ran.fetch_add(1); }, opts);
+  EXPECT_FALSE(stats.completed);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ParallelForTest, MidRunCancellationIsCooperative) {
+  CancelToken cancel;
+  const std::size_t kN = 100000;
+  std::atomic<std::size_t> ran{0};
+  ParallelForOptions opts;
+  opts.threads = 4;
+  opts.chunk = 16;
+  opts.cancel = &cancel;
+  parallel_for(
+      kN,
+      [&](std::size_t) {
+        if (ran.fetch_add(1) == 200) cancel.request_stop();
+      },
+      opts);
+  // Workers finish their in-flight chunks but take no new ones.
+  EXPECT_LT(ran.load(), kN);
+}
+
+TEST(ParallelForTest, ProgressCountsEveryItem) {
+  Progress progress;
+  ParallelForOptions opts;
+  opts.threads = 3;
+  opts.progress = &progress;
+  parallel_for(257, [](std::size_t) {}, opts);
+  EXPECT_EQ(progress.total(), 257u);
+  EXPECT_EQ(progress.done(), 257u);
+}
+
+TEST(ParallelForTest, SerialPathReportsStats) {
+  const auto stats = parallel_for(10, [](std::size_t) {}, {.threads = 1});
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.items, 10u);
+  EXPECT_EQ(stats.threads, 1);
+  EXPECT_GE(stats.wall_seconds, 0.0);
+}
+
+TEST(ParallelForTest, ExplicitChunkSizeCoversRange) {
+  std::vector<std::atomic<int>> visits(100);
+  ParallelForOptions opts;
+  opts.threads = 4;
+  opts.chunk = 7;  // 100 = 14*7 + 2: last chunk is partial
+  const auto stats =
+      parallel_for(100, [&](std::size_t i) { visits[i].fetch_add(1); }, opts);
+  EXPECT_EQ(stats.items, 100u);
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossParallelForCalls) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  ParallelForOptions opts;
+  opts.pool = &pool;
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<std::size_t> ran{0};
+    const auto stats =
+        parallel_for(100, [&](std::size_t) { ran.fetch_add(1); }, opts);
+    EXPECT_EQ(ran.load(), 100u);
+    EXPECT_EQ(stats.threads, 4);
+  }
+}
+
+}  // namespace
+}  // namespace bcn::exec

@@ -39,6 +39,12 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  if (!reject_unknown_flags(args, {"help", "N", "C", "q0", "B", "qsc", "gi",
+                                   "gd", "ru", "w", "pm", "delay", "duration",
+                                   "plot"})) {
+    usage();
+    return 2;
+  }
 
   core::BcnParams p = core::BcnParams::standard_draft();
   p.num_sources = args.get_double("N", p.num_sources);
