@@ -87,6 +87,43 @@ void print_params(const core::BcnParams& params) {
   std::printf("%s\n", params.describe().c_str());
 }
 
+void record_sim_metrics(const sim::SimStats& stats,
+                        obs::MetricsRegistry* registry,
+                        const std::string& prefix) {
+  if (!registry) return;
+  stats.export_metrics(*registry, prefix);
+}
+
+void record_fluid_metrics(const core::FluidRun& run,
+                          obs::MetricsRegistry* registry,
+                          const std::string& prefix) {
+  if (!registry) return;
+  registry->counter(prefix + "steps_accepted").inc(run.steps_accepted);
+  registry->counter(prefix + "steps_rejected").inc(run.steps_rejected);
+  registry->counter(prefix + "event_bisections").inc(run.event_bisections);
+  auto& min_dt = registry->gauge(prefix + "min_dt_seconds");
+  if (run.min_step > 0.0 &&
+      (min_dt.value() == 0.0 || run.min_step < min_dt.value())) {
+    min_dt.set(run.min_step);
+  }
+}
+
+void export_observability(const sim::SimStats& stats,
+                          const std::string& stem) {
+  if (stats.timelines().total_points() > 0) {
+    const auto path = output_dir() / (stem + "_timelines.csv");
+    if (stats.timelines().write_csv(path)) {
+      std::printf("  [artifact] %s\n", path.string().c_str());
+    }
+  }
+  if (!stats.events().empty()) {
+    const auto path = output_dir() / (stem + "_events.csv");
+    if (stats.events().write_csv(path)) {
+      std::printf("  [artifact] %s\n", path.string().c_str());
+    }
+  }
+}
+
 CaseBenchResult run_case_dynamics(const core::BcnParams& params,
                                   const std::string& title,
                                   const std::string& stem, double duration) {

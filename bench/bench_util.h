@@ -8,10 +8,13 @@
 
 #include "common/table.h"
 #include "core/bcn_params.h"
+#include "core/simulate.h"
+#include "obs/metrics.h"
 #include "ode/trajectory.h"
 #include "plot/ascii.h"
 #include "plot/series.h"
 #include "plot/svg.h"
+#include "sim/stats.h"
 
 namespace bcn::bench {
 
@@ -45,6 +48,27 @@ void emit_figure(const std::string& stem,
 void emit_csv(const std::string& stem, const ode::Trajectory& trajectory);
 
 void print_params(const core::BcnParams& params);
+
+// --- run-level observability -------------------------------------------
+// Snapshots a packet-simulator run into the runner's metrics registry
+// (counters, queue/fairness gauges, sigma histogram); no-op when
+// `registry` is null.
+void record_sim_metrics(const sim::SimStats& stats,
+                        obs::MetricsRegistry* registry,
+                        const std::string& prefix = "sim.");
+
+// Integrator step statistics from a fluid run: steps accepted/rejected,
+// event-localization bisections (counters, accumulated across runs) and
+// the smallest accepted dt seen by any recorded run (gauge).
+void record_fluid_metrics(const core::FluidRun& run,
+                          obs::MetricsRegistry* registry,
+                          const std::string& prefix = "fluid.");
+
+// Writes <stem>_timelines.csv / <stem>_events.csv artifacts for a run's
+// structured observability (skipping whichever is empty); announces the
+// paths on stdout.
+void export_observability(const sim::SimStats& stats,
+                          const std::string& stem);
 
 // Shared driver for the per-case dynamics figures (Figs. 8-10): traces the
 // switched system analytically and numerically (linearized + nonlinear),

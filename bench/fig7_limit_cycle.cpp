@@ -84,6 +84,7 @@ int run(bench::RunContext& ctx) {
   ropts.record_interval = 1e-6;
   const auto run = core::simulate_fluid(
       core::FluidModel(p, core::ModelLevel::Nonlinear), ropts);
+  bench::record_fluid_metrics(run, ctx.metrics);
   plot::AsciiOptions ascii;
   ascii.title = "Fig.7(a) near-closed orbit (nonlinear fluid, ~6 cycles)";
   ascii.x_label = "x [Mbit]";
@@ -112,6 +113,8 @@ int run(bench::RunContext& ctx) {
   cfg.record_interval = 20 * sim::kMicrosecond;
   sim::Network net(cfg);
   net.run(80 * sim::kMillisecond);
+  bench::record_sim_metrics(net.stats(), ctx.metrics);
+  bench::export_observability(net.stats(), "fig7_limit_cycle");
   const auto packet_traj =
       net.stats().to_phase_trajectory(sp.q0, sp.capacity);
   double lo = 1e18, hi = -1e18;

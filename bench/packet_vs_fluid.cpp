@@ -56,6 +56,8 @@ int run(bench::RunContext& ctx) {
       core::FluidModel(p, core::ModelLevel::Linearized), fopts);
   const auto non = core::simulate_fluid(
       core::FluidModel(p, core::ModelLevel::Nonlinear), fopts);
+  bench::record_fluid_metrics(lin, ctx.metrics);
+  bench::record_fluid_metrics(non, ctx.metrics);
 
   // Packet run (fluid-matched feedback application).
   sim::NetworkConfig cfg;
@@ -64,6 +66,8 @@ int run(bench::RunContext& ctx) {
   cfg.record_interval = 20 * sim::kMicrosecond;
   sim::Network net(cfg);
   net.run(sim::from_seconds(kDuration));
+  bench::record_sim_metrics(net.stats(), ctx.metrics);
+  bench::export_observability(net.stats(), "packet_vs_fluid");
   const auto packet = net.stats().to_phase_trajectory(p.q0, p.capacity);
 
   const double prominence = 0.05 * p.q0;

@@ -6,16 +6,17 @@
 // only the edge uplink.
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "runner.h"
 #include "sim/multihop.h"
+#include "sim/stats.h"
 
 using namespace bcn;
 
 namespace {
 
 int run(bench::RunContext& ctx) {
-  (void)ctx;
   std::printf("=== E15: PAUSE congestion rollback vs BCN (victim flow) "
               "===\n");
   std::printf("topology: 8 culprits + 1 victim -> E1 -(10G)-> CORE; "
@@ -38,7 +39,15 @@ int run(bench::RunContext& ctx) {
     sim::MultihopConfig cfg;
     cfg.enable_pause = m.pause;
     cfg.enable_bcn = m.bcn;
+    // Observe the PAUSE+BCN run: its event trace shows the rollback
+    // (edge-port PAUSE bursts) giving way to targeted BCN feedback.
+    sim::SimStats observed;
+    if (m.pause && m.bcn) cfg.observer = &observed;
     const auto r = sim::run_victim_scenario(cfg);
+    if (cfg.observer) {
+      bench::record_sim_metrics(observed, ctx.metrics, "sim.pause_bcn.");
+      bench::export_observability(observed, "pause_vs_bcn_multihop");
+    }
     table.add_row(
         {m.name, TablePrinter::format(r.victim_throughput / 1e9, 3),
          TablePrinter::format(r.culprit_throughput / 1e9, 3),

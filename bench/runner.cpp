@@ -107,6 +107,8 @@ int bench_main(int argc, const char* const* argv) {
   const bool emit_json = args.get_bool("json", true);
   int exit_status = 0;
   for (const Experiment* e : selected) {
+    obs::MetricsRegistry metrics;
+    ctx.metrics = &metrics;
     const auto start = std::chrono::steady_clock::now();
     const int status = e->fn(ctx);
     const double wall =
@@ -123,6 +125,7 @@ int bench_main(int argc, const char* const* argv) {
       json.add("wall_seconds", wall);
       json.add("threads", ctx.threads);
       json.add("seed", static_cast<std::int64_t>(ctx.seed));
+      metrics.write_json(json, "metrics.");
       const auto path = ctx.out_dir / ("RUN_" + e->name + ".json");
       if (json.write_file(path)) {
         std::printf("  [artifact] %s\n", path.string().c_str());

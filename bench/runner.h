@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/args.h"
+#include "obs/metrics.h"
 
 namespace bcn::bench {
 
@@ -24,6 +25,10 @@ struct RunContext {
   int threads = 1;                  // 0 = all hardware threads, 1 = serial
   std::uint64_t seed = 0;           // --seed (default 0: deterministic)
   std::filesystem::path out_dir;    // resolved artifact directory
+  // Per-experiment metrics registry owned by bench_main; whatever the
+  // experiment records here is embedded in its RUN_<name>.json under
+  // "metrics.".  Always non-null inside an experiment fn.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct Experiment {

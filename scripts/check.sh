@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
-# Thread-safety gate for the execution layer: builds the tree under
-# ThreadSanitizer (-DBCN_SANITIZE=thread) and runs the exec + analysis
-# test suites, which exercise parallel_for / ThreadPool / the parallel
-# stability map under real concurrency.  Any data race fails the run.
+# Two gates:
+#  1. Thread safety: builds the tree under ThreadSanitizer
+#     (-DBCN_SANITIZE=thread) and runs the exec + analysis test suites,
+#     which exercise parallel_for / ThreadPool / the parallel stability
+#     map under real concurrency.  Any data race fails the run.
+#  2. Bench artifacts: builds one bench in a regular (non-sanitized)
+#     build, runs it, and validates that RUN_<name>.json carries the
+#     observability metrics snapshot and that the timeline CSV exists.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,3 +26,34 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/analysis/bcn_analysis_tests
 
 echo "[check.sh] ThreadSanitizer run clean"
+
+# --- bench-artifact smoke -------------------------------------------------
+# One real experiment end-to-end: the RUN json must embed the metrics
+# snapshot (simulator counters + integrator step stats) and the run must
+# produce at least one per-flow timeline CSV.
+SMOKE_BUILD_DIR=${SMOKE_BUILD_DIR:-build}
+SMOKE_BENCH=fig7_limit_cycle
+cmake -B "$SMOKE_BUILD_DIR" -S .
+cmake --build "$SMOKE_BUILD_DIR" -j --target "$SMOKE_BENCH"
+
+SMOKE_OUT=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT"' EXIT
+"$SMOKE_BUILD_DIR"/bench/"$SMOKE_BENCH" --run "$SMOKE_BENCH" \
+  --out "$SMOKE_OUT" > /dev/null
+
+RUN_JSON="$SMOKE_OUT/RUN_$SMOKE_BENCH.json"
+[[ -f "$RUN_JSON" ]] || { echo "[check.sh] missing $RUN_JSON"; exit 1; }
+for key in '"metrics.sim.frames_delivered"' '"metrics.sim.bcn_negative"' \
+           '"metrics.fluid.steps_accepted"' '"metrics.fluid.min_dt_seconds"' \
+           '"metrics.sim.sigma_bits.count"'; do
+  grep -q "$key" "$RUN_JSON" || {
+    echo "[check.sh] $RUN_JSON lacks $key"; exit 1;
+  }
+done
+TIMELINES="$SMOKE_OUT/${SMOKE_BENCH}_timelines.csv"
+[[ -f "$TIMELINES" ]] || { echo "[check.sh] missing $TIMELINES"; exit 1; }
+grep -q '^flow\.' "$TIMELINES" || {
+  echo "[check.sh] $TIMELINES has no per-flow series"; exit 1;
+}
+
+echo "[check.sh] bench artifact smoke clean ($RUN_JSON)"

@@ -37,7 +37,9 @@ std::array<std::complex<double>, 2> solve_monic_quadratic(double m, double n) {
 }
 
 std::optional<double> bisect(const std::function<double(double)>& f, double lo,
-                             double hi, double xtol, int max_iter) {
+                             double hi, double xtol, int max_iter,
+                             int* iterations) {
+  if (iterations) *iterations = 0;
   double flo = f(lo);
   double fhi = f(hi);
   if (flo == 0.0) return lo;
@@ -46,6 +48,7 @@ std::optional<double> bisect(const std::function<double(double)>& f, double lo,
   for (int i = 0; i < max_iter && (hi - lo) > xtol; ++i) {
     const double mid = lo + (hi - lo) / 2.0;
     const double fmid = f(mid);
+    if (iterations) *iterations = i + 1;
     if (fmid == 0.0) return mid;
     if (sign(fmid) == sign(flo)) {
       lo = mid;

@@ -39,9 +39,11 @@ std::array<std::complex<double>, 2> solve_monic_quadratic(double m, double n);
 // Bisection root refinement of a continuous scalar function f on [lo, hi]
 // where f(lo) and f(hi) have opposite (non-zero) signs.  Returns the root
 // located to within xtol.  Returns nullopt when the bracket is invalid.
+// When `iterations` is non-null it receives the number of interval
+// halvings performed (0 when an endpoint already is the root).
 std::optional<double> bisect(const std::function<double(double)>& f, double lo,
                              double hi, double xtol = 1e-12,
-                             int max_iter = 200);
+                             int max_iter = 200, int* iterations = nullptr);
 
 // Linear interpolation: value at fraction u in [0,1] between a and b.
 inline double lerp(double a, double b, double u) { return a + (b - a) * u; }

@@ -31,6 +31,10 @@ FluidRun simulate_fluid(const FluidModel& model,
   run.switches = hybrid.switches;
   run.completed = hybrid.completed;
   run.converged = hybrid.stopped_early;
+  run.steps_accepted = hybrid.steps_accepted;
+  run.steps_rejected = hybrid.steps_rejected;
+  run.min_step = hybrid.min_accepted_step;
+  run.event_bisections = hybrid.event_bisection_iterations;
 
   // Extrema over t > 0: skip the initial sample, which sits on the
   // empty-buffer boundary by construction (q(0) = 0 after the warm-up).

@@ -25,6 +25,13 @@ struct FluidRun {
   std::vector<ode::ModeSwitch> switches;  // localized region transitions
   bool completed = false;
   bool converged = false;   // stopped early via convergence_tol
+  // Integrator step statistics (from ode::HybridResult): accepted and
+  // rejected DOPRI5 trial steps, the smallest accepted time advance, and
+  // the total event-localization bisection iterations.
+  std::size_t steps_accepted = 0;
+  std::size_t steps_rejected = 0;
+  double min_step = 0.0;
+  std::size_t event_bisections = 0;
   double max_x = 0.0;       // over t > 0 (initial point excluded)
   double min_x = 0.0;
   double max_y = 0.0;

@@ -1,0 +1,55 @@
+#include "obs/event_trace.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+
+namespace bcn::obs {
+
+std::uint64_t EventTrace::count(EventKind kind) const {
+  std::uint64_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+const char* EventTrace::kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::BcnNegativeSent: return "bcn_negative_sent";
+    case EventKind::BcnPositiveSent: return "bcn_positive_sent";
+    case EventKind::BcnRateAdvertSent: return "bcn_rate_advert_sent";
+    case EventKind::BcnApplied: return "bcn_applied";
+    case EventKind::PauseOn: return "pause_on";
+    case EventKind::PauseOff: return "pause_off";
+    case EventKind::PauseApplied: return "pause_applied";
+  }
+  return "unknown";
+}
+
+namespace {
+
+CsvWriter build_csv(const std::vector<TraceEvent>& events) {
+  std::vector<TraceEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.t < b.t;
+                   });
+  CsvWriter csv({"t", "kind", "point", "flow", "sigma", "value"});
+  for (const auto& e : sorted) {
+    csv.add_row({CsvWriter::format(e.t), EventTrace::kind_name(e.kind),
+                 std::to_string(e.point), std::to_string(e.flow),
+                 CsvWriter::format(e.sigma), CsvWriter::format(e.value)});
+  }
+  return csv;
+}
+
+}  // namespace
+
+std::string EventTrace::to_csv() const { return build_csv(events_).to_string(); }
+
+bool EventTrace::write_csv(const std::filesystem::path& path) const {
+  return build_csv(events_).write_file(path);
+}
+
+}  // namespace bcn::obs

@@ -1,0 +1,60 @@
+// Causal event trace for the congestion-control plane: every BCN
+// feedback frame (who was sampled, the sigma value, any advertised rate)
+// and every 802.3x PAUSE on/off transition, both at the emitting switch
+// and at the reacting regulator.
+//
+// Pairing a *Sent event with the matching *Applied event (same flow,
+// later t) reconstructs the feedback loop frame by frame — the
+// event-level view the aggregate counters cannot provide.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace bcn::obs {
+
+enum class EventKind {
+  BcnNegativeSent,   // switch sampled a frame, sigma < 0
+  BcnPositiveSent,   // switch sampled a frame, sigma > 0
+  BcnRateAdvertSent, // FERA explicit-rate advertisement (value = rate)
+  BcnApplied,        // regulator applied feedback (value = rate after)
+  PauseOn,           // switch asserted PAUSE (value = duration, seconds)
+  PauseOff,          // that PAUSE's scheduled expiry
+  PauseApplied,      // a source's regulator entered the paused state
+};
+
+// `point` is the emitting congestion point / port label; `flow` the
+// sampled or reacting source.  Fields that do not apply to a kind are 0.
+struct TraceEvent {
+  double t = 0.0;  // seconds
+  EventKind kind = EventKind::BcnNegativeSent;
+  std::uint32_t point = 0;
+  std::uint32_t flow = 0;
+  double sigma = 0.0;
+  double value = 0.0;
+};
+
+class EventTrace {
+ public:
+  void record(const TraceEvent& event) { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t count(EventKind kind) const;
+
+  static const char* kind_name(EventKind kind);
+
+  // CSV columns t,kind,point,flow,sigma,value; rows sorted by time
+  // (stable, so same-instant events keep recording order).  PauseOff
+  // expiries are recorded with their future timestamp, hence the sort.
+  std::string to_csv() const;
+  bool write_csv(const std::filesystem::path& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bcn::obs

@@ -1,0 +1,95 @@
+// Lightweight metrics registry: named counters, gauges and fixed-bucket
+// histograms for run-level observability.
+//
+// Hot paths hold the Counter/Gauge/Histogram reference returned by the
+// registry (references are stable — the registry never removes entries),
+// so per-event updates cost one increment, not a map lookup.  Export is
+// deterministic: entries are emitted in name order regardless of
+// creation or update order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace bcn::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram: cumulative-style buckets with the given upper
+// bounds (ascending) plus an implicit +inf overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void record(double x);
+  // Accumulates another histogram with identical bounds (no-op on a
+  // bounds mismatch — merging incompatible layouts is a caller bug).
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // One count per bound, plus the trailing overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  // Creates on first use; later calls return the same instance (the
+  // histogram bounds argument is ignored when the histogram exists).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Flat snapshot into `json`, every key prefixed (e.g. "metrics.").
+  // Counters emit one integer field; gauges one double; histograms
+  // <name>.count, <name>.sum and one <name>.le_<bound> per bucket
+  // (cumulative counts, trailing bucket le_inf).  Deterministic: name
+  // order within each kind, counters then gauges then histograms.
+  void write_json(JsonWriter& json, const std::string& prefix) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace bcn::obs

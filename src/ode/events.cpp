@@ -20,15 +20,16 @@ std::optional<LocatedEvent> locate_event(const Guard& g,
     return std::nullopt;
   }
   if (g1 == 0.0) {
-    return LocatedEvent{t1, dense.eval(t1)};
+    return LocatedEvent{t1, dense.eval(t1), 0};
   }
   if (sign(g0) == sign(g1)) return std::nullopt;
 
+  int iterations = 0;
   const auto root = bisect(
       [&](double t) { return g(t, dense.eval(t)); }, t0, t1,
-      ttol * std::max(1.0, t1 - t0));
+      ttol * std::max(1.0, t1 - t0), 200, &iterations);
   if (!root) return std::nullopt;
-  return LocatedEvent{*root, dense.eval(*root)};
+  return LocatedEvent{*root, dense.eval(*root), iterations};
 }
 
 }  // namespace bcn::ode

@@ -12,6 +12,9 @@ namespace bcn::ode {
 struct LocatedEvent {
   double t = 0.0;  // event time
   Vec2 z;          // state at the event (from dense output)
+  // Interval halvings the localization needed (0 when the crossing sat
+  // exactly on the step end); feeds the integrator step statistics.
+  int bisection_iterations = 0;
 };
 
 // If g(t, z(t)) changes sign over the dense-output interval [t0, t1],

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 #include "common/math.h"
 #include "ode/events.h"
@@ -74,6 +75,11 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
   };
 
   std::size_t switches = 0;
+  double min_dt = std::numeric_limits<double>::infinity();
+  const auto note_accepted_dt = [&](double dt) {
+    min_dt = std::min(min_dt, dt);
+    result.min_accepted_step = min_dt;
+  };
   for (std::size_t i = 0; i < options.max_steps && t < t1; ++i) {
     const Dopri5Step step = steppers[mode].trial_step(t, z, k1, h);
     if (step.error > 1.0) {
@@ -89,6 +95,9 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
     const auto crossing = earliest_guard_crossing(system.guards, dense);
     if (crossing && crossing->event.t > t && crossing->event.t < step_end) {
       // Truncate the step at the event.
+      result.event_bisection_iterations +=
+          static_cast<std::size_t>(crossing->event.bisection_iterations);
+      note_accepted_dt(crossing->event.t - t);
       record_dense(dense, crossing->event.t);
       t = crossing->event.t;
       z = crossing->event.z;
@@ -117,8 +126,9 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
       }
       mode = system.mode_of(t, z);
       if (mode != from_mode) {
-        result.switches.push_back(
-            {t, z, crossing->guard_index, from_mode, mode});
+        result.switches.push_back({t, z, crossing->guard_index, from_mode,
+                                   mode,
+                                   crossing->event.bisection_iterations});
         if (++switches > options.max_switches) return result;
       }
       k1 = steppers[mode].compute_k1(t, z);
@@ -128,6 +138,7 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
     }
 
     // Plain accepted step.
+    note_accepted_dt(h);
     record_dense(dense, step_end);
     t = step_end;
     z = step.z_new;
@@ -141,7 +152,7 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
     // end; steps near such departures are small.
     const int mode_now = system.mode_of(t, z);
     if (mode_now != mode) {
-      result.switches.push_back({t, z, -1, mode, mode_now});
+      result.switches.push_back({t, z, -1, mode, mode_now, 0});
       if (++switches > options.max_switches) return result;
       mode = mode_now;
       k1 = steppers[mode].compute_k1(t, z);
@@ -156,7 +167,11 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
     h = steppers[mode].next_step_size(h, step.error);
     h = std::min({h, max_step, t1 - t});
     if (h <= 0.0) break;
-    if (h < options.min_step && t < t1) return result;
+    // Step size collapsed.  Break rather than return: when the remaining
+    // span is a rounding sliver of t1 (h = t1 - t underflowing min_step
+    // after ~span/h accumulations), the run IS complete and the final
+    // tolerance check below must get the chance to say so.
+    if (h < options.min_step && t < t1) break;
   }
 
   if (options.record_interval > 0.0 && result.trajectory.back().t < t) {

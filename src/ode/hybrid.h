@@ -33,6 +33,9 @@ struct ModeSwitch {
   int guard_index = -1;
   int from_mode = -1;
   int to_mode = -1;
+  // Bisection iterations spent localizing this crossing (0 for the
+  // safety-net step-end switches, which have no guard to bisect).
+  int bisection_iterations = 0;
 };
 
 struct HybridOptions {
@@ -54,6 +57,12 @@ struct HybridResult {
   bool stopped_early = false;  // stop_when fired
   std::size_t steps_accepted = 0;
   std::size_t steps_rejected = 0;
+  // Smallest time advance of any accepted step, including event-truncated
+  // ones (0.0 until a step is accepted).
+  double min_accepted_step = 0.0;
+  // Total guard-localization bisection iterations across every surface
+  // crossing (including crossings that did not change the mode).
+  std::size_t event_bisection_iterations = 0;
 };
 
 // Integrates the hybrid system over [t0, t1] from z0.

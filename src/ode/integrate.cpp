@@ -61,6 +61,9 @@ AdaptiveResult integrate_adaptive(const Rhs& f, double t0, Vec2 z0, double t1,
       continue;
     }
     ++result.steps_accepted;
+    result.min_accepted_step = result.steps_accepted == 1
+                                   ? h
+                                   : std::min(result.min_accepted_step, h);
     const DenseOutput dense(t, h, step.rcont);
     t += h;
     z = step.z_new;

@@ -34,6 +34,8 @@ struct AdaptiveResult {
   bool completed = false;    // reached t1
   std::size_t steps_accepted = 0;
   std::size_t steps_rejected = 0;
+  // Smallest accepted step size (0.0 until a step is accepted).
+  double min_accepted_step = 0.0;
 };
 
 // Adaptive DOPRI5 integration of a smooth system over [t0, t1].

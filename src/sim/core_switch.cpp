@@ -53,8 +53,10 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
   const double delta_q = queue_bits_ - queue_at_last_sample_;
   queue_at_last_sample_ = queue_bits_;
   const double sigma = (config_.q0 - queue_bits_) - config_.w * delta_q;
+  stats_.record_sigma(sigma);
 
   if (!send_bcn_) return;
+  const double now_s = to_seconds(sim_.now());
   if (config_.fera_mode) {
     // FERA/ERICA-style explicit rate: fair share scaled by the queue
     // deviation from the reference.
@@ -68,6 +70,8 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
     } else {
       ++stats_.counters.bcn_positive;
     }
+    stats_.events().record({now_s, obs::EventKind::BcnRateAdvertSent,
+                            config_.cpid, frame.source, sigma, advertised});
     send_bcn_({.cpid = config_.cpid, .target = frame.source,
                .sigma = sigma, .advertised_rate = advertised,
                .sent_at = sim_.now()});
@@ -76,6 +80,8 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
   if (sigma < 0.0) {
     // Negative feedback: always sent to the sampled frame's source.
     ++stats_.counters.bcn_negative;
+    stats_.events().record({now_s, obs::EventKind::BcnNegativeSent,
+                            config_.cpid, frame.source, sigma, 0.0});
     send_bcn_({.cpid = config_.cpid, .target = frame.source,
                .sigma = sigma, .sent_at = sim_.now()});
   } else if (sigma > 0.0 && !config_.suppress_positive &&
@@ -85,6 +91,8 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
     // Positive feedback: only to tagged (rate-regulated) sources, and only
     // while the queue is below the reference (paper Section II.B).
     ++stats_.counters.bcn_positive;
+    stats_.events().record({now_s, obs::EventKind::BcnPositiveSent,
+                            config_.cpid, frame.source, sigma, 0.0});
     send_bcn_({.cpid = config_.cpid, .target = frame.source,
                .sigma = sigma, .sent_at = sim_.now()});
   }
@@ -96,6 +104,14 @@ void CoreSwitch::maybe_pause() {
   if (sim_.now() < pause_cooldown_until_) return;
   pause_cooldown_until_ = sim_.now() + config_.pause_duration;
   ++stats_.counters.pause_frames;
+  // The off transition is deterministic (802.3x quanta; the cooldown
+  // prevents overlapping extensions), so record both edges now.
+  const double duration_s = to_seconds(config_.pause_duration);
+  stats_.events().record({to_seconds(sim_.now()), obs::EventKind::PauseOn,
+                          config_.cpid, 0, 0.0, duration_s});
+  stats_.events().record({to_seconds(pause_cooldown_until_),
+                          obs::EventKind::PauseOff, config_.cpid, 0, 0.0,
+                          duration_s});
   send_pause_({config_.pause_duration, sim_.now()});
 }
 

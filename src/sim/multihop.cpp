@@ -6,6 +6,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/source.h"
+#include "sim/stats.h"
 #include "sim/switch_port.h"
 
 namespace bcn::sim {
@@ -34,11 +35,13 @@ MultihopResult run_victim_scenario(const MultihopConfig& config) {
     hot_cfg.bcn_w = config.bcn_w;
     hot_cfg.cpid = 7;
   }
+  hot_cfg.port_label = kMultihopHotPort;
   SwitchPort hot_port(sim, hot_cfg);
 
   SwitchPortConfig cold_cfg;
   cold_cfg.rate = config.line_rate;
   cold_cfg.buffer_bits = config.core_buffer;
+  cold_cfg.port_label = kMultihopColdPort;
   SwitchPort cold_port(sim, cold_cfg);
 
   // --- edge switch E1 ----------------------------------------------------
@@ -50,7 +53,14 @@ MultihopResult run_victim_scenario(const MultihopConfig& config) {
     edge_cfg.pause_threshold =
         config.pause_threshold_fraction * config.edge_buffer;
   }
+  edge_cfg.port_label = kMultihopEdgePort;
   SwitchPort edge(sim, edge_cfg);
+
+  if (config.observer) {
+    hot_port.set_observer(config.observer);
+    cold_port.set_observer(config.observer);
+    edge.set_observer(config.observer);
+  }
 
   // E1 forwards to CORE: route by destination after the hop delay.
   edge.set_sink([&](const Frame& frame) {
@@ -107,12 +117,27 @@ MultihopResult run_victim_scenario(const MultihopConfig& config) {
     });
   }
 
-  // Peak-queue tracking.
+  // Peak-queue tracking, plus per-port queue timelines when observed.
   double edge_peak = 0.0;
   double hot_peak = 0.0;
+  obs::Timeline* edge_tl = nullptr;
+  obs::Timeline* hot_tl = nullptr;
+  obs::Timeline* cold_tl = nullptr;
+  if (config.observer) {
+    auto& timelines = config.observer->timelines();
+    edge_tl = &timelines.series("port.edge.queue_bits");
+    hot_tl = &timelines.series("port.hot.queue_bits");
+    cold_tl = &timelines.series("port.cold.queue_bits");
+  }
   std::function<void()> monitor = [&] {
     edge_peak = std::max(edge_peak, edge.queue_bits());
     hot_peak = std::max(hot_peak, hot_port.queue_bits());
+    if (config.observer) {
+      const double t = to_seconds(sim.now());
+      edge_tl->record(t, edge.queue_bits());
+      hot_tl->record(t, hot_port.queue_bits());
+      cold_tl->record(t, cold_port.queue_bits());
+    }
     sim.schedule_after(20 * kMicrosecond, monitor);
   };
   sim.schedule_at(0, monitor);

@@ -23,6 +23,13 @@
 
 namespace bcn::sim {
 
+class SimStats;
+
+// Port labels used in the observer's event trace and timelines.
+inline constexpr std::uint32_t kMultihopEdgePort = 1;
+inline constexpr std::uint32_t kMultihopHotPort = 2;
+inline constexpr std::uint32_t kMultihopColdPort = 3;
+
 struct MultihopConfig {
   int num_culprits = 8;
   double line_rate = 10e9;     // sources' links, E1->CORE, CORE port B
@@ -43,6 +50,11 @@ struct MultihopConfig {
   double bcn_q0 = 0.3e6;
   double bcn_pm = 0.2;
   double bcn_w = 2.0;
+
+  // Optional observability sink: when set, the run records per-port
+  // queue timelines ("port.edge/hot/cold.queue_bits") and the BCN/PAUSE
+  // event trace into this SimStats.
+  SimStats* observer = nullptr;
 };
 
 struct MultihopResult {

@@ -1,8 +1,21 @@
 #include "sim/network.h"
 
 #include <cassert>
+#include <cstdio>
+#include <string>
 
 namespace bcn::sim {
+namespace {
+
+// Zero-padded flow ids keep timeline names in numeric order under the
+// TimelineSet's lexicographic export ("flow.0002" < "flow.0010").
+std::string flow_series_name(SourceId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "flow.%04u.rate_bps", id);
+  return buf;
+}
+
+}  // namespace
 
 Network::Network(NetworkConfig config) : config_(config) {
   const core::BcnParams& p = config_.params;
@@ -55,15 +68,30 @@ Network::Network(NetworkConfig config) : config_(config) {
   }
 
   // Backward channel: BCN unicast to the tagged source, PAUSE broadcast to
-  // every upstream sender, both after the propagation delay.
+  // every upstream sender, both after the propagation delay.  Deliveries
+  // are traced as *Applied events, closing the causal pair with the
+  // switch-side *Sent records.
   switch_->set_bcn_sender([this](const BcnMessage& msg) {
     sim_.schedule_after(config_.propagation_delay, [this, msg] {
-      if (msg.target < sources_.size()) sources_[msg.target]->on_bcn(msg);
+      if (msg.target >= sources_.size()) return;
+      sources_[msg.target]->on_bcn(msg);
+      stats_.events().record({to_seconds(sim_.now()),
+                              obs::EventKind::BcnApplied, msg.cpid,
+                              msg.target, msg.sigma,
+                              sources_[msg.target]->rate()});
     });
   });
   switch_->set_pause_sender([this](const PauseFrame& pause) {
     sim_.schedule_after(config_.propagation_delay, [this, pause] {
-      for (auto& src : sources_) src->on_pause(pause);
+      for (auto& src : sources_) {
+        const bool was_paused = src->is_paused(sim_.now());
+        src->on_pause(pause);
+        if (!was_paused) {
+          stats_.events().record({to_seconds(sim_.now()),
+                                  obs::EventKind::PauseApplied, 0, src->id(),
+                                  0.0, to_seconds(pause.duration)});
+        }
+      }
     });
   });
 
@@ -78,6 +106,15 @@ Network::Network(NetworkConfig config) : config_(config) {
     });
   }
 
+  if (config_.record_timelines) {
+    queue_timeline_ = &stats_.timelines().series("port.core.queue_bits");
+    flow_rate_timelines_.reserve(sources_.size());
+    for (const auto& src : sources_) {
+      flow_rate_timelines_.push_back(
+          &stats_.timelines().series(flow_series_name(src->id())));
+    }
+  }
+
   record_sample();
 }
 
@@ -89,6 +126,13 @@ double Network::aggregate_rate() const {
 
 void Network::record_sample() {
   stats_.record(sim_.now(), switch_->queue_bits(), aggregate_rate());
+  if (config_.record_timelines) {
+    const double t = to_seconds(sim_.now());
+    queue_timeline_->record(t, switch_->queue_bits());
+    for (std::size_t i = 0; i < sources_.size(); ++i) {
+      flow_rate_timelines_[i]->record(t, sources_[i]->rate());
+    }
+  }
   sim_.schedule_after(config_.record_interval, [this] { record_sample(); });
 }
 

@@ -41,6 +41,12 @@ struct NetworkConfig {
   SimTime on_time = 5 * kMillisecond;
   SimTime off_time = 5 * kMillisecond;
   SimTime stagger = 0;
+
+  // Per-flow rate / per-port queue timelines (SimStats::timelines()),
+  // sampled every record_interval alongside the aggregate trace.  On by
+  // default; large sweeps that only need the aggregate trace can turn it
+  // off to save the N-per-sample memory.
+  bool record_timelines = true;
 };
 
 class Network {
@@ -69,6 +75,10 @@ class Network {
   std::unique_ptr<CoreSwitch> switch_;
   std::vector<std::unique_ptr<Source>> sources_;
   SimTime run_until_ = 0;
+  // Cached timeline handles (stable references into stats_.timelines())
+  // so per-sample recording does not re-resolve series names.
+  obs::Timeline* queue_timeline_ = nullptr;
+  std::vector<obs::Timeline*> flow_rate_timelines_;
 };
 
 }  // namespace bcn::sim

@@ -9,6 +9,7 @@ RateRegulator::RateRegulator(const RegulatorConfig& config,
                              double initial_rate, SimTime now)
     : config_(config), rate_(initial_rate), last_update_(now) {
   clamp();
+  counters_.min_rate_seen = counters_.max_rate_seen = rate_;
   target_rate_ = rate_;
   recovery_cycles_ = config_.qcn_fast_recovery_cycles;  // no recovery armed
 }
@@ -20,6 +21,7 @@ void RateRegulator::on_bcn(const BcnMessage& message, SimTime now) {
   }
   const double dt = to_seconds(std::max<SimTime>(now - last_update_, 0));
   last_update_ = now;
+  counters_.last_sigma = message.sigma;
   switch (config_.mode) {
     case FeedbackMode::FluidMatched:
       apply_fluid(message.sigma, dt);
@@ -34,10 +36,19 @@ void RateRegulator::on_bcn(const BcnMessage& message, SimTime now) {
       if (message.advertised_rate >= 0.0) {
         const double alpha = config_.fera_smoothing;
         rate_ = (1.0 - alpha) * rate_ + alpha * message.advertised_rate;
+        ++counters_.rate_adverts_applied;
       }
       break;
   }
+  if (config_.mode != FeedbackMode::FeraExplicitRate) {
+    if (message.sigma < 0.0) {
+      ++counters_.bcn_negative_applied;
+    } else if (message.sigma > 0.0) {
+      ++counters_.bcn_positive_applied;
+    }
+  }
   clamp();
+  note_rate();
   // Draft behavior: a regulator whose rate has recovered to the line rate
   // dissociates and its frames drop the RRT tag.
   if (rate_ >= config_.max_rate) associated_ = false;
@@ -86,11 +97,18 @@ void RateRegulator::self_increase() {
     target_rate_ += config_.qcn_active_increase;
     rate_ = (rate_ + target_rate_) / 2.0;
   }
+  ++counters_.self_increases;
   clamp();
+  note_rate();
 }
 
 void RateRegulator::clamp() {
   rate_ = std::clamp(rate_, config_.min_rate, config_.max_rate);
+}
+
+void RateRegulator::note_rate() {
+  counters_.min_rate_seen = std::min(counters_.min_rate_seen, rate_);
+  counters_.max_rate_seen = std::max(counters_.max_rate_seen, rate_);
 }
 
 }  // namespace bcn::sim

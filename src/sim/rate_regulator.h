@@ -60,12 +60,27 @@ struct RegulatorConfig {
   double fera_smoothing = 0.5;
 };
 
+// Per-regulator reaction accounting: how much feedback this reaction
+// point actually applied, and the rate envelope it visited.  The switch
+// side counts what was *sent*; these counters close the causal loop by
+// counting what *arrived and acted*.
+struct RegulatorCounters {
+  std::uint64_t bcn_positive_applied = 0;
+  std::uint64_t bcn_negative_applied = 0;
+  std::uint64_t rate_adverts_applied = 0;
+  std::uint64_t self_increases = 0;
+  double min_rate_seen = 0.0;
+  double max_rate_seen = 0.0;
+  double last_sigma = 0.0;
+};
+
 class RateRegulator {
  public:
   RateRegulator(const RegulatorConfig& config, double initial_rate,
                 SimTime now);
 
   double rate() const { return rate_; }
+  const RegulatorCounters& counters() const { return counters_; }
 
   // True once a negative BCN associated this regulator with a congestion
   // point; its data frames then carry the RRT tag (paper Section II.B).
@@ -91,9 +106,11 @@ class RateRegulator {
   void apply_draft(double sigma);
   void apply_qcn(double sigma);
   void clamp();
+  void note_rate();
 
   RegulatorConfig config_;
   double rate_;
+  RegulatorCounters counters_;
   bool associated_ = false;
   CongestionPointId cpid_ = 0;
   SimTime last_update_;

@@ -52,9 +52,12 @@ class Source {
   void on_bcn(const BcnMessage& message);
   void on_pause(const PauseFrame& pause);
 
+  SourceId id() const { return config_.id; }
   double rate() const { return regulator_.rate(); }
   const RateRegulator& regulator() const { return regulator_; }
   std::uint64_t frames_sent() const { return frames_sent_; }
+  // True while an 802.3x PAUSE holds this source's transmissions.
+  bool is_paused(SimTime now) const { return now < paused_until_; }
 
  private:
   void send_frame();

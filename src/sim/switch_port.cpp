@@ -41,11 +41,17 @@ void SwitchPort::maybe_sample(const Frame& frame) {
   queue_at_last_sample_ = queue_bits_;
   const double sigma =
       (config_.bcn_q0 - queue_bits_) - config_.bcn_w * delta_q;
+  if (observer_) observer_->record_sigma(sigma);
   // Negative feedback only on shared-fabric ports (positive feedback is
   // the single-bottleneck Network's job; multi-hop scenarios rely on the
   // sources' own recovery or on separate positive paths).
   if (sigma < 0.0) {
     ++stats_.bcn_sent;
+    if (observer_) {
+      observer_->events().record({to_seconds(sim_.now()),
+                                  obs::EventKind::BcnNegativeSent,
+                                  config_.cpid, frame.source, sigma, 0.0});
+    }
     bcn_({.cpid = config_.cpid, .target = frame.source,
           .sigma = sigma, .sent_at = sim_.now()});
   }
@@ -57,6 +63,15 @@ void SwitchPort::maybe_pause_upstream() {
   if (sim_.now() < pause_cooldown_until_) return;
   pause_cooldown_until_ = sim_.now() + config_.pause_duration;
   ++stats_.pauses_sent;
+  if (observer_) {
+    const double duration_s = to_seconds(config_.pause_duration);
+    observer_->events().record({to_seconds(sim_.now()),
+                                obs::EventKind::PauseOn, config_.port_label,
+                                0, 0.0, duration_s});
+    observer_->events().record({to_seconds(pause_cooldown_until_),
+                                obs::EventKind::PauseOff, config_.port_label,
+                                0, 0.0, duration_s});
+  }
   pause_({config_.pause_duration, sim_.now()});
 }
 

@@ -12,6 +12,7 @@
 
 #include "sim/event_queue.h"
 #include "sim/frame.h"
+#include "sim/stats.h"
 
 namespace bcn::sim {
 
@@ -27,6 +28,10 @@ struct SwitchPortConfig {
   double bcn_q0 = 2.5e6;
   double bcn_w = 2.0;
   CongestionPointId cpid = 0;
+  // Identity used in observer event records (ports without a BCN
+  // congestion point have cpid 0 and are otherwise indistinguishable in
+  // a multi-port trace).
+  std::uint32_t port_label = 0;
 };
 
 struct SwitchPortStats {
@@ -51,6 +56,10 @@ class SwitchPort {
   // Called when this port wants its feeders paused.
   void set_pause_upstream(PauseUpstream pause) { pause_ = std::move(pause); }
   void set_bcn_sender(BcnSender sender) { bcn_ = std::move(sender); }
+  // Optional shared observability sink: the port records its BCN samples
+  // and PAUSE on/off transitions into the stats' event trace (multi-port
+  // topologies share one SimStats across ports).
+  void set_observer(SimStats* stats) { observer_ = stats; }
 
   // Frame arrival at this port.
   void on_frame(const Frame& frame);
@@ -70,6 +79,7 @@ class SwitchPort {
   Simulator& sim_;
   SwitchPortConfig config_;
   SwitchPortStats stats_;
+  SimStats* observer_ = nullptr;
   FrameSink sink_;
   PauseUpstream pause_;
   BcnSender bcn_;

@@ -1,0 +1,64 @@
+#include "obs/event_trace.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn::obs {
+namespace {
+
+TEST(EventTraceTest, CountsByKind) {
+  EventTrace trace;
+  trace.record({1e-3, EventKind::BcnNegativeSent, 7, 0, -1e5, 0.0});
+  trace.record({2e-3, EventKind::BcnNegativeSent, 7, 1, -2e5, 0.0});
+  trace.record({3e-3, EventKind::BcnApplied, 0, 1, -2e5, 1.5e9});
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.count(EventKind::BcnNegativeSent), 2u);
+  EXPECT_EQ(trace.count(EventKind::BcnApplied), 1u);
+  EXPECT_EQ(trace.count(EventKind::PauseOn), 0u);
+}
+
+TEST(EventTraceTest, KindNamesAreStableIdentifiers) {
+  EXPECT_STREQ(EventTrace::kind_name(EventKind::BcnNegativeSent),
+               "bcn_negative_sent");
+  EXPECT_STREQ(EventTrace::kind_name(EventKind::PauseOff), "pause_off");
+  EXPECT_STREQ(EventTrace::kind_name(EventKind::BcnRateAdvertSent),
+               "bcn_rate_advert_sent");
+}
+
+// PAUSE expiries are recorded at send time with their future timestamp;
+// the CSV must still come out time-ordered, and same-instant events must
+// keep recording order (stable sort).
+TEST(EventTraceTest, CsvIsTimeSortedWithStableTies) {
+  EventTrace trace;
+  trace.record({1e-3, EventKind::PauseOn, 2, 0, 0.0, 64e-6});
+  trace.record({1e-3 + 64e-6, EventKind::PauseOff, 2, 0, 0.0, 64e-6});
+  trace.record({5e-4, EventKind::BcnNegativeSent, 7, 3, -1e5, 0.0});
+  trace.record({5e-4, EventKind::BcnApplied, 0, 3, -1e5, 2e9});
+  const std::string csv = trace.to_csv();
+  const auto neg = csv.find("bcn_negative_sent");
+  const auto applied = csv.find("bcn_applied");
+  const auto on = csv.find("pause_on");
+  const auto off = csv.find("pause_off");
+  ASSERT_NE(neg, std::string::npos) << csv;
+  ASSERT_NE(applied, std::string::npos) << csv;
+  ASSERT_NE(on, std::string::npos) << csv;
+  ASSERT_NE(off, std::string::npos) << csv;
+  EXPECT_LT(neg, applied);  // same t: recording order preserved
+  EXPECT_LT(applied, on);
+  EXPECT_LT(on, off);
+  // Sorting is on the export copy only; the trace keeps recording order.
+  EXPECT_EQ(trace.events().front().kind, EventKind::PauseOn);
+}
+
+TEST(EventTraceTest, CsvColumnsCarryCausalFields) {
+  EventTrace trace;
+  trace.record({0.25, EventKind::BcnNegativeSent, 7, 3, -125000.0, 0.0});
+  const std::string csv = trace.to_csv();
+  EXPECT_NE(csv.find("t,kind,point,flow,sigma,value"), std::string::npos)
+      << csv;
+  EXPECT_NE(csv.find("0.25,bcn_negative_sent,7,3,-125000,0"),
+            std::string::npos)
+      << csv;
+}
+
+}  // namespace
+}  // namespace bcn::obs

@@ -1,0 +1,63 @@
+#include "obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace bcn::obs {
+namespace {
+
+TEST(TimelineTest, SeriesCreatesOnFirstUseWithStableReference) {
+  TimelineSet set;
+  Timeline& flow = set.series("flow.0001.rate_bps");
+  for (int i = 0; i < 50; ++i) {
+    set.series("filler." + std::to_string(i));
+  }
+  flow.record(0.0, 1e9);
+  flow.record(1e-3, 2e9);
+  ASSERT_NE(set.find("flow.0001.rate_bps"), nullptr);
+  EXPECT_EQ(set.find("flow.0001.rate_bps")->size(), 2u);
+  EXPECT_EQ(set.find("missing"), nullptr);
+  EXPECT_EQ(set.total_points(), 2u);
+}
+
+TEST(TimelineTest, NamesAreSortedRegardlessOfCreationOrder) {
+  TimelineSet set;
+  set.series("port.core.queue_bits");
+  set.series("flow.0002.rate_bps");
+  set.series("flow.0001.rate_bps");
+  const auto names = set.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "flow.0001.rate_bps");
+  EXPECT_EQ(names[1], "flow.0002.rate_bps");
+  EXPECT_EQ(names[2], "port.core.queue_bits");
+}
+
+TEST(TimelineTest, CsvIsLongFormatGroupedBySeriesName) {
+  TimelineSet set;
+  set.series("b.series").record(0.5, 2.0);
+  set.series("a.series").record(0.25, 1.0);
+  set.series("a.series").record(0.75, 3.0);
+  const std::string csv = set.to_csv();
+  const auto header_pos = csv.find("series,t,value");
+  const auto a_pos = csv.find("a.series,0.25,1");
+  const auto a2_pos = csv.find("a.series,0.75,3");
+  const auto b_pos = csv.find("b.series,0.5,2");
+  ASSERT_NE(header_pos, std::string::npos) << csv;
+  ASSERT_NE(a_pos, std::string::npos) << csv;
+  ASSERT_NE(a2_pos, std::string::npos) << csv;
+  ASSERT_NE(b_pos, std::string::npos) << csv;
+  EXPECT_LT(header_pos, a_pos);
+  EXPECT_LT(a_pos, a2_pos);   // points stay in recording order
+  EXPECT_LT(a2_pos, b_pos);   // series grouped in name order
+}
+
+TEST(TimelineTest, EmptySetExportsHeaderOnly) {
+  TimelineSet set;
+  EXPECT_TRUE(set.empty());
+  const std::string csv = set.to_csv();
+  EXPECT_NE(csv.find("series,t,value"), std::string::npos);
+  // Header line plus trailing newline, nothing else.
+  EXPECT_EQ(csv.find('\n'), csv.rfind('\n'));
+}
+
+}  // namespace
+}  // namespace bcn::obs

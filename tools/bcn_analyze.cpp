@@ -126,6 +126,11 @@ int main(int argc, char** argv) {
     ascii.x_label = "t [ms]";
     ascii.y_label = "q [Mbit]";
     std::printf("\n%s", plot::render_ascii({q}, ascii).c_str());
+    std::printf("\nintegrator: %zu steps accepted, %zu rejected, min "
+                "accepted dt %.3g s, %zu event-localization bisection "
+                "iterations across %zu mode switches\n",
+                run.steps_accepted, run.steps_rejected, run.min_step,
+                run.event_bisections, run.switches.size());
   }
   return 0;
 }
