@@ -1,19 +1,28 @@
 // E12: performance microbenchmarks (google-benchmark) for the numeric
 // substrates, including the event-detection ablation cost, plus the
-// tracked serial-vs-parallel stability-map comparison emitted as
-// BENCH_parallel_sweep.json (the perf trajectory of the exec layer).
+// tracked perf artifacts: the serial-vs-parallel stability-map
+// comparison (BENCH_parallel_sweep.json), the span-tracing overhead
+// measurement (BENCH_tracing_overhead.json), and the per-subsystem
+// self-time breakdown (BENCH_subsystem_profile.json).  Diff any of them
+// against a committed baseline with tools/bcn_bench_diff.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
 
 #include "analysis/stability_map.h"
 #include "analysis/sweep.h"
 #include "bench_util.h"
 #include "common/json.h"
 #include "core/analytic_tracer.h"
+#include "core/poincare.h"
 #include "core/simulate.h"
 #include "exec/parallel_for.h"
+#include "obs/tracing.h"
 #include "ode/hybrid.h"
 #include "ode/integrate.h"
 #include "ode/steppers.h"
@@ -178,6 +187,150 @@ void emit_parallel_sweep_json() {
   }
 }
 
+// The acceptance budget for span tracing: the same stability-map grid
+// timed with tracing disabled and enabled.  Each map cell emits an
+// analysis.map_cell span (plus exec.* spans underneath), so this is the
+// realistic per-span cost at the instrumentation granularity the
+// subsystems actually use — not a tight loop around an empty span.
+void emit_tracing_overhead_json() {
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  constexpr int kGrid = 12;
+  constexpr int kReps = 5;
+  const auto gi = analysis::logspace(0.25, 16.0, kGrid);
+  const auto gd = analysis::logspace(1.0 / 512.0, 0.25, kGrid);
+
+  auto time_map = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    const auto map = analysis::compute_stability_map(
+        base, gi, gd,
+        {.numeric_level = core::ModelLevel::Linearized, .threads = 0});
+    benchmark::DoNotOptimize(map.numeric_stable);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // Alternate disabled/enabled reps and take best-of-N per side: running
+  // one side to completion first lets clock/cache drift across the run
+  // masquerade as tracing cost (or hide it), while interleaving exposes
+  // both sides to the same drift.  Warm up once untimed.
+  obs::tracing_disable();
+  time_map();
+  double disabled = std::numeric_limits<double>::infinity();
+  double enabled = std::numeric_limits<double>::infinity();
+  std::size_t spans = 0;
+  for (int i = 0; i < kReps; ++i) {
+    obs::tracing_disable();
+    disabled = std::min(disabled, time_map());
+    obs::tracing_enable();
+    enabled = std::min(enabled, time_map());
+    obs::tracing_disable();
+    spans = obs::tracing_drain();
+    obs::tracing_clear();
+  }
+
+  const double overhead =
+      disabled > 0.0 ? (enabled - disabled) / disabled * 100.0 : 0.0;
+
+  JsonWriter json;
+  json.add("benchmark", "tracing_overhead");
+  json.add("grid", kGrid);
+  json.add("cells", kGrid * kGrid);
+  json.add("reps", kReps);
+  json.add("disabled_seconds", disabled);
+  json.add("enabled_seconds", enabled);
+  json.add("overhead_percent", overhead);
+  json.add("spans_recorded", static_cast<std::int64_t>(spans));
+  const auto path = bench::output_dir() / "BENCH_tracing_overhead.json";
+  if (json.write_file(path)) {
+    std::printf("tracing overhead: %dx%d map, disabled %.3f s, enabled "
+                "%.3f s (%+.2f%%, %zu spans)\n  [artifact] %s\n",
+                kGrid, kGrid, disabled, enabled, overhead, spans,
+                path.string().c_str());
+  }
+}
+
+// Where does the wall-clock go?  One traced mixed workload touching every
+// instrumented subsystem, self-time grouped by span-name prefix.
+void emit_subsystem_profile_json() {
+  obs::tracing_clear();
+  obs::tracing_enable();
+  {
+    // ode + core: hybrid fluid run and a handful of return-map iterations.
+    const core::BcnParams p = core::BcnParams::standard_draft();
+    const core::FluidModel model(p, core::ModelLevel::Nonlinear);
+    core::FluidRunOptions fopts;
+    fopts.duration = 1.5e-3;
+    const auto run = core::simulate_fluid(model, fopts);
+    benchmark::DoNotOptimize(run.max_x);
+    core::PoincareOptions popts;
+    popts.max_time = 0.01;
+    const core::PoincareMap pmap(model, popts);
+    for (const double s : {1e10, 3e10, 1e11}) {
+      benchmark::DoNotOptimize(pmap.map(s));
+    }
+
+    // analysis + exec: a parallel stability-map grid.
+    core::BcnParams base = p;
+    base.buffer = 12e6;
+    base.qsc = 11e6;
+    const auto map = analysis::compute_stability_map(
+        base, analysis::logspace(0.25, 16.0, 6),
+        analysis::logspace(1.0 / 512.0, 0.25, 6),
+        {.numeric_level = core::ModelLevel::Linearized, .threads = 0});
+    benchmark::DoNotOptimize(map.numeric_stable);
+
+    // sim: one millisecond of packet traffic.
+    sim::NetworkConfig cfg;
+    cfg.params = p;
+    cfg.initial_rate = cfg.params.capacity / cfg.params.num_sources;
+    sim::Network net(cfg);
+    net.run(sim::kMillisecond);
+    benchmark::DoNotOptimize(net.queue_bits());
+  }
+  obs::tracing_disable();
+  obs::tracing_drain();
+  const auto profile = obs::build_self_profile(obs::tracing_spans());
+  obs::tracing_clear();
+
+  // Fold span self-time into subsystem buckets by name prefix
+  // ("exec.chunk" -> "exec").  std::map keeps the artifact key-sorted.
+  std::map<std::string, double> self_seconds;
+  std::map<std::string, std::uint64_t> calls;
+  double total = 0.0;
+  for (const auto& e : profile) {
+    const auto dot = e.name.find('.');
+    const std::string prefix =
+        dot == std::string::npos ? e.name : e.name.substr(0, dot);
+    self_seconds[prefix] += e.self_seconds;
+    calls[prefix] += e.calls;
+    total += e.self_seconds;
+  }
+
+  JsonWriter json;
+  json.add("benchmark", "subsystem_profile");
+  json.add("total_self_seconds", total);
+  json.add("span_names", static_cast<std::int64_t>(profile.size()));
+  for (const auto& [prefix, secs] : self_seconds) {
+    json.add(prefix + "_self_seconds", secs);
+    json.add(prefix + "_calls", static_cast<std::int64_t>(calls[prefix]));
+  }
+  const auto path = bench::output_dir() / "BENCH_subsystem_profile.json";
+  if (json.write_file(path)) {
+    std::printf("subsystem profile: %.3f s of self-time across %zu span "
+                "names\n",
+                total, profile.size());
+    for (const auto& [prefix, secs] : self_seconds) {
+      std::printf("  %-10s %8.3f s (%5.1f%%, %llu calls)\n", prefix.c_str(),
+                  secs, total > 0.0 ? secs / total * 100.0 : 0.0,
+                  static_cast<unsigned long long>(calls[prefix]));
+    }
+    std::printf("  [artifact] %s\n", path.string().c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,5 +339,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   emit_parallel_sweep_json();
+  emit_tracing_overhead_json();
+  emit_subsystem_profile_json();
   return 0;
 }

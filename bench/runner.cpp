@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "common/json.h"
+#include "obs/tracing.h"
 
 namespace bcn::bench {
 namespace {
@@ -17,12 +18,12 @@ std::vector<Experiment>& registry() {
 }
 
 const std::vector<std::string> kStandardFlags = {
-    "help", "list", "run", "threads", "out", "seed", "json"};
+    "help", "list", "run", "threads", "out", "seed", "json", "trace"};
 
 void print_usage(const char* prog) {
   std::printf(
       "usage: %s [--run name] [--threads n] [--out dir] [--seed n]\n"
-      "          [--json bool] [--list] [--help]\n\n"
+      "          [--json bool] [--trace file] [--list] [--help]\n\n"
       "  --threads n   worker threads for parallel sweeps (0 = all\n"
       "                hardware threads, 1 = serial; BCN_THREADS env\n"
       "                fallback)\n"
@@ -30,6 +31,10 @@ void print_usage(const char* prog) {
       "                default ./bench_out)\n"
       "  --seed n      seed for randomized scenarios (default 0)\n"
       "  --json bool   write RUN_<name>.json per experiment (default on)\n"
+      "  --trace file  record wall-clock spans and write a Chrome\n"
+      "                trace-event JSON there (BCN_TRACE env fallback);\n"
+      "                the per-experiment self-profile lands in\n"
+      "                RUN_<name>.json under profile.*\n"
       "  --run name    run one registered experiment (default: all)\n"
       "  --list        list registered experiments and exit\n\n"
       "experiments:\n",
@@ -105,15 +110,27 @@ int bench_main(int argc, const char* const* argv) {
   std::filesystem::create_directories(ctx.out_dir, ec);
 
   const bool emit_json = args.get_bool("json", true);
+  const auto trace_path = obs::maybe_enable_tracing(args);
   int exit_status = 0;
   for (const Experiment* e : selected) {
     obs::MetricsRegistry metrics;
     ctx.metrics = &metrics;
+    // Spans drained before this experiment belong to earlier ones; the
+    // per-experiment profile covers [drained_before, end).
+    const std::size_t drained_before = obs::tracing_spans().size();
     const auto start = std::chrono::steady_clock::now();
     const int status = e->fn(ctx);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    if (trace_path) {
+      obs::tracing_drain();
+      const auto& spans = obs::tracing_spans();
+      const std::vector<obs::SpanRecord> mine(
+          spans.begin() + static_cast<std::ptrdiff_t>(drained_before),
+          spans.end());
+      obs::profile_to_metrics(obs::build_self_profile(mine), metrics);
+    }
     std::printf("\n[runner] %s: %s in %.3f s (threads=%d, seed=%llu)\n",
                 e->name.c_str(), status == 0 ? "ok" : "FAILED", wall,
                 ctx.threads, static_cast<unsigned long long>(ctx.seed));
@@ -133,6 +150,7 @@ int bench_main(int argc, const char* const* argv) {
     }
     if (status != 0 && exit_status == 0) exit_status = status;
   }
+  if (trace_path) obs::finalize_tracing(*trace_path);
   return exit_status;
 }
 

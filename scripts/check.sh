@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Two gates:
+# Three gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
-#     (-DBCN_SANITIZE=thread) and runs the exec + analysis test suites,
-#     which exercise parallel_for / ThreadPool / the parallel stability
-#     map under real concurrency.  Any data race fails the run.
+#     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs test
+#     suites, which exercise parallel_for / ThreadPool / the parallel
+#     stability map / the span recorder and atomic metrics under real
+#     concurrency.  Any data race fails the run.
 #  2. Bench artifacts: builds one bench in a regular (non-sanitized)
 #     build, runs it, and validates that RUN_<name>.json carries the
 #     observability metrics snapshot and that the timeline CSV exists.
+#  3. Trace artifacts: reruns the same bench with --trace, validates the
+#     Chrome trace (parses, complete events, spans from >= 3 subsystems),
+#     checks the profile.* gauges landed in the RUN json, and runs
+#     bcn_bench_diff self-vs-self (a zero-delta diff must exit 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +19,8 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 
 cmake -B "$BUILD_DIR" -S . -DBCN_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$BUILD_DIR" -j --target bcn_exec_tests bcn_analysis_tests
+cmake --build "$BUILD_DIR" -j \
+  --target bcn_exec_tests bcn_analysis_tests bcn_obs_tests
 
 # halt_on_error turns any race into a hard test failure instead of a
 # buried log line; second_deadlock_stack improves mutex reports.
@@ -24,6 +30,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 # NOT_BUILT placeholder tests cannot pollute the result.
 "$BUILD_DIR"/tests/exec/bcn_exec_tests
 "$BUILD_DIR"/tests/analysis/bcn_analysis_tests
+"$BUILD_DIR"/tests/obs/bcn_obs_tests
 
 echo "[check.sh] ThreadSanitizer run clean"
 
@@ -57,3 +64,40 @@ grep -q '^flow\.' "$TIMELINES" || {
 }
 
 echo "[check.sh] bench artifact smoke clean ($RUN_JSON)"
+
+# --- trace-artifact smoke -------------------------------------------------
+# The same experiment traced: the Chrome trace must be valid JSON made of
+# complete ("X") events covering at least three instrumented subsystems,
+# and the RUN json must carry the folded profile.* gauges.
+cmake --build "$SMOKE_BUILD_DIR" -j --target bcn_bench_diff
+
+TRACE_OUT=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT"' EXIT
+TRACE_JSON="$TRACE_OUT/trace.json"
+"$SMOKE_BUILD_DIR"/bench/"$SMOKE_BENCH" --run "$SMOKE_BENCH" \
+  --out "$TRACE_OUT" --trace "$TRACE_JSON" > /dev/null
+
+[[ -f "$TRACE_JSON" ]] || { echo "[check.sh] missing $TRACE_JSON"; exit 1; }
+python3 - "$TRACE_JSON" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))
+xs = [e for e in events if e.get("ph") == "X"]
+assert xs, "no complete events in trace"
+for e in xs:
+    assert e["ts"] >= 0 and e["dur"] >= 0 and e["name"], e
+subsystems = {e["name"].split(".")[0] for e in xs}
+assert len(subsystems) >= 3, f"spans from only {sorted(subsystems)}"
+print(f"[check.sh] trace valid: {len(xs)} spans from {sorted(subsystems)}")
+PY
+TRACED_RUN_JSON="$TRACE_OUT/RUN_$SMOKE_BENCH.json"
+grep -q '"metrics\.profile\.' "$TRACED_RUN_JSON" || {
+  echo "[check.sh] $TRACED_RUN_JSON lacks profile.* gauges"; exit 1;
+}
+
+# Self-vs-self must be a zero-delta pass even at threshold 0.
+"$SMOKE_BUILD_DIR"/tools/bcn_bench_diff \
+  --a "$TRACED_RUN_JSON" --b "$TRACED_RUN_JSON" --threshold 0 > /dev/null || {
+  echo "[check.sh] bcn_bench_diff self-diff failed"; exit 1;
+}
+
+echo "[check.sh] trace artifact smoke clean ($TRACE_JSON)"

@@ -6,6 +6,7 @@
 
 #include "common/math.h"
 #include "exec/parallel_for.h"
+#include "obs/tracing.h"
 
 namespace bcn::analysis {
 namespace {
@@ -112,6 +113,8 @@ std::vector<TrajectoryFeatures> extract_features_batch(
   return exec::parallel_map<TrajectoryFeatures>(
       trajectories.size(),
       [&](std::size_t i) {
+        obs::TraceSpan span("analysis.crossval_fold", "fold",
+                            static_cast<double>(i));
         return extract_features(*trajectories[i], min_prominence);
       },
       opts);
@@ -126,6 +129,8 @@ std::vector<ShapeComparison> compare_shapes_batch(
   return exec::parallel_map<ShapeComparison>(
       pairs.size(),
       [&](std::size_t i) {
+        obs::TraceSpan span("analysis.crossval_fold", "fold",
+                            static_cast<double>(i));
         return compare_shapes(*pairs[i].first, *pairs[i].second,
                               min_prominence);
       },

@@ -1,6 +1,7 @@
 #include "analysis/stability_map.h"
 
 #include "exec/parallel_for.h"
+#include "obs/tracing.h"
 
 namespace bcn::analysis {
 
@@ -11,6 +12,10 @@ StabilityMap compute_stability_map(const core::BcnParams& base,
   StabilityMap map;
   map.gi_values = gi_values;
   map.gd_values = gd_values;
+
+  obs::TraceSpan span("analysis.stability_map");
+  span.arg("cells", static_cast<double>(gi_values.size() * gd_values.size()));
+  span.arg("threads", options.threads);
 
   core::NumericVerdictOptions nopts;
   nopts.level = options.numeric_level;
@@ -25,6 +30,7 @@ StabilityMap compute_stability_map(const core::BcnParams& base,
   map.cells = exec::parallel_map<MapCell>(
       gi_values.size() * cols,
       [&](std::size_t idx) {
+        obs::TraceSpan cell_span("analysis.map_cell");
         MapCell cell;
         cell.gi = gi_values[idx / cols];
         cell.gd = gd_values[idx % cols];

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "exec/parallel_for.h"
+#include "obs/tracing.h"
 
 namespace bcn::analysis {
 
@@ -41,7 +42,12 @@ std::vector<double> sweep_values(const std::vector<double>& values,
   exec::ParallelForOptions opts;
   opts.threads = threads;
   return exec::parallel_map<double>(
-      values.size(), [&](std::size_t i) { return fn(values[i]); }, opts);
+      values.size(),
+      [&](std::size_t i) {
+        obs::TraceSpan span("analysis.sweep_point", "value", values[i]);
+        return fn(values[i]);
+      },
+      opts);
 }
 
 }  // namespace bcn::analysis

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 
 namespace bcn {
 
@@ -91,6 +93,158 @@ std::string JsonWriter::format(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+namespace {
+
+// Minimal recursive-descent scanner over the flat-object grammar.
+struct FlatScanner {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return std::nullopt;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16));
+          pos += 4;
+          // Artifacts only escape control characters; anything wider is
+          // preserved as the raw low byte (good enough for diff output).
+          out += static_cast<char>(code & 0xff);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<double> parse_number() {
+    skip_ws();
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) return std::nullopt;
+    pos = static_cast<std::size_t>(end - text.c_str());
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<FlatJson> FlatJson::parse(const std::string& text) {
+  FlatScanner s{text};
+  FlatJson out;
+  if (!s.consume('{')) return std::nullopt;
+  if (s.consume('}')) return out;  // empty object
+  for (;;) {
+    const auto key = s.parse_string();
+    if (!key || !s.consume(':')) return std::nullopt;
+    const char c = s.peek();
+    if (c == '"') {
+      const auto v = s.parse_string();
+      if (!v) return std::nullopt;
+      out.strings_[*key] = *v;
+    } else if (c == 't' && s.literal("true")) {
+      out.numbers_[*key] = 1.0;
+    } else if (c == 'f' && s.literal("false")) {
+      out.numbers_[*key] = 0.0;
+    } else if (c == 'n' && s.literal("null")) {
+      out.numbers_[*key] = std::nan("");
+    } else if (c == '[') {
+      s.consume('[');
+      std::vector<double> values;
+      if (!s.consume(']')) {
+        for (;;) {
+          const auto v = s.parse_number();
+          if (!v) return std::nullopt;
+          values.push_back(*v);
+          if (s.consume(']')) break;
+          if (!s.consume(',')) return std::nullopt;
+        }
+      }
+      out.arrays_[*key] = std::move(values);
+    } else {
+      const auto v = s.parse_number();
+      if (!v) return std::nullopt;
+      out.numbers_[*key] = *v;
+    }
+    if (s.consume('}')) break;
+    if (!s.consume(',')) return std::nullopt;
+  }
+  s.skip_ws();
+  if (s.pos != text.size()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+std::optional<FlatJson> FlatJson::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) return std::nullopt;
+  return parse(text);
+}
+
+std::optional<double> FlatJson::number(const std::string& key) const {
+  const auto it = numbers_.find(key);
+  if (it == numbers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> FlatJson::string_value(
+    const std::string& key) const {
+  const auto it = strings_.find(key);
+  if (it == strings_.end()) return std::nullopt;
+  return it->second;
 }
 
 }  // namespace bcn

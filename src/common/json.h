@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +42,36 @@ class JsonWriter {
 
  private:
   std::vector<std::pair<std::string, std::string>> fields_;  // key -> raw
+};
+
+// Reader for the flat artifact objects JsonWriter produces (RUN_*.json,
+// BENCH_*.json): one object of scalar values, plus flat number arrays.
+// Numbers, booleans (0/1) and null (NaN) land in `numbers`; strings in
+// `strings`; arrays in `arrays`.  Not a general JSON parser — nested
+// objects are rejected, which is fine for everything this tree writes
+// except the Chrome trace (which has its own validator in tests).
+class FlatJson {
+ public:
+  // Parses `text`; nullopt on malformed input.
+  static std::optional<FlatJson> parse(const std::string& text);
+  // Reads and parses a file; nullopt on I/O or parse failure.
+  static std::optional<FlatJson> load(const std::filesystem::path& path);
+
+  const std::map<std::string, double>& numbers() const { return numbers_; }
+  const std::map<std::string, std::string>& strings() const {
+    return strings_;
+  }
+  const std::map<std::string, std::vector<double>>& arrays() const {
+    return arrays_;
+  }
+
+  std::optional<double> number(const std::string& key) const;
+  std::optional<std::string> string_value(const std::string& key) const;
+
+ private:
+  std::map<std::string, double> numbers_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::vector<double>> arrays_;
 };
 
 }  // namespace bcn

@@ -1,12 +1,21 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace bcn {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Monotonic seconds since the first log-clock use (process start for any
+// practical purpose: the epoch is pinned on the first log call).
+double uptime_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,9 +34,22 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::string format_log_line(LogLevel level, std::string_view message) {
+  return strf("[%s +%.6f t%02u] %.*s", level_name(level), uptime_seconds(),
+              thread_ordinal(), static_cast<int>(message.size()),
+              message.data());
+}
+
 void log_line(LogLevel level, std::string_view message) {
-  std::fprintf(stderr, "[%s] %.*s\n", level_name(level),
-               static_cast<int>(message.size()), message.data());
+  const std::string line = format_log_line(level, message);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 void log(LogLevel level, const char* fmt, ...) {

@@ -14,6 +14,17 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+// Small process-local id for the calling thread (main thread observes 0
+// when it logs first).  Stable for the thread's lifetime; used to make
+// interleaved worker logs attributable and to key trace spans.
+unsigned thread_ordinal();
+
+// The formatted line log_line writes:
+//   [LEVEL +12.345678 t03] message
+// where +s.ssssss is monotonic seconds since process start and tNN the
+// caller's thread_ordinal.  Exposed so tests can pin the format.
+std::string format_log_line(LogLevel level, std::string_view message);
+
 // Writes one line to stderr when `level` >= the threshold.
 void log_line(LogLevel level, std::string_view message);
 

@@ -6,6 +6,7 @@
 
 #include "common/math.h"
 #include "exec/parallel_for.h"
+#include "obs/tracing.h"
 #include "ode/hybrid.h"
 
 namespace bcn::core {
@@ -40,6 +41,9 @@ double PoincareMap::parameter_of(Vec2 z) const {
 
 std::optional<double> PoincareMap::map(double s) const {
   if (s <= 0.0) return std::nullopt;
+  // One span per return-map iteration; each wraps the chunked hybrid
+  // integrations below it.
+  obs::TraceSpan span("core.poincare_map", "s", s);
   // Start nudged off the section into the decrease region (x + k y > 0).
   const double k = model_.params().k();
   const double norm = std::hypot(k, 1.0);
@@ -109,6 +113,7 @@ std::optional<bool> PoincareMap::cycle_is_stable(double s_star,
 
 std::optional<LimitCycle> find_limit_cycle(const FluidModel& model,
                                            const CycleSearchOptions& options) {
+  obs::TraceSpan span("core.cycle_search");
   const BcnParams& p = model.params();
   const PoincareMap pmap(model, options.poincare);
   const double s_lo =

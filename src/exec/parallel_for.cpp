@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/tracing.h"
+
 namespace bcn::exec {
 namespace {
 
@@ -26,6 +28,10 @@ ParallelForStats parallel_for(std::size_t n,
   const int threads = options.pool ? options.pool->size()
                                    : resolve_threads(options.threads);
   stats.threads = threads;
+
+  obs::TraceSpan call_span("exec.parallel_for");
+  call_span.arg("n", static_cast<double>(n));
+  call_span.arg("threads", threads);
 
   // Legacy serial path: the plain loop in the calling thread, no pool, no
   // atomics.  threads == 1 through the pool would compute the same thing;
@@ -70,6 +76,10 @@ ParallelForStats parallel_for(std::size_t n,
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + chunk);
       issued_chunks.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceSpan chunk_span("exec.chunk");
+      chunk_span.arg("begin", static_cast<double>(begin));
+      chunk_span.arg("count", static_cast<double>(end - begin));
+      chunk_span.arg("worker", current_worker_index());
       try {
         for (std::size_t i = begin; i < end; ++i) {
           body(i);

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "common/format.h"
+#include "obs/tracing.h"
+
 namespace bcn::exec {
+namespace {
+
+thread_local int t_worker_index = -1;
+
+}  // namespace
 
 int resolve_threads(int requested) {
   if (requested > 0) return requested;
@@ -10,11 +18,13 @@ int resolve_threads(int requested) {
   return std::max(1, static_cast<int>(hw));
 }
 
+int current_worker_index() { return t_worker_index; }
+
 ThreadPool::ThreadPool(int threads) {
   const int n = resolve_threads(threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -40,7 +50,9 @@ void ThreadPool::wait_idle() {
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  t_worker_index = index;
+  obs::tracing_set_thread_name(strf("pool-worker-%d", index));
   for (;;) {
     std::function<void()> task;
     {
@@ -51,7 +63,10 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++active_;
     }
-    task();
+    {
+      obs::TraceSpan span("exec.task");
+      task();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

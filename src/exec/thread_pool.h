@@ -18,6 +18,11 @@ namespace bcn::exec {
 // threads" (never less than 1), anything else is taken literally.
 int resolve_threads(int requested);
 
+// Index of the calling pool worker within its pool, or -1 off-pool.
+// Trace spans recorded inside parallel_for chunks attach it so a
+// Perfetto timeline shows which worker ran which chunk.
+int current_worker_index();
+
 class ThreadPool {
  public:
   // Starts `threads` workers (resolved via resolve_threads).
@@ -37,7 +42,7 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop();
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

@@ -1,0 +1,98 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/format.h"
+#include "common/json.h"
+
+namespace bcn::obs {
+
+BenchDiffResult bench_diff(const std::filesystem::path& file_a,
+                           const std::filesystem::path& file_b,
+                           const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  const auto a = FlatJson::load(file_a);
+  if (!a) {
+    result.error = "cannot load/parse " + file_a.string();
+    return result;
+  }
+  const auto b = FlatJson::load(file_b);
+  if (!b) {
+    result.error = "cannot load/parse " + file_b.string();
+    return result;
+  }
+  result.ok = true;
+
+  const auto matches = [&](const std::string& key) {
+    return options.match.empty() || key.find(options.match) != std::string::npos;
+  };
+
+  for (const auto& [key, va] : a->numbers()) {
+    if (!matches(key)) continue;
+    const auto vb = b->number(key);
+    if (!vb) {
+      result.only_in_a.push_back(key);
+      continue;
+    }
+    MetricDelta d;
+    d.key = key;
+    d.a = va;
+    d.b = *vb;
+    // NaN comes from JSON null (inf/nan in the writer); a pair of nulls
+    // is "equal", one-sided null is a breach.
+    const bool nan_a = std::isnan(va);
+    const bool nan_b = std::isnan(*vb);
+    if (nan_a || nan_b) {
+      d.rel_delta = (nan_a && nan_b) ? 0.0
+                                     : std::numeric_limits<double>::infinity();
+    } else {
+      d.rel_delta =
+          std::abs(*vb - va) / std::max(std::abs(va), options.abs_floor);
+    }
+    d.breach = d.rel_delta > options.threshold;
+    if (d.breach) ++result.regressions;
+    ++result.compared;
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& [key, vb] : b->numbers()) {
+    if (!matches(key)) continue;
+    if (!a->number(key)) result.only_in_b.push_back(key);
+  }
+  if (options.require_same_keys) {
+    result.regressions += result.only_in_a.size() + result.only_in_b.size();
+  }
+  return result;
+}
+
+std::string format_bench_diff(const BenchDiffResult& result,
+                              const BenchDiffOptions& options) {
+  if (!result.ok) return "error: " + result.error + "\n";
+  std::string out;
+  for (const auto& d : result.deltas) {
+    out += strf("%s  %-40s  %.6g -> %.6g  (%+.2f%%)\n",
+                d.breach ? "REGRESSION" : "        ok", d.key.c_str(), d.a,
+                d.b,
+                100.0 * (std::isfinite(d.rel_delta)
+                             ? (d.b - d.a) /
+                                   std::max(std::abs(d.a), options.abs_floor)
+                             : d.rel_delta));
+  }
+  for (const auto& key : result.only_in_a) {
+    out += strf("%s  %-40s  (only in baseline)\n",
+                options.require_same_keys ? "REGRESSION" : "   removed",
+                key.c_str());
+  }
+  for (const auto& key : result.only_in_b) {
+    out += strf("%s  %-40s  (only in candidate)\n",
+                options.require_same_keys ? "REGRESSION" : "     added",
+                key.c_str());
+  }
+  out += strf("%zu metrics compared, %zu regression%s (threshold %.3g)\n",
+              result.compared, result.regressions,
+              result.regressions == 1 ? "" : "s", options.threshold);
+  return out;
+}
+
+}  // namespace bcn::obs

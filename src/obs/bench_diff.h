@@ -1,0 +1,58 @@
+// Perf-regression comparison of two flat BENCH_*/RUN_*.json artifacts.
+//
+// Every numeric key present in both files is compared with a relative
+// threshold; `regressions` counts the breaches so CI can gate on them
+// (tools/bcn_bench_diff exits non-zero when any metric moved by more
+// than the threshold).  Keys present in only one file are reported but
+// are not breaches by default — experiments grow metrics across PRs.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bcn::obs {
+
+struct BenchDiffOptions {
+  // Relative tolerance: |b - a| / max(|a|, abs_floor) above this is a
+  // regression.  0 means "require exact equality".
+  double threshold = 0.10;
+  // Denominator floor so near-zero baselines don't turn noise into an
+  // infinite relative delta.
+  double abs_floor = 1e-12;
+  // When non-empty, only keys containing this substring are compared.
+  std::string match;
+  // Treat keys present in only one file as breaches.
+  bool require_same_keys = false;
+};
+
+struct MetricDelta {
+  std::string key;
+  double a = 0.0;
+  double b = 0.0;
+  double rel_delta = 0.0;  // |b - a| / max(|a|, abs_floor)
+  bool breach = false;
+};
+
+struct BenchDiffResult {
+  bool ok = false;           // both files loaded and parsed
+  std::string error;         // set when !ok
+  std::vector<MetricDelta> deltas;          // key-sorted
+  std::vector<std::string> only_in_a;       // key-sorted
+  std::vector<std::string> only_in_b;
+  std::size_t compared = 0;
+  std::size_t regressions = 0;  // breached deltas (+ key mismatches when
+                                // require_same_keys)
+};
+
+BenchDiffResult bench_diff(const std::filesystem::path& file_a,
+                           const std::filesystem::path& file_b,
+                           const BenchDiffOptions& options = {});
+
+// Human-readable report (one line per compared metric, breaches marked);
+// what tools/bcn_bench_diff prints.
+std::string format_bench_diff(const BenchDiffResult& result,
+                              const BenchDiffOptions& options);
+
+}  // namespace bcn::obs

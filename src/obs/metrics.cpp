@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/format.h"
+#include "common/log.h"
 
 namespace bcn::obs {
 
@@ -21,13 +22,21 @@ void Histogram::record(double x) {
   sum_ += x;
 }
 
-void Histogram::merge(const Histogram& other) {
-  if (other.upper_bounds_ != upper_bounds_) return;
+bool Histogram::merge(const Histogram& other) {
+  if (other.upper_bounds_ != upper_bounds_) {
+    BCN_LOG_WARN(
+        "Histogram::merge: bounds mismatch (%zu vs %zu buckets), "
+        "dropping %llu samples",
+        upper_bounds_.size(), other.upper_bounds_.size(),
+        static_cast<unsigned long long>(other.count_));
+    return false;
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     counts_[i] += other.counts_[i];
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  return true;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

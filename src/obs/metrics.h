@@ -8,6 +8,7 @@
 // creation or update order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -17,22 +18,30 @@
 
 namespace bcn::obs {
 
+// Counter and Gauge updates are relaxed atomics so instrumented parallel
+// stages (pool workers bumping a shared counter from parallel_for
+// bodies) are race-free under TSan.  Relaxed is enough: metrics are
+// snapshotted after the fork-join barrier, which orders the reads.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 // Fixed-bucket histogram: cumulative-style buckets with the given upper
@@ -42,9 +51,10 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void record(double x);
-  // Accumulates another histogram with identical bounds (no-op on a
-  // bounds mismatch — merging incompatible layouts is a caller bug).
-  void merge(const Histogram& other);
+  // Accumulates another histogram with identical bounds.  A bounds
+  // mismatch is a caller bug: the merge is refused, a warning is logged,
+  // and false is returned so the drop is visible instead of silent.
+  bool merge(const Histogram& other);
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/math.h"
+#include "obs/tracing.h"
 
 namespace bcn::ode {
 
@@ -24,10 +25,14 @@ std::optional<LocatedEvent> locate_event(const Guard& g,
   }
   if (sign(g0) == sign(g1)) return std::nullopt;
 
+  // Span only around actual bisections (the cheap same-sign rejection
+  // above fires every step and stays untraced).
+  obs::TraceSpan span("ode.locate_event");
   int iterations = 0;
   const auto root = bisect(
       [&](double t) { return g(t, dense.eval(t)); }, t0, t1,
       ttol * std::max(1.0, t1 - t0), 200, &iterations);
+  span.arg("iterations", iterations);
   if (!root) return std::nullopt;
   return LocatedEvent{*root, dense.eval(*root), iterations};
 }

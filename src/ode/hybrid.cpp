@@ -5,7 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include <optional>
+
 #include "common/math.h"
+#include "obs/tracing.h"
 #include "ode/events.h"
 #include "ode/steppers.h"
 
@@ -45,6 +48,8 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
     return result;
   }
 
+  obs::TraceSpan call_span("ode.integrate_hybrid", "span_t", t1 - t0);
+
   // One stepper per mode; they share tolerances.
   std::vector<Dopri5> steppers;
   steppers.reserve(system.modes.size());
@@ -79,6 +84,20 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
   const auto note_accepted_dt = [&](double dt) {
     min_dt = std::min(min_dt, dt);
     result.min_accepted_step = min_dt;
+  };
+
+  // One child span per inter-switch segment: a Perfetto view of a hybrid
+  // run shows how wall-clock splits across the mode episodes.  Strict
+  // nesting holds — the segment span is always the innermost open span
+  // on this thread whenever it is re-emplaced.
+  std::optional<obs::TraceSpan> segment;
+  if (obs::tracing_enabled()) {
+    segment.emplace("ode.hybrid_segment", "mode", mode);
+  }
+  const auto next_segment = [&](int new_mode) {
+    if (!obs::tracing_enabled()) return;
+    segment.reset();
+    segment.emplace("ode.hybrid_segment", "mode", new_mode);
   };
   for (std::size_t i = 0; i < options.max_steps && t < t1; ++i) {
     const Dopri5Step step = steppers[mode].trial_step(t, z, k1, h);
@@ -130,6 +149,7 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
                                    mode,
                                    crossing->event.bisection_iterations});
         if (++switches > options.max_switches) return result;
+        next_segment(mode);
       }
       k1 = steppers[mode].compute_k1(t, z);
       h = std::min({h, max_step, t1 - t});
@@ -156,6 +176,7 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
       if (++switches > options.max_switches) return result;
       mode = mode_now;
       k1 = steppers[mode].compute_k1(t, z);
+      next_segment(mode);
     }
 
     if (options.stop_when && options.stop_when(t, z)) {
@@ -178,6 +199,9 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
     result.trajectory.push_back(t, z);
   }
   result.completed = t >= t1 - 1e-12 * std::max(1.0, std::abs(t1));
+  segment.reset();
+  call_span.arg("accepted", static_cast<double>(result.steps_accepted));
+  call_span.arg("switches", static_cast<double>(result.switches.size()));
   return result;
 }
 

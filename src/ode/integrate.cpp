@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracing.h"
 #include "ode/steppers.h"
 
 namespace bcn::ode {
@@ -41,6 +42,9 @@ AdaptiveResult integrate_adaptive(const Rhs& f, double t0, Vec2 z0, double t1,
     result.completed = true;
     return result;
   }
+
+  // One span per DOPRI5 step loop; the step counts ride along as args.
+  obs::TraceSpan span("ode.integrate_adaptive", "span_t", t1 - t0);
 
   const Dopri5 stepper(f, options.tol);
   double t = t0;
@@ -90,6 +94,8 @@ AdaptiveResult integrate_adaptive(const Rhs& f, double t0, Vec2 z0, double t1,
     result.trajectory.push_back(t, z);
   }
   result.completed = t >= t1 - 1e-15 * std::max(1.0, std::abs(t1));
+  span.arg("accepted", static_cast<double>(result.steps_accepted));
+  span.arg("rejected", static_cast<double>(result.steps_rejected));
   return result;
 }
 

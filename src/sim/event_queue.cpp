@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracing.h"
+
 namespace bcn::sim {
 
 SimTime transmission_time(double bits, double rate_bps) {
@@ -25,6 +27,10 @@ void Simulator::cancel(EventId id) {
 }
 
 std::size_t Simulator::run_until(SimTime until) {
+  // One span per drain batch: args carry the simulated horizon and the
+  // number of events executed inside it.
+  obs::TraceSpan span("sim.run_until", "until_ns",
+                      static_cast<double>(until));
   std::size_t ran = 0;
   while (!queue_.empty() && queue_.top().when <= until) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
@@ -41,6 +47,7 @@ std::size_t Simulator::run_until(SimTime until) {
     ev.fn();
   }
   now_ = std::max(now_, until);
+  span.arg("events", static_cast<double>(ran));
   return ran;
 }
 

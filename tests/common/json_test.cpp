@@ -70,5 +70,66 @@ TEST(JsonWriterTest, WriteFileCreatesParentDirs) {
   std::filesystem::remove_all(dir.parent_path());
 }
 
+TEST(FlatJsonTest, RoundTripsWhatJsonWriterEmits) {
+  JsonWriter w;
+  w.add("experiment", "fig7");
+  w.add("status", 0);
+  w.add("wall_seconds", 0.125);
+  w.add("ok", true);
+  w.add("off", false);
+  w.add("walls", std::vector<double>{0.5, 1.25, 2.0});
+  const auto parsed = FlatJson::parse(w.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string_value("experiment"), "fig7");
+  EXPECT_EQ(parsed->number("status"), 0.0);
+  EXPECT_EQ(parsed->number("wall_seconds"), 0.125);
+  EXPECT_EQ(parsed->number("ok"), 1.0);   // booleans land as 0/1
+  EXPECT_EQ(parsed->number("off"), 0.0);
+  ASSERT_EQ(parsed->arrays().count("walls"), 1u);
+  EXPECT_EQ(parsed->arrays().at("walls"),
+            (std::vector<double>{0.5, 1.25, 2.0}));
+  EXPECT_FALSE(parsed->number("missing").has_value());
+  EXPECT_FALSE(parsed->string_value("status").has_value());
+}
+
+TEST(FlatJsonTest, ParsesEscapesScientificNotationAndNull) {
+  const auto parsed = FlatJson::parse(
+      "{\"msg\": \"a\\\"b\\\\c\\nd\", \"tiny\": 1.5e-9, \"neg\": -2E3, "
+      "\"gone\": null}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->string_value("msg"), "a\"b\\c\nd");
+  EXPECT_EQ(parsed->number("tiny"), 1.5e-9);
+  EXPECT_EQ(parsed->number("neg"), -2000.0);
+  // null parses as NaN: present but not a usable number.
+  ASSERT_EQ(parsed->numbers().count("gone"), 1u);
+  EXPECT_TRUE(std::isnan(parsed->numbers().at("gone")));
+}
+
+TEST(FlatJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(FlatJson::parse("").has_value());
+  EXPECT_FALSE(FlatJson::parse("{").has_value());
+  EXPECT_FALSE(FlatJson::parse("{\"k\": }").has_value());
+  EXPECT_FALSE(FlatJson::parse("{\"k\": 1,}").has_value());
+  EXPECT_FALSE(FlatJson::parse("{\"k\": 1} trailing").has_value());
+  EXPECT_FALSE(FlatJson::parse("[1, 2]").has_value());
+  // Nested objects are out of scope by design.
+  EXPECT_FALSE(FlatJson::parse("{\"k\": {\"nested\": 1}}").has_value());
+}
+
+TEST(FlatJsonTest, LoadReadsFilesAndFailsCleanly) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "bcn_flatjson_test";
+  std::filesystem::remove_all(dir);
+  JsonWriter w;
+  w.add("v", 3.5);
+  const auto path = dir / "artifact.json";
+  ASSERT_TRUE(w.write_file(path));
+  const auto loaded = FlatJson::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->number("v"), 3.5);
+  EXPECT_FALSE(FlatJson::load(dir / "missing.json").has_value());
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace bcn

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/json.h"
+#include "exec/parallel_for.h"
 
 namespace bcn::obs {
 namespace {
@@ -60,15 +61,38 @@ TEST(MetricsTest, HistogramMergeRequiresMatchingBounds) {
   b.record(5.0);
   other.record(0.5);
 
-  a.merge(b);
+  EXPECT_TRUE(a.merge(b));
   EXPECT_EQ(a.count(), 3u);
   EXPECT_DOUBLE_EQ(a.sum(), 7.0);
   EXPECT_EQ(a.bucket_counts()[0], 1u);
   EXPECT_EQ(a.bucket_counts()[1], 1u);
   EXPECT_EQ(a.bucket_counts()[2], 1u);
 
-  a.merge(other);  // incompatible layout: must be a no-op
+  // Incompatible layout: refused (false) and the target is untouched.
+  EXPECT_FALSE(a.merge(other));
   EXPECT_EQ(a.count(), 3u);
+}
+
+// Pool workers bump shared counters from instrumented parallel stages;
+// the relaxed-atomic implementation must be race-free (this test runs
+// under ThreadSanitizer via scripts/check.sh) and lose no increments.
+TEST(MetricsTest, CounterAndGaugeAreSafeUnderParallelFor) {
+  MetricsRegistry reg;
+  Counter& hits = reg.counter("parallel.hits");
+  Gauge& last = reg.gauge("parallel.last");
+  exec::ParallelForOptions opts;
+  opts.threads = 4;
+  constexpr std::size_t kN = 10'000;
+  exec::parallel_for(
+      kN,
+      [&](std::size_t i) {
+        hits.inc();
+        last.set(static_cast<double>(i));
+      },
+      opts);
+  EXPECT_EQ(hits.value(), kN);
+  EXPECT_GE(last.value(), 0.0);
+  EXPECT_LT(last.value(), static_cast<double>(kN));
 }
 
 TEST(MetricsTest, RegistryHistogramKeepsFirstBounds) {

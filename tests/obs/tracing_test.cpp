@@ -1,0 +1,298 @@
+#include "obs/tracing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/parallel_for.h"
+#include "obs/metrics.h"
+
+namespace bcn::obs {
+namespace {
+
+// Every test owns the global recorder state: start clean, leave clean.
+class TracingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracing_disable();
+    tracing_clear();
+  }
+  void TearDown() override {
+    tracing_disable();
+    tracing_clear();
+  }
+};
+
+void spin_for(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST_F(TracingTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(tracing_enabled());
+  {
+    TraceSpan outer("test.outer");
+    TraceSpan inner("test.inner", "k", 1.0);
+    inner.arg("extra", 2.0);
+    EXPECT_FALSE(outer.active());
+    EXPECT_FALSE(inner.active());
+  }
+  EXPECT_EQ(tracing_drain(), 0u);
+  EXPECT_TRUE(tracing_spans().empty());
+}
+
+TEST_F(TracingTest, NestedSpansRecordDepthAndCloseChildFirst) {
+  tracing_enable();
+  {
+    TraceSpan outer("test.outer");
+    { TraceSpan inner("test.inner"); }
+    { TraceSpan inner2("test.inner"); }
+  }
+  tracing_drain();
+  const auto& spans = tracing_spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Children close (and therefore record) before the parent.
+  EXPECT_STREQ(spans[0].name, "test.inner");
+  EXPECT_EQ(spans[0].depth, 1);
+  EXPECT_STREQ(spans[1].name, "test.inner");
+  EXPECT_STREQ(spans[2].name, "test.outer");
+  EXPECT_EQ(spans[2].depth, 0);
+  // The parent's interval covers both children.
+  EXPECT_LE(spans[2].start_ns, spans[0].start_ns);
+  EXPECT_GE(spans[2].start_ns + spans[2].dur_ns,
+            spans[1].start_ns + spans[1].dur_ns);
+}
+
+TEST_F(TracingTest, SelfTimeExcludesChildren) {
+  tracing_enable();
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan child("test.child");
+      spin_for(std::chrono::microseconds(2000));
+    }
+    spin_for(std::chrono::microseconds(500));
+  }
+  tracing_drain();
+  const auto& spans = tracing_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const auto& child = spans[0];
+  const auto& outer = spans[1];
+  ASSERT_STREQ(outer.name, "test.outer");
+  // Inclusive >= child; exclusive = inclusive - child exactly.
+  EXPECT_GE(outer.dur_ns, child.dur_ns);
+  EXPECT_EQ(outer.self_ns, outer.dur_ns - child.dur_ns);
+  // The child had no children, so its self time is its duration.
+  EXPECT_EQ(child.self_ns, child.dur_ns);
+  // And the child really did spin for ~2 ms while the parent tail was
+  // ~0.5 ms, so exclusive must be well under inclusive.
+  EXPECT_LT(outer.self_ns, outer.dur_ns / 2);
+}
+
+TEST_F(TracingTest, ArgsAreCappedAtCapacity) {
+  tracing_enable();
+  {
+    TraceSpan span("test.args", "a", 1.0);
+    span.arg("b", 2.0);
+    span.arg("c", 3.0);
+    span.arg("d", 4.0);
+    span.arg("overflow", 5.0);  // silently dropped
+  }
+  tracing_drain();
+  ASSERT_EQ(tracing_spans().size(), 1u);
+  const auto& s = tracing_spans()[0];
+  ASSERT_EQ(s.n_args, kMaxTraceArgs);
+  EXPECT_STREQ(s.args[0].key, "a");
+  EXPECT_EQ(s.args[3].value, 4.0);
+}
+
+TEST_F(TracingTest, SelfProfileAggregatesByNameSorted) {
+  tracing_enable();
+  {
+    TraceSpan b1("test.b");
+    { TraceSpan a1("test.a"); }
+    { TraceSpan a2("test.a"); }
+  }
+  tracing_drain();
+  const auto profile = build_self_profile(tracing_spans());
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0].name, "test.a");  // name-sorted
+  EXPECT_EQ(profile[0].calls, 2u);
+  EXPECT_EQ(profile[1].name, "test.b");
+  EXPECT_EQ(profile[1].calls, 1u);
+  // test.b's inclusive time covers both test.a calls; its exclusive time
+  // is what profile semantics subtract back out.
+  EXPECT_GE(profile[1].total_seconds,
+            profile[0].total_seconds);
+  EXPECT_NEAR(profile[1].total_seconds - profile[1].self_seconds,
+              profile[0].total_seconds, 1e-9);
+}
+
+TEST_F(TracingTest, ProfileToMetricsWritesGauges) {
+  tracing_enable();
+  { TraceSpan span("test.unit"); }
+  tracing_drain();
+  MetricsRegistry registry;
+  profile_to_metrics(build_self_profile(tracing_spans()), registry);
+  EXPECT_EQ(registry.gauge("profile.test.unit.calls").value(), 1.0);
+  EXPECT_GE(registry.gauge("profile.test.unit.total_seconds").value(), 0.0);
+  EXPECT_GE(registry.gauge("profile.test.unit.self_seconds").value(),
+            registry.gauge("profile.test.unit.total_seconds").value() - 1e-9);
+}
+
+TEST_F(TracingTest, SpansFromWorkerThreadsCarryWorkerTidsNotMain) {
+  tracing_enable();
+  { TraceSpan span("test.on_main"); }
+  exec::ParallelForOptions opts;
+  opts.threads = 4;
+  exec::parallel_for(
+      64,
+      [](std::size_t) {
+        TraceSpan span("test.work");
+        spin_for(std::chrono::microseconds(20));
+      },
+      opts);
+  tracing_drain();
+  const auto& spans = tracing_spans();
+  std::uint32_t main_tid = 0;
+  bool found_main = false;
+  for (const auto& s : spans) {
+    if (std::string(s.name) == "test.on_main") {
+      main_tid = s.tid;
+      found_main = true;
+    }
+  }
+  ASSERT_TRUE(found_main);
+  // In the pooled path the main thread only submits and waits; every
+  // body span must carry a worker tid, never main's.
+  std::size_t work_spans = 0;
+  for (const auto& s : spans) {
+    if (std::string(s.name) == "test.work") {
+      ++work_spans;
+      EXPECT_NE(s.tid, main_tid);
+    }
+  }
+  EXPECT_EQ(work_spans, 64u);
+}
+
+// --- Chrome export golden checks ----------------------------------------
+
+// The export is newline-structured: "[", one event object per line
+// (comma-terminated except the last), "]".  Walk it with string checks —
+// by design the repo has no nested-JSON reader, and pinning the textual
+// shape is exactly what a golden test is for.
+std::vector<std::string> event_lines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "[" || line == "]") continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+double field_number(const std::string& line, const std::string& key) {
+  const auto pos = line.find("\"" + key + "\": ");
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << line;
+  if (pos == std::string::npos) return -1.0;
+  return std::stod(line.substr(pos + key.size() + 4));
+}
+
+TEST_F(TracingTest, ChromeTraceExportIsBalancedSortedAndComplete) {
+  tracing_enable();
+  tracing_set_thread_name("main-test");
+  {
+    TraceSpan outer("test.outer", "k", 2.5);
+    { TraceSpan inner("test.inner"); }
+  }
+  exec::ParallelForOptions opts;
+  opts.threads = 2;
+  exec::parallel_for(
+      8, [](std::size_t) { TraceSpan span("test.work"); }, opts);
+  tracing_drain();
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    "bcn_tracing_test" / "trace.json";
+  std::filesystem::remove_all(path.parent_path());
+  ASSERT_TRUE(write_chrome_trace(path, tracing_spans()));
+
+  const auto lines = event_lines(path);
+  ASSERT_FALSE(lines.empty());
+
+  std::size_t x_events = 0, m_events = 0;
+  std::map<double, double> last_ts;  // tid -> latest ts seen
+  bool saw_main_name = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    // Every event line is one complete object; comma-separated except the
+    // final one (valid JSON array overall).
+    EXPECT_EQ(line.front(), '{');
+    if (i + 1 < lines.size()) {
+      EXPECT_EQ(line.substr(line.size() - 2), "},");
+    } else {
+      EXPECT_EQ(line.back(), '}');
+    }
+    if (line.find("\"ph\": \"M\"") != std::string::npos) {
+      ++m_events;
+      EXPECT_NE(line.find("\"thread_name\""), std::string::npos);
+      if (line.find("main-test") != std::string::npos) saw_main_name = true;
+      continue;
+    }
+    EXPECT_NE(line.find("\"ph\": \"X\""), std::string::npos)
+        << "unknown phase: " << line;
+    ++x_events;
+    // Complete events: non-negative ts and dur, a name, a tid.
+    const double tid = field_number(line, "tid");
+    const double ts = field_number(line, "ts");
+    EXPECT_GE(ts, 0.0);
+    EXPECT_GE(field_number(line, "dur"), 0.0);
+    // Named either by the test or by the instrumented exec layer
+    // (parallel_for emits exec.parallel_for/exec.chunk spans itself).
+    EXPECT_TRUE(line.find("\"name\": \"test.") != std::string::npos ||
+                line.find("\"name\": \"exec.") != std::string::npos)
+        << line;
+    // Monotonic start times within each thread lane.
+    if (last_ts.count(tid)) EXPECT_GE(ts, last_ts[tid]);
+    last_ts[tid] = ts;
+  }
+  // 2 nested + 8 work spans + the exec.parallel_for/exec.chunk spans.
+  EXPECT_GE(x_events, 10u);
+  EXPECT_GE(m_events, 1u);
+  EXPECT_TRUE(saw_main_name);
+  // The outer span's args survived the export.
+  bool saw_args = false;
+  for (const auto& line : lines) {
+    if (line.find("\"name\": \"test.outer\"") != std::string::npos &&
+        line.find("\"args\": {\"k\": 2.5}") != std::string::npos) {
+      saw_args = true;
+    }
+  }
+  EXPECT_TRUE(saw_args);
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST_F(TracingTest, DrainIsIncrementalAndClearResets) {
+  tracing_enable();
+  { TraceSpan span("test.one"); }
+  EXPECT_EQ(tracing_drain(), 1u);
+  { TraceSpan span("test.two"); }
+  EXPECT_EQ(tracing_drain(), 1u);  // only the new span moves
+  EXPECT_EQ(tracing_spans().size(), 2u);
+  tracing_clear();
+  EXPECT_TRUE(tracing_spans().empty());
+  EXPECT_EQ(tracing_drain(), 0u);
+}
+
+}  // namespace
+}  // namespace bcn::obs

@@ -13,10 +13,12 @@
 
 #include "analysis/transient.h"
 #include "common/args.h"
+#include "common/table.h"
 #include "control/frequency.h"
 #include "core/delayed_model.h"
 #include "core/simulate.h"
 #include "core/stability.h"
+#include "obs/tracing.h"
 #include "plot/ascii.h"
 
 using namespace bcn;
@@ -28,7 +30,11 @@ void usage() {
       "usage: bcn_analyze [--N n] [--C bps] [--q0 bits] [--B bits]\n"
       "                   [--qsc bits] [--gi x] [--gd x] [--ru bps]\n"
       "                   [--w x] [--pm x] [--delay seconds]\n"
-      "                   [--duration seconds] [--plot] [--help]");
+      "                   [--duration seconds] [--plot]\n"
+      "                   [--trace file] [--help]\n"
+      "  --trace file  record wall-clock spans, print the self-profile\n"
+      "                table and write Chrome trace-event JSON there\n"
+      "                (BCN_TRACE env fallback)");
 }
 
 }  // namespace
@@ -41,10 +47,11 @@ int main(int argc, char** argv) {
   }
   if (!reject_unknown_flags(args, {"help", "N", "C", "q0", "B", "qsc", "gi",
                                    "gd", "ru", "w", "pm", "delay", "duration",
-                                   "plot"})) {
+                                   "plot", "trace"})) {
     usage();
     return 2;
   }
+  const auto trace_path = obs::maybe_enable_tracing(args);
 
   core::BcnParams p = core::BcnParams::standard_draft();
   p.num_sources = args.get_double("N", p.num_sources);
@@ -131,6 +138,19 @@ int main(int argc, char** argv) {
                 "iterations across %zu mode switches\n",
                 run.steps_accepted, run.steps_rejected, run.min_step,
                 run.event_bisections, run.switches.size());
+  }
+
+  if (trace_path) {
+    obs::tracing_drain();
+    const auto profile = obs::build_self_profile(obs::tracing_spans());
+    TablePrinter table({"span", "calls", "total s", "self s"});
+    for (const auto& e : profile) {
+      table.add_row({e.name, std::to_string(e.calls),
+                     TablePrinter::format(e.total_seconds),
+                     TablePrinter::format(e.self_seconds)});
+    }
+    std::printf("\n%s", table.to_string("self-profile (wall-clock)").c_str());
+    obs::finalize_tracing(*trace_path);
   }
   return 0;
 }
