@@ -114,6 +114,7 @@ int run(bench::RunContext& ctx) {
   sim::Network net(cfg);
   net.run(80 * sim::kMillisecond);
   bench::record_sim_metrics(net.stats(), ctx.metrics);
+  if (ctx.metrics) net.simulator().export_metrics(*ctx.metrics);
   bench::export_observability(net.stats(), "fig7_limit_cycle");
   const auto packet_traj =
       net.stats().to_phase_trajectory(sp.q0, sp.capacity);

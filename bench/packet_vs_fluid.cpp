@@ -67,6 +67,7 @@ int run(bench::RunContext& ctx) {
   sim::Network net(cfg);
   net.run(sim::from_seconds(kDuration));
   bench::record_sim_metrics(net.stats(), ctx.metrics);
+  if (ctx.metrics) net.simulator().export_metrics(*ctx.metrics);
   bench::export_observability(net.stats(), "packet_vs_fluid");
   const auto packet = net.stats().to_phase_trajectory(p.q0, p.capacity);
 

@@ -42,7 +42,10 @@ int run(bench::RunContext& ctx) {
     // Observe the PAUSE+BCN run: its event trace shows the rollback
     // (edge-port PAUSE bursts) giving way to targeted BCN feedback.
     sim::SimStats observed;
-    if (m.pause && m.bcn) cfg.observer = &observed;
+    if (m.pause && m.bcn) {
+      cfg.observer = &observed;
+      cfg.metrics = ctx.metrics;  // scheduler gauges for the observed run
+    }
     const auto r = sim::run_victim_scenario(cfg);
     if (cfg.observer) {
       bench::record_sim_metrics(observed, ctx.metrics, "sim.pause_bcn.");

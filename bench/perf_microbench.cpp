@@ -2,17 +2,21 @@
 // substrates, including the event-detection ablation cost, plus the
 // tracked perf artifacts: the serial-vs-parallel stability-map
 // comparison (BENCH_parallel_sweep.json), the span-tracing overhead
-// measurement (BENCH_tracing_overhead.json), and the per-subsystem
-// self-time breakdown (BENCH_subsystem_profile.json).  Diff any of them
-// against a committed baseline with tools/bcn_bench_diff.
+// measurement (BENCH_tracing_overhead.json), the per-subsystem
+// self-time breakdown (BENCH_subsystem_profile.json), and the
+// discrete-event-core dispatch rate (BENCH_sim_throughput.json).  Diff
+// any of them against a committed baseline with tools/bcn_bench_diff.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/stability_map.h"
 #include "analysis/sweep.h"
@@ -26,7 +30,9 @@
 #include "ode/hybrid.h"
 #include "ode/integrate.h"
 #include "ode/steppers.h"
+#include "sim/multihop.h"
 #include "sim/network.h"
+#include "sim/parking_lot.h"
 
 namespace {
 
@@ -331,6 +337,129 @@ void emit_subsystem_profile_json() {
   }
 }
 
+// Event-dispatch throughput of the discrete-event core
+// (BENCH_sim_throughput.json): events/sec over the three packet
+// topologies at several flow counts, plus a cancel/reschedule-heavy
+// timer-churn stress.  Maximum-throughput configuration -- timeline and
+// event-trace recording off, sparse sampling -- so the number tracks the
+// scheduler, not the observability layer.  Best-of-N wall clock.
+void emit_sim_throughput_json() {
+  constexpr int kReps = 3;
+  auto best_of = [&](auto&& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t events = 0;
+    for (int i = 0; i < kReps; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      events = fn();
+      best = std::min(
+          best, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+    }
+    return std::pair<std::size_t, double>{events, best};
+  };
+
+  JsonWriter json;
+  json.add("benchmark", "sim_throughput");
+  json.add("reps", kReps);
+  std::printf("sim throughput (best of %d):\n", kReps);
+  auto report = [&](const std::string& key, std::size_t events,
+                    double seconds) {
+    const double eps = seconds > 0.0 ? events / seconds : 0.0;
+    json.add(key + "_events", static_cast<std::int64_t>(events));
+    json.add(key + "_seconds", seconds);
+    json.add(key + "_events_per_sec", eps);
+    std::printf("  %-16s %9zu events in %.4f s -> %8.3f M events/s\n",
+                key.c_str(), events, seconds, eps / 1e6);
+  };
+
+  // The packet_vs_fluid reference parameter set (also pinned by
+  // DeterminismTest): aggregate initial rate equals capacity, so the
+  // event count stays ~constant across flow counts and the sweep
+  // isolates scheduler scaling, not scenario dynamics.
+  core::BcnParams p;
+  p.num_sources = 5;
+  p.capacity = 10e9;
+  p.q0 = 2.5e6;
+  p.buffer = 30e6;
+  p.qsc = 28e6;
+  p.w = 2.0;
+  p.pm = 0.2;
+  p.gi = 0.5;
+  p.gd = 1.0 / 128.0;
+  p.ru = 8e6;
+  for (const int n : {5, 50, 200, 500}) {
+    const auto [events, seconds] = best_of([&] {
+      sim::NetworkConfig cfg;
+      cfg.params = p;
+      cfg.params.num_sources = n;
+      cfg.initial_rate = cfg.params.capacity / n;
+      cfg.record_timelines = false;
+      cfg.record_events = false;
+      cfg.record_interval = sim::kMillisecond;
+      sim::Network net(cfg);
+      net.run(50 * sim::kMillisecond);
+      return net.simulator().executed();
+    });
+    report("single_hop_n" + std::to_string(n), events, seconds);
+  }
+
+  {
+    const auto [events, seconds] = best_of([&] {
+      const sim::MultihopConfig cfg;
+      return sim::run_victim_scenario(cfg).events_executed;
+    });
+    report("multihop", events, seconds);
+  }
+
+  {
+    const auto [events, seconds] = best_of([&] {
+      sim::ParkingLotConfig cfg;
+      cfg.record_events = false;
+      return sim::run_parking_lot(cfg).events_executed;
+    });
+    report("parking_lot", events, seconds);
+  }
+
+  {
+    // Raw scheduler stress: 500k schedule ops across 1024 timer lanes,
+    // cancelling any pending timer in the lane first, draining a slice of
+    // the horizon every 256 ops.  This is the workload the indexed heap's
+    // in-place cancel exists for.
+    const auto [events, seconds] = best_of([&] {
+      sim::Simulator s;
+      struct Sink : sim::EventTarget {
+        void on_event(const sim::SimEvent&) override {}
+      } sink;
+      std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      std::vector<sim::EventId> lanes(1024, sim::kInvalidEvent);
+      for (int op = 0; op < 500'000; ++op) {
+        const std::size_t lane = next() & 1023;
+        if (lanes[lane] != sim::kInvalidEvent) s.cancel(lanes[lane]);
+        lanes[lane] =
+            s.schedule_event(s.now() + 1 + (next() & 4095), &sink,
+                             sim::EventKind::Tick, 0);
+        if ((op & 255) == 0) s.run_until(s.now() + 512);
+      }
+      s.run_until(s.now() + 8192);
+      // Ops, not dispatches: most lanes are cancelled before they fire.
+      return static_cast<std::size_t>(500'000);
+    });
+    report("timer_churn", events, seconds);
+  }
+
+  const auto path = bench::output_dir() / "BENCH_sim_throughput.json";
+  if (json.write_file(path)) {
+    std::printf("  [artifact] %s\n", path.string().c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -341,5 +470,6 @@ int main(int argc, char** argv) {
   emit_parallel_sweep_json();
   emit_tracing_overhead_json();
   emit_subsystem_profile_json();
+  emit_sim_throughput_json();
   return 0;
 }

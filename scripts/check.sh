@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Three gates:
+# Four gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
-#     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs test
-#     suites, which exercise parallel_for / ThreadPool / the parallel
-#     stability map / the span recorder and atomic metrics under real
-#     concurrency.  Any data race fails the run.
+#     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
+#     test suites, which exercise parallel_for / ThreadPool / the
+#     parallel stability map / the span recorder and atomic metrics /
+#     the event-queue pool and heap under real concurrency.  Any data
+#     race fails the run.
 #  2. Bench artifacts: builds one bench in a regular (non-sanitized)
 #     build, runs it, and validates that RUN_<name>.json carries the
-#     observability metrics snapshot and that the timeline CSV exists.
+#     observability metrics snapshot (including the sim.* scheduler
+#     gauges) and that the timeline CSV exists.
 #  3. Trace artifacts: reruns the same bench with --trace, validates the
 #     Chrome trace (parses, complete events, spans from >= 3 subsystems),
 #     checks the profile.* gauges landed in the RUN json, and runs
 #     bcn_bench_diff self-vs-self (a zero-delta diff must exit 0).
+#  4. Sim throughput: runs the perf_microbench artifact emitters and
+#     validates BENCH_sim_throughput.json (all scenario keys present,
+#     self-diff at threshold 0 exits 0).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,7 +25,7 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "$BUILD_DIR" -S . -DBCN_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j \
-  --target bcn_exec_tests bcn_analysis_tests bcn_obs_tests
+  --target bcn_exec_tests bcn_analysis_tests bcn_obs_tests bcn_sim_tests
 
 # halt_on_error turns any race into a hard test failure instead of a
 # buried log line; second_deadlock_stack improves mutex reports.
@@ -31,6 +36,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/exec/bcn_exec_tests
 "$BUILD_DIR"/tests/analysis/bcn_analysis_tests
 "$BUILD_DIR"/tests/obs/bcn_obs_tests
+"$BUILD_DIR"/tests/sim/bcn_sim_tests
 
 echo "[check.sh] ThreadSanitizer run clean"
 
@@ -52,7 +58,8 @@ RUN_JSON="$SMOKE_OUT/RUN_$SMOKE_BENCH.json"
 [[ -f "$RUN_JSON" ]] || { echo "[check.sh] missing $RUN_JSON"; exit 1; }
 for key in '"metrics.sim.frames_delivered"' '"metrics.sim.bcn_negative"' \
            '"metrics.fluid.steps_accepted"' '"metrics.fluid.min_dt_seconds"' \
-           '"metrics.sim.sigma_bits.count"'; do
+           '"metrics.sim.sigma_bits.count"' \
+           '"metrics.sim.heap_high_water"' '"metrics.sim.events_executed"'; do
   grep -q "$key" "$RUN_JSON" || {
     echo "[check.sh] $RUN_JSON lacks $key"; exit 1;
   }
@@ -101,3 +108,36 @@ grep -q '"metrics\.profile\.' "$TRACED_RUN_JSON" || {
 }
 
 echo "[check.sh] trace artifact smoke clean ($TRACE_JSON)"
+
+# --- sim-throughput smoke -------------------------------------------------
+# The event-core dispatch-rate artifact: every scenario key must be
+# emitted with a positive events/sec, and the artifact must survive a
+# zero-threshold self-diff (i.e. bcn_bench_diff can parse and compare it).
+cmake --build "$SMOKE_BUILD_DIR" -j --target perf_microbench
+
+TPUT_OUT=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT"' EXIT
+BCN_BENCH_OUT="$TPUT_OUT" "$SMOKE_BUILD_DIR"/bench/perf_microbench \
+  --benchmark_filter=NONE > /dev/null
+
+TPUT_JSON="$TPUT_OUT/BENCH_sim_throughput.json"
+[[ -f "$TPUT_JSON" ]] || { echo "[check.sh] missing $TPUT_JSON"; exit 1; }
+python3 - "$TPUT_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+keys = ["single_hop_n5", "single_hop_n50", "single_hop_n200",
+        "single_hop_n500", "multihop", "parking_lot", "timer_churn"]
+for key in keys:
+    eps = data.get(f"{key}_events_per_sec")
+    assert isinstance(eps, (int, float)) and eps > 0, f"{key}: bad {eps!r}"
+    assert data.get(f"{key}_events", 0) > 0, f"{key}: no events"
+rates = ", ".join(f"{k}={data[f'{k}_events_per_sec']/1e6:.1f}M/s" for k in keys)
+print(f"[check.sh] sim throughput: {rates}")
+PY
+
+"$SMOKE_BUILD_DIR"/tools/bcn_bench_diff \
+  --a "$TPUT_JSON" --b "$TPUT_JSON" --threshold 0 > /dev/null || {
+  echo "[check.sh] sim-throughput self-diff failed"; exit 1;
+}
+
+echo "[check.sh] sim throughput smoke clean ($TPUT_JSON)"

@@ -38,7 +38,15 @@ struct TraceEvent {
 
 class EventTrace {
  public:
-  void record(const TraceEvent& event) { events_.push_back(event); }
+  void record(const TraceEvent& event) {
+    if (enabled_) events_.push_back(event);
+  }
+
+  // Recording switch for maximum-throughput runs: record() on a disabled
+  // trace is a near-free early-out, so simulators can leave their
+  // recording calls unconditional.  Enabled by default.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
@@ -55,6 +63,7 @@ class EventTrace {
 
  private:
   std::vector<TraceEvent> events_;
+  bool enabled_ = true;
 };
 
 }  // namespace bcn::obs

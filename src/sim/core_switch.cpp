@@ -55,7 +55,7 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
   const double sigma = (config_.q0 - queue_bits_) - config_.w * delta_q;
   stats_.record_sigma(sigma);
 
-  if (!send_bcn_) return;
+  if (!has_bcn_sender()) return;
   const double now_s = to_seconds(sim_.now());
   if (config_.fera_mode) {
     // FERA/ERICA-style explicit rate: fair share scaled by the queue
@@ -72,9 +72,9 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
     }
     stats_.events().record({now_s, obs::EventKind::BcnRateAdvertSent,
                             config_.cpid, frame.source, sigma, advertised});
-    send_bcn_({.cpid = config_.cpid, .target = frame.source,
-               .sigma = sigma, .advertised_rate = advertised,
-               .sent_at = sim_.now()});
+    emit_bcn({.cpid = config_.cpid, .target = frame.source,
+              .sigma = sigma, .advertised_rate = advertised,
+              .sent_at = sim_.now()});
     return;
   }
   if (sigma < 0.0) {
@@ -82,8 +82,8 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
     ++stats_.counters.bcn_negative;
     stats_.events().record({now_s, obs::EventKind::BcnNegativeSent,
                             config_.cpid, frame.source, sigma, 0.0});
-    send_bcn_({.cpid = config_.cpid, .target = frame.source,
-               .sigma = sigma, .sent_at = sim_.now()});
+    emit_bcn({.cpid = config_.cpid, .target = frame.source,
+              .sigma = sigma, .sent_at = sim_.now()});
   } else if (sigma > 0.0 && !config_.suppress_positive &&
              (!config_.positive_requires_rrt ||
               (frame.has_rrt && frame.rrt_cpid == config_.cpid)) &&
@@ -93,13 +93,21 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
     ++stats_.counters.bcn_positive;
     stats_.events().record({now_s, obs::EventKind::BcnPositiveSent,
                             config_.cpid, frame.source, sigma, 0.0});
-    send_bcn_({.cpid = config_.cpid, .target = frame.source,
-               .sigma = sigma, .sent_at = sim_.now()});
+    emit_bcn({.cpid = config_.cpid, .target = frame.source,
+              .sigma = sigma, .sent_at = sim_.now()});
+  }
+}
+
+void CoreSwitch::emit_bcn(const BcnMessage& message) {
+  if (bcn_link_) {
+    bcn_link_.send(message);
+  } else {
+    send_bcn_(message);
   }
 }
 
 void CoreSwitch::maybe_pause() {
-  if (!config_.enable_pause || !send_pause_) return;
+  if (!config_.enable_pause || !(pause_link_ || send_pause_)) return;
   if (queue_bits_ < config_.qsc) return;
   if (sim_.now() < pause_cooldown_until_) return;
   pause_cooldown_until_ = sim_.now() + config_.pause_duration;
@@ -112,8 +120,14 @@ void CoreSwitch::maybe_pause() {
   stats_.events().record({to_seconds(pause_cooldown_until_),
                           obs::EventKind::PauseOff, config_.cpid, 0, 0.0,
                           duration_s});
-  send_pause_({config_.pause_duration, sim_.now()});
+  if (pause_link_) {
+    pause_link_.send(PauseFrame{config_.pause_duration, sim_.now()});
+  } else {
+    send_pause_({config_.pause_duration, sim_.now()});
+  }
 }
+
+void CoreSwitch::on_event(const SimEvent&) { finish_service(); }
 
 void CoreSwitch::start_service() {
   if (queue_.empty()) {
@@ -121,9 +135,9 @@ void CoreSwitch::start_service() {
     return;
   }
   serving_ = true;
-  const double bits = queue_.front().size_bits;
-  sim_.schedule_after(transmission_time(bits, config_.capacity),
-                      [this] { finish_service(); });
+  depart_timer_ =
+      sim_.arm(depart_timer_, sim_.now() + service_time(queue_.front().size_bits),
+               this, EventKind::FrameDeparture, 0);
 }
 
 void CoreSwitch::finish_service() {
@@ -134,7 +148,11 @@ void CoreSwitch::finish_service() {
   ++stats_.counters.frames_delivered;
   stats_.counters.bits_delivered += frame.size_bits;
   stats_.add_delivered(frame.source, frame.size_bits);
-  if (sink_) sink_(frame);
+  if (sink_link_) {
+    sink_link_.send(frame);
+  } else if (sink_) {
+    sink_(frame);
+  }
   start_service();
 }
 

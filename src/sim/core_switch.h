@@ -48,7 +48,7 @@ struct CoreSwitchConfig {
   std::uint64_t sampling_seed = 0x5eed;
 };
 
-class CoreSwitch {
+class CoreSwitch : public EventTarget {
  public:
   using BcnSender = std::function<void(const BcnMessage&)>;
   using PauseSender = std::function<void(const PauseFrame&)>;
@@ -56,16 +56,24 @@ class CoreSwitch {
 
   CoreSwitch(Simulator& sim, CoreSwitchConfig config, SimStats& stats);
 
+  // Typed-event dispatch: the service-completion timer.
+  void on_event(const SimEvent& event) override;
+
   // Downstream hop for frames completing service; unset = frames
   // terminate here (single-bottleneck topology).
   void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+  void set_sink(const EventLink& link) { sink_link_ = link; }
 
   // Frame arrival from the fabric.  Samples, possibly emits BCN/PAUSE via
   // the callbacks, then enqueues or drops.
   void on_frame(const Frame& frame);
 
+  // Each sender accepts either a std::function (tests, ad-hoc wiring) or
+  // an EventLink (the scenarios' zero-closure fast path); a set link wins.
   void set_bcn_sender(BcnSender sender) { send_bcn_ = std::move(sender); }
+  void set_bcn_sender(const EventLink& link) { bcn_link_ = link; }
   void set_pause_sender(PauseSender sender) { send_pause_ = std::move(sender); }
+  void set_pause_sender(const EventLink& link) { pause_link_ = link; }
 
   double queue_bits() const { return queue_bits_; }
   const CoreSwitchConfig& config() const { return config_; }
@@ -75,6 +83,20 @@ class CoreSwitch {
   void maybe_pause();
   void start_service();
   void finish_service();
+  void emit_bcn(const BcnMessage& message);
+
+  bool has_bcn_sender() const { return bcn_link_ || send_bcn_; }
+
+  // One-entry service-time memo: the drain rate is fixed and frame sizes
+  // are usually uniform, so the per-departure floating-point divide
+  // collapses to a compare.
+  SimTime service_time(double bits) {
+    if (bits != service_bits_) {
+      service_bits_ = bits;
+      service_gap_ = transmission_time(bits, config_.capacity);
+    }
+    return service_gap_;
+  }
 
   Simulator& sim_;
   CoreSwitchConfig config_;
@@ -82,10 +104,18 @@ class CoreSwitch {
   BcnSender send_bcn_;
   PauseSender send_pause_;
   FrameSink sink_;
+  EventLink bcn_link_;
+  EventLink pause_link_;
+  EventLink sink_link_;
 
   std::deque<Frame> queue_;
   double queue_bits_ = 0.0;
+  double service_bits_ = -1.0;
+  SimTime service_gap_ = 0;
   bool serving_ = false;
+  // Service-completion timer; its slot is re-armed back-to-back while the
+  // queue stays busy and goes stale when the queue drains.
+  EventId depart_timer_ = kInvalidEvent;
 
   std::uint64_t arrivals_since_sample_ = 0;
   std::uint64_t sample_every_ = 100;  // round(1/pm)

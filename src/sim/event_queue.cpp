@@ -2,29 +2,237 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/log.h"
+#include "obs/metrics.h"
 #include "obs/tracing.h"
 
 namespace bcn::sim {
 
-SimTime transmission_time(double bits, double rate_bps) {
-  if (bits <= 0.0) return 0;
-  if (rate_bps <= 0.0) return kSecond * 3600;  // effectively never
-  const double ns = bits / rate_bps * 1e9;
-  return static_cast<SimTime>(std::ceil(ns));
+// --- pool ----------------------------------------------------------------
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // stale every outstanding handle
+  slot.heap_index = kSlotFree;
+  slot.target = nullptr;
+  if (slot.kind == EventKind::Callback && index < fns_.size()) {
+    fns_[index] = nullptr;  // drop the closure allocation
+  }
+  free_.push_back(index);
+}
+
+std::int64_t Simulator::resolve(EventId id) const {
+  if (id == kInvalidEvent) return -1;
+  const std::uint64_t slot_plus_one = id >> 32;
+  if (slot_plus_one == 0 || slot_plus_one > slots_.size()) return -1;
+  const auto index = static_cast<std::uint32_t>(slot_plus_one - 1);
+  if (slots_[index].generation != static_cast<std::uint32_t>(id)) return -1;
+  return index;
+}
+
+// --- indexed 4-ary heap --------------------------------------------------
+
+void Simulator::sift_up(std::int32_t i) {
+  const HeapEntry moving = heap_[i];
+  while (i > 0) {
+    const std::int32_t parent = (i - 1) >> 2;
+    if (!entry_less(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    slots_[heap_[i].slot].heap_index = i;
+    i = parent;
+  }
+  heap_[i] = moving;
+  slots_[moving.slot].heap_index = i;
+}
+
+void Simulator::sift_down(std::int32_t i) {
+  const HeapEntry moving = heap_[i];
+  const auto n = static_cast<std::int32_t>(heap_.size());
+  while (true) {
+    const std::int32_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::int32_t best = first_child;
+    const std::int32_t last_child = std::min(first_child + 4, n);
+    for (std::int32_t c = first_child + 1; c < last_child; ++c) {
+      if (entry_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_less(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    slots_[heap_[i].slot].heap_index = i;
+    i = best;
+  }
+  heap_[i] = moving;
+  slots_[moving.slot].heap_index = i;
+}
+
+void Simulator::heap_push(const HeapEntry& entry) {
+  heap_.push_back(entry);
+  slots_[entry.slot].heap_index = static_cast<std::int32_t>(heap_.size() - 1);
+  sift_up(static_cast<std::int32_t>(heap_.size() - 1));
+  heap_high_water_ = std::max(heap_high_water_, heap_.size());
+}
+
+void Simulator::heap_remove(std::int32_t heap_index) {
+  const std::int32_t last = static_cast<std::int32_t>(heap_.size()) - 1;
+  const std::uint32_t removed = heap_[heap_index].slot;
+  if (heap_index != last) {
+    heap_[heap_index] = heap_[last];
+    slots_[heap_[heap_index].slot].heap_index = heap_index;
+  }
+  heap_.pop_back();
+  if (heap_index != last) {
+    // The swapped-in element may need to move either direction; after a
+    // sift_down the follow-up sift_up is a no-op unless it stayed put.
+    const std::uint32_t moved = heap_[heap_index].slot;
+    sift_down(heap_index);
+    sift_up(slots_[moved].heap_index);
+  }
+  slots_[removed].heap_index = kSlotFree;
+}
+
+// Specialized heap_remove(0) for the dispatch loop: the root needs no
+// upward fixup.
+void Simulator::pop_root() {
+  const std::uint32_t removed = heap_[0].slot;
+  const std::size_t last = heap_.size() - 1;
+  if (last != 0) {
+    heap_[0] = heap_[last];
+    slots_[heap_[0].slot].heap_index = 0;
+  }
+  heap_.pop_back();
+  if (last != 0) sift_down(0);
+  slots_[removed].heap_index = kSlotFree;
+}
+
+// --- scheduling ----------------------------------------------------------
+
+SimTime Simulator::clamp_deadline(SimTime when) {
+  if (when >= now_) return when;
+  ++clamped_;
+  // Rate-limited: a handful of warnings identifies the buggy timer without
+  // drowning a long run; the clamped counter keeps the full tally.
+  if (clamped_ <= 5) {
+    BCN_LOG_WARN(
+        "sim: event scheduled %lld ns in the past clamped to now=%lld ns "
+        "(occurrence %llu; see sim.schedule_clamped)",
+        static_cast<long long>(now_ - when), static_cast<long long>(now_),
+        static_cast<unsigned long long>(clamped_));
+  }
+  return now_;
+}
+
+EventId Simulator::insert(SimTime when, std::uint32_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  slot.when = clamp_deadline(when);
+  slot.seq = next_seq_++;
+  heap_push({make_key(slot.when, slot.seq), slot_index});
+  return make_id(slot_index, slot.generation);
+}
+
+EventId Simulator::schedule_event(SimTime when, EventTarget* target,
+                                  EventKind kind, std::uint32_t tag) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.target = target;
+  slot.kind = kind;
+  slot.tag = tag;
+  return insert(when, index);
+}
+
+EventId Simulator::schedule_frame(SimTime when, EventTarget* target,
+                                  std::uint32_t tag, const Frame& frame) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.target = target;
+  slot.kind = EventKind::FrameArrival;
+  slot.tag = tag;
+  slot.payload.frame = frame;
+  return insert(when, index);
+}
+
+EventId Simulator::schedule_bcn(SimTime when, EventTarget* target,
+                                std::uint32_t tag, const BcnMessage& message) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.target = target;
+  slot.kind = EventKind::BcnDelivery;
+  slot.tag = tag;
+  slot.payload.bcn = message;
+  return insert(when, index);
+}
+
+EventId Simulator::schedule_pause(SimTime when, EventTarget* target,
+                                  std::uint32_t tag, const PauseFrame& pause) {
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.target = target;
+  slot.kind = EventKind::PauseDelivery;
+  slot.tag = tag;
+  slot.payload.pause = pause;
+  return insert(when, index);
 }
 
 EventId Simulator::schedule_at(SimTime when, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(when, now_), next_seq_++, id, std::move(fn)});
-  ++live_;
-  return id;
+  const std::uint32_t index = acquire_slot();
+  Slot& slot = slots_[index];
+  slot.target = nullptr;
+  slot.kind = EventKind::Callback;
+  slot.tag = 0;
+  if (fns_.size() <= index) fns_.resize(slots_.size());
+  fns_[index] = std::move(fn);
+  return insert(when, index);
 }
 
 void Simulator::cancel(EventId id) {
-  if (id == kInvalidEvent) return;
-  if (cancelled_.insert(id).second && live_ > 0) --live_;
+  const std::int64_t index = resolve(id);
+  if (index < 0) return;  // stale or invalid: no residue
+  Slot& slot = slots_[static_cast<std::uint32_t>(index)];
+  if (slot.heap_index < 0) return;  // defensive; live slots are in the heap
+  heap_remove(slot.heap_index);
+  release_slot(static_cast<std::uint32_t>(index));
+  ++cancelled_;
 }
+
+bool Simulator::reschedule(EventId id, SimTime when) {
+  const std::int64_t index = resolve(id);
+  if (index < 0) return false;
+  Slot& slot = slots_[static_cast<std::uint32_t>(index)];
+  slot.when = clamp_deadline(when);
+  slot.seq = next_seq_++;  // rescheduling re-enters the FIFO order, as a
+                           // cancel + fresh schedule would
+  ++rescheduled_;
+  if (slot.heap_index >= 0) {
+    const std::int32_t at = slot.heap_index;
+    heap_[at].key = make_key(slot.when, slot.seq);
+    sift_down(at);
+    sift_up(slots_[static_cast<std::uint32_t>(index)].heap_index);
+  } else {
+    // Defensive: live slots are always in the heap.
+    heap_push({make_key(slot.when, slot.seq),
+               static_cast<std::uint32_t>(index)});
+  }
+  return true;
+}
+
+EventId Simulator::arm(EventId id, SimTime when, EventTarget* target,
+                       EventKind kind, std::uint32_t tag) {
+  if (reschedule(id, when)) return id;
+  return schedule_event(when, target, kind, tag);
+}
+
+// --- dispatch ------------------------------------------------------------
 
 std::size_t Simulator::run_until(SimTime until) {
   // One span per drain batch: args carry the simulated horizon and the
@@ -32,23 +240,90 @@ std::size_t Simulator::run_until(SimTime until) {
   obs::TraceSpan span("sim.run_until", "until_ns",
                       static_cast<double>(until));
   std::size_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    const auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    --live_;
-    now_ = ev.when;
+  const unsigned __int128 limit = make_key(until, ~0ull);
+  while (!heap_.empty()) {
+    if (heap_[0].key > limit) break;
+    const std::uint32_t top = heap_[0].slot;
+
+    // Fire in place: the root entry stays in the heap while its handler
+    // runs.  Anything the handler schedules gets a later (when, seq) key,
+    // so the firing entry keeps the root spot; a handler that re-arms its
+    // own timer turns the usual pop + push into one in-place sift.
+    firing_slot_ = top;
+    now_ = slots_[top].when;
+    const std::uint64_t fired_seq = slots_[top].seq;
+    const std::uint32_t fired_gen = slots_[top].generation;
     ++executed_;
     ++ran;
-    ev.fn();
+
+    if (slots_[top].kind == EventKind::Callback) {
+      // Move the closure out so a handler that re-arms itself via
+      // schedule_* cannot observe a half-dead slot; move it back if the
+      // slot was not recycled from within (cancel + fresh schedule).
+      std::function<void()> fn = std::move(fns_[top]);
+      fn();
+      if (slots_[top].generation == fired_gen) {
+        fns_[top] = std::move(fn);
+      }
+    } else {
+      // Stack copy of the dispatch view: handlers may schedule freely
+      // (which can grow the slab and invalidate Slot references).  Only
+      // the active payload member is copied.
+      SimEvent event;
+      event.kind = slots_[top].kind;
+      event.tag = slots_[top].tag;
+      event.id = make_id(top, fired_gen);
+      switch (event.kind) {
+        case EventKind::FrameArrival:
+          event.payload.frame = slots_[top].payload.frame;
+          break;
+        case EventKind::BcnDelivery:
+          event.payload.bcn = slots_[top].payload.bcn;
+          break;
+        case EventKind::PauseDelivery:
+        case EventKind::PauseExpiry:
+          event.payload.pause = slots_[top].payload.pause;
+          break;
+        default:
+          break;
+      }
+      EventTarget* target = slots_[top].target;
+      target->on_event(event);
+    }
+
+    firing_slot_ = -1;
+    // Unless the handler re-armed (fresh seq) or cancelled (fresh
+    // generation) the fired event, retire it now.
+    if (slots_[top].generation == fired_gen && slots_[top].seq == fired_seq) {
+      const std::int32_t at = slots_[top].heap_index;
+      if (at == 0) {
+        pop_root();
+      } else {
+        heap_remove(at);  // defensive: the root spot should be retained
+      }
+      release_slot(top);
+    }
   }
   now_ = std::max(now_, until);
   span.arg("events", static_cast<double>(ran));
+  span.arg("heap_hwm", static_cast<double>(heap_high_water_));
   return ran;
+}
+
+// --- metrics -------------------------------------------------------------
+
+void Simulator::export_metrics(obs::MetricsRegistry& registry,
+                               const std::string& prefix) const {
+  registry.gauge(prefix + "heap_high_water")
+      .set(static_cast<double>(heap_high_water_));
+  registry.gauge(prefix + "pool_slots")
+      .set(static_cast<double>(slots_.size()));
+  registry.gauge(prefix + "pool_in_use")
+      .set(static_cast<double>(slots_.size() - free_.size()));
+  registry.counter(prefix + "events_executed").inc(executed_);
+  registry.counter(prefix + "events_cancelled").inc(cancelled_);
+  registry.counter(prefix + "events_rescheduled").inc(rescheduled_);
+  registry.counter(prefix + "schedule_clamped").inc(clamped_);
 }
 
 }  // namespace bcn::sim

@@ -1,20 +1,36 @@
-// Discrete-event simulation core: a time-ordered event queue with stable
-// FIFO ordering for simultaneous events and lazy cancellation.
+// Discrete-event simulation core: typed pooled events on an indexed 4-ary
+// min-heap with stable FIFO ordering for simultaneous events.
+//
+// Design (the simulator fast path):
+//   * Event records live in a slab of pool slots recycled through a free
+//     list, so steady-state simulation performs zero allocations; only
+//     the legacy Callback kind (tests, one-off wiring) may allocate for
+//     its closure.
+//   * The pending set is a 4-ary min-heap of slot indices ordered by
+//     (when, seq); each slot stores its heap position, so cancel and
+//     reschedule are O(log n) in-place operations on live handles --
+//     there is no tombstone set to grow without bound.
+//   * Handles carry a generation: once an event fires or is cancelled its
+//     slot's generation advances and the old handle goes stale.  cancel()
+//     and reschedule() on a stale handle are cheap no-ops.
+//   * Recurring timers re-arm their own slot via reschedule() (valid from
+//     inside the handler), keeping one slot per timer for the lifetime of
+//     the simulation instead of allocating a fresh event every tick.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <string>
 #include <vector>
 
+#include "sim/event.h"
 #include "sim/time.h"
 
-namespace bcn::sim {
+namespace bcn::obs {
+class MetricsRegistry;
+}
 
-// Handle for cancelling a scheduled event.
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEvent = 0;
+namespace bcn::sim {
 
 class Simulator {
  public:
@@ -22,46 +38,166 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  // Schedules `fn` at absolute time `when` (clamped to >= now).  Events
-  // scheduled for the same instant fire in scheduling order.
+  // --- typed scheduling (the zero-allocation fast path) ------------------
+  // All absolute times are clamped to >= now(); a strictly-past deadline
+  // additionally counts into the sim.schedule_clamped metric and logs a
+  // rate-limited warning (a past deadline means a mis-scheduled timer).
+  // Events scheduled for the same instant fire in scheduling order.
+  EventId schedule_event(SimTime when, EventTarget* target, EventKind kind,
+                         std::uint32_t tag);
+  EventId schedule_frame(SimTime when, EventTarget* target, std::uint32_t tag,
+                         const Frame& frame);
+  EventId schedule_bcn(SimTime when, EventTarget* target, std::uint32_t tag,
+                       const BcnMessage& message);
+  EventId schedule_pause(SimTime when, EventTarget* target, std::uint32_t tag,
+                         const PauseFrame& pause);
+
+  // --- legacy closure scheduling (tests / one-off wiring) ----------------
   EventId schedule_at(SimTime when, std::function<void()> fn);
   EventId schedule_after(SimTime delay, std::function<void()> fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
 
-  // Lazily cancels the event; a no-op if it already fired or is invalid.
+  // Cancels a live event in place (O(log n) heap removal) and recycles its
+  // slot.  A no-op on stale or invalid handles -- repeated cancel after
+  // fire leaves no residue and the handle table stays compact.
   void cancel(EventId id);
+
+  // Moves a live event to `when` (clamped to >= now) with a fresh FIFO
+  // sequence number, exactly as if it had been cancelled and re-scheduled,
+  // but reusing its slot.  Callable from inside the event's own handler to
+  // re-arm a recurring timer.  Returns false on a stale/invalid handle.
+  bool reschedule(EventId id, SimTime when);
+
+  // reschedule-or-schedule: re-arms `id` when still valid, otherwise
+  // schedules a fresh typed event; returns the live handle.  The common
+  // idiom for timers that sometimes go idle (e.g. a server with an empty
+  // queue).
+  EventId arm(EventId id, SimTime when, EventTarget* target, EventKind kind,
+              std::uint32_t tag);
 
   // Runs until the queue drains or simulated time exceeds `until`.
   // Returns the number of events executed.  Advances now() to `until`.
   std::size_t run_until(SimTime until);
 
-  // True when no live events remain.
-  bool idle() const { return live_ == 0; }
+  // True when no live events remain.  (The firing event stays in the heap
+  // while its handler runs, so an empty heap means fully idle.)
+  bool idle() const { return heap_.empty(); }
 
   std::size_t executed() const { return executed_; }
 
+  // --- introspection (tests, metrics) ------------------------------------
+  std::size_t heap_size() const { return heap_.size(); }
+  std::size_t heap_high_water() const { return heap_high_water_; }
+  // Slots ever created (the pool's slab size) and slots currently free.
+  std::size_t pool_slots() const { return slots_.size(); }
+  std::size_t pool_free() const { return free_.size(); }
+  std::uint64_t cancelled_count() const { return cancelled_; }
+  std::uint64_t rescheduled_count() const { return rescheduled_; }
+  std::uint64_t clamped_count() const { return clamped_; }
+
+  // Scheduler gauges/counters into `registry` under `prefix`:
+  //   <prefix>heap_high_water, <prefix>pool_slots, <prefix>pool_in_use,
+  //   <prefix>events_executed, <prefix>events_cancelled,
+  //   <prefix>events_rescheduled, <prefix>schedule_clamped.
+  void export_metrics(obs::MetricsRegistry& registry,
+                      const std::string& prefix = "sim.") const;
+
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    EventId id;
-    std::function<void()> fn;
+  static constexpr std::int32_t kSlotFree = -1;
+
+  // Closures for the legacy Callback kind live in a side table indexed by
+  // slot, so the hot typed-event slots stay lean and release never touches
+  // std::function internals.
+  struct Slot {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    EventTarget* target = nullptr;
+    std::uint32_t generation = 1;  // advances when the slot is recycled
+    std::int32_t heap_index = kSlotFree;
+    EventKind kind = EventKind::Callback;
+    std::uint32_t tag = 0;
+    EventPayload payload;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(slot + 1) << 32) | generation;
+  }
+  // Returns the slot index for a handle whose generation still matches,
+  // or -1 for stale/invalid handles.
+  std::int64_t resolve(EventId id) const;
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  EventId insert(SimTime when, std::uint32_t slot_index);
+  SimTime clamp_deadline(SimTime when);
+
+  // Heap entries carry the ordering key alongside the slot index so sift
+  // comparisons stay inside the contiguous heap array instead of
+  // dereferencing 100+-byte pool slots.  The (when, seq) pair is packed
+  // into one 128-bit integer -- when in the high half, seq in the low --
+  // so the lexicographic order collapses to a single branchless compare.
+  struct HeapEntry {
+    unsigned __int128 key;
+    std::uint32_t slot;
   };
+  static unsigned __int128 make_key(SimTime when, std::uint64_t seq) {
+    return (static_cast<unsigned __int128>(static_cast<std::uint64_t>(when))
+            << 64) |
+           seq;
+  }
+  static bool entry_less(const HeapEntry& a, const HeapEntry& b) {
+    return a.key < b.key;
+  }
+  void heap_push(const HeapEntry& entry);
+  void heap_remove(std::int32_t heap_index);
+  void pop_root();
+  void sift_up(std::int32_t i);
+  void sift_down(std::int32_t i);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::size_t live_ = 0;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t rescheduled_ = 0;
+  std::uint64_t clamped_ = 0;
+  std::size_t heap_high_water_ = 0;
+  std::int64_t firing_slot_ = -1;  // slot being dispatched, else -1
+
+  std::vector<Slot> slots_;
+  std::vector<std::function<void()>> fns_;  // Callback closures, by slot
+  std::vector<std::uint32_t> free_;
+  std::vector<HeapEntry> heap_;
+};
+
+// A precomputed forwarding hop: schedules its payload as a typed event to
+// a fixed target after a fixed delay.  The scenario wiring builds these
+// once at construction, replacing the per-frame std::function sender hops
+// on the hot path with a direct schedule_* call.
+class EventLink {
+ public:
+  EventLink() = default;
+  EventLink(Simulator& sim, EventTarget* target, std::uint32_t tag,
+            SimTime delay)
+      : sim_(&sim), target_(target), tag_(tag), delay_(delay) {}
+
+  explicit operator bool() const { return target_ != nullptr; }
+
+  void send(const Frame& frame) const {
+    sim_->schedule_frame(sim_->now() + delay_, target_, tag_, frame);
+  }
+  void send(const BcnMessage& message) const {
+    sim_->schedule_bcn(sim_->now() + delay_, target_, tag_, message);
+  }
+  void send(const PauseFrame& pause) const {
+    sim_->schedule_pause(sim_->now() + delay_, target_, tag_, pause);
+  }
+
+ private:
+  Simulator* sim_ = nullptr;
+  EventTarget* target_ = nullptr;
+  std::uint32_t tag_ = 0;
+  SimTime delay_ = 0;
 };
 
 }  // namespace bcn::sim

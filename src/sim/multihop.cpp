@@ -15,147 +15,190 @@ namespace {
 constexpr std::uint32_t kHotDst = 0;   // routed to CORE port A
 constexpr std::uint32_t kColdDst = 1;  // routed to CORE port B
 
+// All inter-hop wiring of the victim scenario as one typed-event hub:
+// frame hops, back-pressure deliveries, BCN unicast, and the periodic
+// queue monitor are events dispatched back to this object, so the hot
+// loop schedules POD records instead of allocating closures.
+class Scenario : public EventTarget {
+ public:
+  // Channel tags.
+  static constexpr std::uint32_t kTagFrameToEdge = 0;
+  static constexpr std::uint32_t kTagFrameToCore = 1;
+  static constexpr std::uint32_t kTagPauseToEdge = 2;
+  static constexpr std::uint32_t kTagPauseToSources = 3;
+  static constexpr std::uint32_t kTagBcnToSource = 4;
+  static constexpr std::uint32_t kTagMonitor = 5;
+
+  explicit Scenario(const MultihopConfig& config) : config_(config) {
+    // --- CORE ports ------------------------------------------------------
+    SwitchPortConfig hot_cfg;
+    hot_cfg.rate = config.hot_rate;
+    hot_cfg.buffer_bits = config.core_buffer;
+    hot_cfg.pause_duration = 64 * kMicrosecond;
+    if (config.enable_pause) {
+      hot_cfg.pause_threshold =
+          config.pause_threshold_fraction * config.core_buffer;
+    }
+    if (config.enable_bcn) {
+      hot_cfg.bcn_pm = config.bcn_pm;
+      hot_cfg.bcn_q0 = config.bcn_q0;
+      hot_cfg.bcn_w = config.bcn_w;
+      hot_cfg.cpid = 7;
+    }
+    hot_cfg.port_label = kMultihopHotPort;
+    hot_port_ = std::make_unique<SwitchPort>(sim_, hot_cfg);
+
+    SwitchPortConfig cold_cfg;
+    cold_cfg.rate = config.line_rate;
+    cold_cfg.buffer_bits = config.core_buffer;
+    cold_cfg.port_label = kMultihopColdPort;
+    cold_port_ = std::make_unique<SwitchPort>(sim_, cold_cfg);
+
+    // --- edge switch E1 --------------------------------------------------
+    SwitchPortConfig edge_cfg;
+    edge_cfg.rate = config.line_rate;
+    edge_cfg.buffer_bits = config.edge_buffer;
+    edge_cfg.pause_duration = 64 * kMicrosecond;
+    if (config.enable_pause) {
+      edge_cfg.pause_threshold =
+          config.pause_threshold_fraction * config.edge_buffer;
+    }
+    edge_cfg.port_label = kMultihopEdgePort;
+    edge_ = std::make_unique<SwitchPort>(sim_, edge_cfg);
+
+    if (config.observer) {
+      hot_port_->set_observer(config.observer);
+      cold_port_->set_observer(config.observer);
+      edge_->set_observer(config.observer);
+    }
+
+    // E1 forwards to CORE: route by destination after the hop delay.
+    edge_->set_sink(
+        EventLink(sim_, this, kTagFrameToCore, config.propagation_delay));
+
+    // CORE port A back-pressures E1 (PAUSE rolls back one hop).
+    hot_port_->set_pause_upstream(
+        EventLink(sim_, this, kTagPauseToEdge, config.propagation_delay));
+
+    // --- sources ---------------------------------------------------------
+    const int total = config.num_culprits + 1;
+    sources_.reserve(total);
+    for (int i = 0; i < total; ++i) {
+      const bool is_victim = i == config.num_culprits;
+      SourceConfig sc;
+      sc.id = static_cast<SourceId>(i);
+      sc.dst = is_victim ? kColdDst : kHotDst;
+      sc.frame_bits = config.frame_bits;
+      sc.initial_rate = config.offered_rate;
+      sc.regulator.min_rate = 10e6;
+      sc.regulator.max_rate = config.offered_rate;  // offered-load cap
+      sc.regulator.frame_bits = config.frame_bits;
+      // Culprits run QCN-style recovery so negative-only BCN from the hot
+      // port suffices; the victim never receives feedback.
+      sc.regulator.mode = FeedbackMode::QcnSelfIncrease;
+      sc.regulator.qcn_active_increase = 2e6;
+      sources_.push_back(std::make_unique<Source>(sim_, sc));
+    }
+
+    // E1 back-pressures every source.
+    edge_->set_pause_upstream(
+        EventLink(sim_, this, kTagPauseToSources, config.propagation_delay));
+
+    // BCN from the hot port travels back to the culprit source.
+    hot_port_->set_bcn_sender(
+        EventLink(sim_, this, kTagBcnToSource, 2 * config.propagation_delay));
+
+    const EventLink to_edge(sim_, this, kTagFrameToEdge,
+                            config.propagation_delay);
+    for (auto& src : sources_) src->start(to_edge);
+
+    if (config.observer) {
+      auto& timelines = config.observer->timelines();
+      edge_tl_ = &timelines.series("port.edge.queue_bits");
+      hot_tl_ = &timelines.series("port.hot.queue_bits");
+      cold_tl_ = &timelines.series("port.cold.queue_bits");
+    }
+    monitor_timer_ = sim_.schedule_event(0, this, EventKind::Tick, kTagMonitor);
+  }
+
+  void on_event(const SimEvent& event) override {
+    switch (event.tag) {
+      case kTagFrameToEdge:
+        edge_->on_frame(event.payload.frame);
+        break;
+      case kTagFrameToCore:
+        (event.payload.frame.dst == kHotDst ? *hot_port_ : *cold_port_)
+            .on_frame(event.payload.frame);
+        break;
+      case kTagPauseToEdge:
+        edge_->on_pause(event.payload.pause);
+        break;
+      case kTagPauseToSources:
+        for (auto& src : sources_) src->on_pause(event.payload.pause);
+        break;
+      case kTagBcnToSource:
+        if (event.payload.bcn.target < sources_.size()) {
+          sources_[event.payload.bcn.target]->on_bcn(event.payload.bcn);
+        }
+        break;
+      case kTagMonitor:
+        monitor();
+        break;
+    }
+  }
+
+  MultihopResult run() {
+    sim_.run_until(config_.duration);
+
+    MultihopResult result;
+    const double seconds = to_seconds(config_.duration);
+    result.victim_throughput = cold_port_->stats().bits_delivered / seconds;
+    result.culprit_throughput = hot_port_->stats().bits_delivered / seconds;
+    result.core_drops =
+        hot_port_->stats().dropped + cold_port_->stats().dropped;
+    result.edge_drops = edge_->stats().dropped;
+    result.pauses_core_to_edge = hot_port_->stats().pauses_sent;
+    result.pauses_edge_to_sources = edge_->stats().pauses_sent;
+    result.bcn_messages = hot_port_->stats().bcn_sent;
+    result.edge_peak_queue = edge_peak_;
+    result.hot_peak_queue = hot_peak_;
+    result.events_executed = sim_.executed();
+    if (config_.metrics) sim_.export_metrics(*config_.metrics);
+    return result;
+  }
+
+ private:
+  void monitor() {
+    edge_peak_ = std::max(edge_peak_, edge_->queue_bits());
+    hot_peak_ = std::max(hot_peak_, hot_port_->queue_bits());
+    if (config_.observer) {
+      const double t = to_seconds(sim_.now());
+      edge_tl_->record(t, edge_->queue_bits());
+      hot_tl_->record(t, hot_port_->queue_bits());
+      cold_tl_->record(t, cold_port_->queue_bits());
+    }
+    sim_.reschedule(monitor_timer_, sim_.now() + 20 * kMicrosecond);
+  }
+
+  MultihopConfig config_;
+  Simulator sim_;
+  std::unique_ptr<SwitchPort> hot_port_;
+  std::unique_ptr<SwitchPort> cold_port_;
+  std::unique_ptr<SwitchPort> edge_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  EventId monitor_timer_ = kInvalidEvent;
+  double edge_peak_ = 0.0;
+  double hot_peak_ = 0.0;
+  obs::Timeline* edge_tl_ = nullptr;
+  obs::Timeline* hot_tl_ = nullptr;
+  obs::Timeline* cold_tl_ = nullptr;
+};
+
 }  // namespace
 
 MultihopResult run_victim_scenario(const MultihopConfig& config) {
-  Simulator sim;
-
-  // --- CORE ports ------------------------------------------------------
-  SwitchPortConfig hot_cfg;
-  hot_cfg.rate = config.hot_rate;
-  hot_cfg.buffer_bits = config.core_buffer;
-  hot_cfg.pause_duration = 64 * kMicrosecond;
-  if (config.enable_pause) {
-    hot_cfg.pause_threshold =
-        config.pause_threshold_fraction * config.core_buffer;
-  }
-  if (config.enable_bcn) {
-    hot_cfg.bcn_pm = config.bcn_pm;
-    hot_cfg.bcn_q0 = config.bcn_q0;
-    hot_cfg.bcn_w = config.bcn_w;
-    hot_cfg.cpid = 7;
-  }
-  hot_cfg.port_label = kMultihopHotPort;
-  SwitchPort hot_port(sim, hot_cfg);
-
-  SwitchPortConfig cold_cfg;
-  cold_cfg.rate = config.line_rate;
-  cold_cfg.buffer_bits = config.core_buffer;
-  cold_cfg.port_label = kMultihopColdPort;
-  SwitchPort cold_port(sim, cold_cfg);
-
-  // --- edge switch E1 ----------------------------------------------------
-  SwitchPortConfig edge_cfg;
-  edge_cfg.rate = config.line_rate;
-  edge_cfg.buffer_bits = config.edge_buffer;
-  edge_cfg.pause_duration = 64 * kMicrosecond;
-  if (config.enable_pause) {
-    edge_cfg.pause_threshold =
-        config.pause_threshold_fraction * config.edge_buffer;
-  }
-  edge_cfg.port_label = kMultihopEdgePort;
-  SwitchPort edge(sim, edge_cfg);
-
-  if (config.observer) {
-    hot_port.set_observer(config.observer);
-    cold_port.set_observer(config.observer);
-    edge.set_observer(config.observer);
-  }
-
-  // E1 forwards to CORE: route by destination after the hop delay.
-  edge.set_sink([&](const Frame& frame) {
-    sim.schedule_after(config.propagation_delay, [&, frame] {
-      (frame.dst == kHotDst ? hot_port : cold_port).on_frame(frame);
-    });
-  });
-
-  // CORE port A back-pressures E1 (PAUSE rolls back one hop).
-  hot_port.set_pause_upstream([&](const PauseFrame& pause) {
-    sim.schedule_after(config.propagation_delay,
-                       [&, pause] { edge.on_pause(pause); });
-  });
-
-  // --- sources -----------------------------------------------------------
-  std::vector<std::unique_ptr<Source>> sources;
-  const int total = config.num_culprits + 1;
-  sources.reserve(total);
-  for (int i = 0; i < total; ++i) {
-    const bool is_victim = i == config.num_culprits;
-    SourceConfig sc;
-    sc.id = static_cast<SourceId>(i);
-    sc.dst = is_victim ? kColdDst : kHotDst;
-    sc.frame_bits = config.frame_bits;
-    sc.initial_rate = config.offered_rate;
-    sc.regulator.min_rate = 10e6;
-    sc.regulator.max_rate = config.offered_rate;  // offered-load cap
-    sc.regulator.frame_bits = config.frame_bits;
-    // Culprits run QCN-style recovery so negative-only BCN from the hot
-    // port suffices; the victim never receives feedback.
-    sc.regulator.mode = FeedbackMode::QcnSelfIncrease;
-    sc.regulator.qcn_active_increase = 2e6;
-    sources.push_back(std::make_unique<Source>(sim, sc));
-  }
-
-  // E1 back-pressures every source.
-  edge.set_pause_upstream([&](const PauseFrame& pause) {
-    sim.schedule_after(config.propagation_delay, [&, pause] {
-      for (auto& src : sources) src->on_pause(pause);
-    });
-  });
-
-  // BCN from the hot port travels back to the culprit source.
-  hot_port.set_bcn_sender([&](const BcnMessage& msg) {
-    sim.schedule_after(2 * config.propagation_delay, [&, msg] {
-      if (msg.target < sources.size()) sources[msg.target]->on_bcn(msg);
-    });
-  });
-
-  for (auto& src : sources) {
-    src->start([&](const Frame& frame) {
-      sim.schedule_after(config.propagation_delay,
-                         [&, frame] { edge.on_frame(frame); });
-    });
-  }
-
-  // Peak-queue tracking, plus per-port queue timelines when observed.
-  double edge_peak = 0.0;
-  double hot_peak = 0.0;
-  obs::Timeline* edge_tl = nullptr;
-  obs::Timeline* hot_tl = nullptr;
-  obs::Timeline* cold_tl = nullptr;
-  if (config.observer) {
-    auto& timelines = config.observer->timelines();
-    edge_tl = &timelines.series("port.edge.queue_bits");
-    hot_tl = &timelines.series("port.hot.queue_bits");
-    cold_tl = &timelines.series("port.cold.queue_bits");
-  }
-  std::function<void()> monitor = [&] {
-    edge_peak = std::max(edge_peak, edge.queue_bits());
-    hot_peak = std::max(hot_peak, hot_port.queue_bits());
-    if (config.observer) {
-      const double t = to_seconds(sim.now());
-      edge_tl->record(t, edge.queue_bits());
-      hot_tl->record(t, hot_port.queue_bits());
-      cold_tl->record(t, cold_port.queue_bits());
-    }
-    sim.schedule_after(20 * kMicrosecond, monitor);
-  };
-  sim.schedule_at(0, monitor);
-
-  sim.run_until(config.duration);
-
-  MultihopResult result;
-  const double seconds = to_seconds(config.duration);
-  result.victim_throughput = cold_port.stats().bits_delivered / seconds;
-  result.culprit_throughput = hot_port.stats().bits_delivered / seconds;
-  result.core_drops = hot_port.stats().dropped + cold_port.stats().dropped;
-  result.edge_drops = edge.stats().dropped;
-  result.pauses_core_to_edge = hot_port.stats().pauses_sent;
-  result.pauses_edge_to_sources = edge.stats().pauses_sent;
-  result.bcn_messages = hot_port.stats().bcn_sent;
-  result.edge_peak_queue = edge_peak;
-  result.hot_peak_queue = hot_peak;
-  return result;
+  Scenario scenario(config);
+  return scenario.run();
 }
 
 }  // namespace bcn::sim

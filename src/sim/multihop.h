@@ -17,9 +17,14 @@
 // full rate.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/time.h"
+
+namespace bcn::obs {
+class MetricsRegistry;
+}
 
 namespace bcn::sim {
 
@@ -55,6 +60,9 @@ struct MultihopConfig {
   // queue timelines ("port.edge/hot/cold.queue_bits") and the BCN/PAUSE
   // event trace into this SimStats.
   SimStats* observer = nullptr;
+  // When set, the run exports its scheduler gauges/counters (heap high
+  // water, pool occupancy, cancels, ...) under "sim." before returning.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct MultihopResult {
@@ -67,6 +75,8 @@ struct MultihopResult {
   std::uint64_t bcn_messages = 0;
   double edge_peak_queue = 0.0;
   double hot_peak_queue = 0.0;
+  // Simulator events dispatched over the run (throughput benchmarking).
+  std::size_t events_executed = 0;
 };
 
 // Builds, runs and tears down one victim scenario.

@@ -67,43 +67,24 @@ Network::Network(NetworkConfig config) : config_(config) {
     sources_.push_back(std::make_unique<Source>(sim_, sc));
   }
 
+  if (!config_.record_events) stats_.events().set_enabled(false);
+
   // Backward channel: BCN unicast to the tagged source, PAUSE broadcast to
   // every upstream sender, both after the propagation delay.  Deliveries
-  // are traced as *Applied events, closing the causal pair with the
-  // switch-side *Sent records.
-  switch_->set_bcn_sender([this](const BcnMessage& msg) {
-    sim_.schedule_after(config_.propagation_delay, [this, msg] {
-      if (msg.target >= sources_.size()) return;
-      sources_[msg.target]->on_bcn(msg);
-      stats_.events().record({to_seconds(sim_.now()),
-                              obs::EventKind::BcnApplied, msg.cpid,
-                              msg.target, msg.sigma,
-                              sources_[msg.target]->rate()});
-    });
-  });
-  switch_->set_pause_sender([this](const PauseFrame& pause) {
-    sim_.schedule_after(config_.propagation_delay, [this, pause] {
-      for (auto& src : sources_) {
-        const bool was_paused = src->is_paused(sim_.now());
-        src->on_pause(pause);
-        if (!was_paused) {
-          stats_.events().record({to_seconds(sim_.now()),
-                                  obs::EventKind::PauseApplied, 0, src->id(),
-                                  0.0, to_seconds(pause.duration)});
-        }
-      }
-    });
-  });
+  // are typed events dispatched back to this network and traced as
+  // *Applied events, closing the causal pair with the switch-side *Sent
+  // records.
+  switch_->set_bcn_sender(
+      EventLink(sim_, this, kTagBcnToSource, config_.propagation_delay));
+  switch_->set_pause_sender(
+      EventLink(sim_, this, kTagPauseToSources, config_.propagation_delay));
 
   // Forward channel: source frames reach the switch after the propagation
   // delay (serialization is already captured by the pacing gap).
+  const EventLink to_switch(sim_, this, kTagFrameToSwitch,
+                            config_.propagation_delay);
   for (auto& src : sources_) {
-    src->start([this](const Frame& frame) {
-      ++stats_.counters.frames_sent;
-      sim_.schedule_after(config_.propagation_delay, [this, frame] {
-        switch_->on_frame(frame);
-      });
-    });
+    src->start(to_switch, &stats_.counters.frames_sent);
   }
 
   if (config_.record_timelines) {
@@ -116,6 +97,43 @@ Network::Network(NetworkConfig config) : config_(config) {
   }
 
   record_sample();
+}
+
+void Network::on_event(const SimEvent& event) {
+  switch (event.tag) {
+    case kTagFrameToSwitch:
+      switch_->on_frame(event.payload.frame);
+      break;
+    case kTagBcnToSource:
+      deliver_bcn(event.payload.bcn);
+      break;
+    case kTagPauseToSources:
+      deliver_pause(event.payload.pause);
+      break;
+    case kTagSampleTick:
+      record_sample();
+      break;
+  }
+}
+
+void Network::deliver_bcn(const BcnMessage& msg) {
+  if (msg.target >= sources_.size()) return;
+  sources_[msg.target]->on_bcn(msg);
+  stats_.events().record({to_seconds(sim_.now()), obs::EventKind::BcnApplied,
+                          msg.cpid, msg.target, msg.sigma,
+                          sources_[msg.target]->rate()});
+}
+
+void Network::deliver_pause(const PauseFrame& pause) {
+  for (auto& src : sources_) {
+    const bool was_paused = src->is_paused(sim_.now());
+    src->on_pause(pause);
+    if (!was_paused) {
+      stats_.events().record({to_seconds(sim_.now()),
+                              obs::EventKind::PauseApplied, 0, src->id(), 0.0,
+                              to_seconds(pause.duration)});
+    }
+  }
 }
 
 double Network::aggregate_rate() const {
@@ -133,7 +151,8 @@ void Network::record_sample() {
       flow_rate_timelines_[i]->record(t, sources_[i]->rate());
     }
   }
-  sim_.schedule_after(config_.record_interval, [this] { record_sample(); });
+  sample_timer_ = sim_.arm(sample_timer_, sim_.now() + config_.record_interval,
+                           this, EventKind::Tick, kTagSampleTick);
 }
 
 void Network::run(SimTime duration) {

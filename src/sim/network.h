@@ -47,14 +47,22 @@ struct NetworkConfig {
   // default; large sweeps that only need the aggregate trace can turn it
   // off to save the N-per-sample memory.
   bool record_timelines = true;
+  // Causal BCN / PAUSE event trace (SimStats::events()).  On by default;
+  // recording sits on the per-sample fast path, so maximum-throughput runs
+  // (the sim-throughput benchmark) turn it off.
+  bool record_events = true;
 };
 
-class Network {
+class Network : public EventTarget {
  public:
   explicit Network(NetworkConfig config);
 
   // Runs the simulation for `duration` of simulated time (cumulative).
   void run(SimTime duration);
+
+  // Typed-event dispatch: forward frame deliveries, backward BCN / PAUSE
+  // deliveries, and the periodic sample tick.
+  void on_event(const SimEvent& event) override;
 
   const SimStats& stats() const { return stats_; }
   const CoreSwitch& core_switch() const { return *switch_; }
@@ -67,7 +75,15 @@ class Network {
   double queue_bits() const { return switch_->queue_bits(); }
 
  private:
+  // Channel tags carried in this network's typed events.
+  static constexpr std::uint32_t kTagFrameToSwitch = 0;
+  static constexpr std::uint32_t kTagBcnToSource = 1;
+  static constexpr std::uint32_t kTagPauseToSources = 2;
+  static constexpr std::uint32_t kTagSampleTick = 3;
+
   void record_sample();
+  void deliver_bcn(const BcnMessage& msg);
+  void deliver_pause(const PauseFrame& pause);
 
   NetworkConfig config_;
   Simulator sim_;
@@ -75,6 +91,8 @@ class Network {
   std::unique_ptr<CoreSwitch> switch_;
   std::vector<std::unique_ptr<Source>> sources_;
   SimTime run_until_ = 0;
+  // Reused periodic sample timer.
+  EventId sample_timer_ = kInvalidEvent;
   // Cached timeline handles (stable references into stats_.timelines())
   // so per-sample recording does not re-resolve series names.
   obs::Timeline* queue_timeline_ = nullptr;

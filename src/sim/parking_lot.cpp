@@ -9,105 +9,147 @@
 #include "sim/source.h"
 
 namespace bcn::sim {
+namespace {
 
-ParkingLotResult run_parking_lot(const ParkingLotConfig& config) {
-  Simulator sim;
-  SimStats stats1;
-  SimStats stats2;
+// Inter-hop wiring of the two-congestion-point series as a typed-event
+// hub: frame hops and BCN deliveries are POD events dispatched back here.
+class Scenario : public EventTarget {
+ public:
+  static constexpr std::uint32_t kTagFrameToCp1 = 0;
+  static constexpr std::uint32_t kTagFrameToCp2 = 1;
+  static constexpr std::uint32_t kTagBcnToSource = 2;
+  static constexpr std::uint32_t kTagMonitor = 3;
 
-  auto switch_config = [&](CongestionPointId cpid, double capacity) {
-    CoreSwitchConfig c;
-    c.cpid = cpid;
-    c.capacity = capacity;
-    c.buffer_bits = config.buffer;
-    c.q0 = config.q0;
-    c.qsc = config.qsc;
-    c.w = config.w;
-    c.pm = config.pm;
-    c.enable_pause = false;       // isolate the BCN dynamics
-    c.positive_requires_rrt = true;  // the draft's CPID-matching rule
-    return c;
-  };
-  CoreSwitch cp1(sim, switch_config(1, config.capacity1), stats1);
-  CoreSwitch cp2(sim, switch_config(2, config.capacity2), stats2);
+  explicit Scenario(const ParkingLotConfig& config) : config_(config) {
+    auto switch_config = [&](CongestionPointId cpid, double capacity) {
+      CoreSwitchConfig c;
+      c.cpid = cpid;
+      c.capacity = capacity;
+      c.buffer_bits = config.buffer;
+      c.q0 = config.q0;
+      c.qsc = config.qsc;
+      c.w = config.w;
+      c.pm = config.pm;
+      c.enable_pause = false;          // isolate the BCN dynamics
+      c.positive_requires_rrt = true;  // the draft's CPID-matching rule
+      return c;
+    };
+    cp1_ = std::make_unique<CoreSwitch>(sim_, switch_config(1, config.capacity1),
+                                        stats1_);
+    cp2_ = std::make_unique<CoreSwitch>(sim_, switch_config(2, config.capacity2),
+                                        stats2_);
 
-  // CP1 feeds CP2 after the hop delay.
-  cp1.set_sink([&](const Frame& frame) {
-    sim.schedule_after(config.propagation_delay,
-                       [&, frame] { cp2.on_frame(frame); });
-  });
+    if (!config.record_events) {
+      stats1_.events().set_enabled(false);
+      stats2_.events().set_enabled(false);
+    }
 
-  const int total = config.group_a + config.group_b;
-  std::vector<std::unique_ptr<Source>> sources;
-  sources.reserve(total);
-  for (int i = 0; i < total; ++i) {
-    SourceConfig sc;
-    sc.id = static_cast<SourceId>(i);
-    sc.frame_bits = config.frame_bits;
-    sc.initial_rate = config.initial_rate;
-    sc.regulator.gi = config.gi;
-    sc.regulator.gd = config.gd;
-    sc.regulator.ru = config.ru;
-    sc.regulator.min_rate = 1e6;
-    sc.regulator.max_rate =
-        std::max(config.capacity1, config.capacity2);
-    sc.regulator.mode = FeedbackMode::FluidMatched;
-    sources.push_back(std::make_unique<Source>(sim, sc));
+    // CP1 feeds CP2 after the hop delay.
+    cp1_->set_sink(
+        EventLink(sim_, this, kTagFrameToCp2, config.propagation_delay));
+
+    const int total = config.group_a + config.group_b;
+    sources_.reserve(total);
+    for (int i = 0; i < total; ++i) {
+      SourceConfig sc;
+      sc.id = static_cast<SourceId>(i);
+      sc.frame_bits = config.frame_bits;
+      sc.initial_rate = config.initial_rate;
+      sc.regulator.gi = config.gi;
+      sc.regulator.gd = config.gd;
+      sc.regulator.ru = config.ru;
+      sc.regulator.min_rate = 1e6;
+      sc.regulator.max_rate = std::max(config.capacity1, config.capacity2);
+      sc.regulator.mode = FeedbackMode::FluidMatched;
+      sources_.push_back(std::make_unique<Source>(sim_, sc));
+    }
+
+    // Both congestion points unicast BCN to the sampled frame's source.
+    const EventLink bcn_to_source(sim_, this, kTagBcnToSource,
+                                  config.propagation_delay);
+    cp1_->set_bcn_sender(bcn_to_source);
+    cp2_->set_bcn_sender(bcn_to_source);
+
+    // Group A enters at CP1, group B directly at CP2.
+    for (int i = 0; i < total; ++i) {
+      const std::uint32_t tag =
+          i < config.group_a ? kTagFrameToCp1 : kTagFrameToCp2;
+      sources_[i]->start(
+          EventLink(sim_, this, tag, config.propagation_delay));
+    }
+
+    monitor_timer_ = sim_.schedule_event(0, this, EventKind::Tick, kTagMonitor);
   }
 
-  // Both congestion points unicast BCN to the sampled frame's source.
-  const auto bcn_to_source = [&](const BcnMessage& msg) {
-    sim.schedule_after(config.propagation_delay, [&, msg] {
-      if (msg.target < sources.size()) sources[msg.target]->on_bcn(msg);
-    });
-  };
-  cp1.set_bcn_sender(bcn_to_source);
-  cp2.set_bcn_sender(bcn_to_source);
-
-  // Group A enters at CP1, group B directly at CP2.
-  for (int i = 0; i < total; ++i) {
-    const bool in_group_a = i < config.group_a;
-    sources[i]->start([&, in_group_a](const Frame& frame) {
-      sim.schedule_after(config.propagation_delay, [&, frame] {
-        (in_group_a ? cp1 : cp2).on_frame(frame);
-      });
-    });
-  }
-
-  // Peak-queue monitor.
-  double peak1 = 0.0;
-  double peak2 = 0.0;
-  std::function<void()> monitor = [&] {
-    peak1 = std::max(peak1, cp1.queue_bits());
-    peak2 = std::max(peak2, cp2.queue_bits());
-    sim.schedule_after(20 * kMicrosecond, monitor);
-  };
-  sim.schedule_at(0, monitor);
-
-  sim.run_until(config.duration);
-
-  ParkingLotResult r;
-  for (int i = 0; i < total; ++i) {
-    if (i < config.group_a) {
-      r.group_a_rate += sources[i]->rate();
-      if (sources[i]->regulator().is_associated()) {
-        (sources[i]->regulator().cpid() == 1 ? r.group_a_on_cp1
-                                             : r.group_a_on_cp2)++;
-      }
-    } else {
-      r.group_b_rate += sources[i]->rate();
+  void on_event(const SimEvent& event) override {
+    switch (event.tag) {
+      case kTagFrameToCp1:
+        cp1_->on_frame(event.payload.frame);
+        break;
+      case kTagFrameToCp2:
+        cp2_->on_frame(event.payload.frame);
+        break;
+      case kTagBcnToSource:
+        if (event.payload.bcn.target < sources_.size()) {
+          sources_[event.payload.bcn.target]->on_bcn(event.payload.bcn);
+        }
+        break;
+      case kTagMonitor:
+        peak1_ = std::max(peak1_, cp1_->queue_bits());
+        peak2_ = std::max(peak2_, cp2_->queue_bits());
+        sim_.reschedule(monitor_timer_, sim_.now() + 20 * kMicrosecond);
+        break;
     }
   }
-  if (config.group_a > 0) r.group_a_rate /= config.group_a;
-  if (config.group_b > 0) r.group_b_rate /= config.group_b;
-  r.cp1_peak_queue = peak1;
-  r.cp2_peak_queue = peak2;
-  r.cp1_negatives = stats1.counters.bcn_negative;
-  r.cp2_negatives = stats2.counters.bcn_negative;
-  r.cp1_positives = stats1.counters.bcn_positive;
-  r.cp2_positives = stats2.counters.bcn_positive;
-  r.drops = stats1.counters.frames_dropped + stats2.counters.frames_dropped;
-  return r;
+
+  ParkingLotResult run() {
+    sim_.run_until(config_.duration);
+
+    ParkingLotResult r;
+    const int total = config_.group_a + config_.group_b;
+    for (int i = 0; i < total; ++i) {
+      if (i < config_.group_a) {
+        r.group_a_rate += sources_[i]->rate();
+        if (sources_[i]->regulator().is_associated()) {
+          (sources_[i]->regulator().cpid() == 1 ? r.group_a_on_cp1
+                                                : r.group_a_on_cp2)++;
+        }
+      } else {
+        r.group_b_rate += sources_[i]->rate();
+      }
+    }
+    if (config_.group_a > 0) r.group_a_rate /= config_.group_a;
+    if (config_.group_b > 0) r.group_b_rate /= config_.group_b;
+    r.cp1_peak_queue = peak1_;
+    r.cp2_peak_queue = peak2_;
+    r.cp1_negatives = stats1_.counters.bcn_negative;
+    r.cp2_negatives = stats2_.counters.bcn_negative;
+    r.cp1_positives = stats1_.counters.bcn_positive;
+    r.cp2_positives = stats2_.counters.bcn_positive;
+    r.drops =
+        stats1_.counters.frames_dropped + stats2_.counters.frames_dropped;
+    r.events_executed = sim_.executed();
+    return r;
+  }
+
+ private:
+  ParkingLotConfig config_;
+  Simulator sim_;
+  SimStats stats1_;
+  SimStats stats2_;
+  std::unique_ptr<CoreSwitch> cp1_;
+  std::unique_ptr<CoreSwitch> cp2_;
+  std::vector<std::unique_ptr<Source>> sources_;
+  EventId monitor_timer_ = kInvalidEvent;
+  double peak1_ = 0.0;
+  double peak2_ = 0.0;
+};
+
+}  // namespace
+
+ParkingLotResult run_parking_lot(const ParkingLotConfig& config) {
+  Scenario scenario(config);
+  return scenario.run();
 }
 
 }  // namespace bcn::sim

@@ -11,6 +11,7 @@
 // point -- so a flow bottlenecked at CP1 is never sped up by an idle CP2.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/time.h"
@@ -34,6 +35,9 @@ struct ParkingLotConfig {
   double ru = 8e6;
   SimTime propagation_delay = 500;
   SimTime duration = 60 * kMillisecond;
+  // Causal BCN event traces at both congestion points; off for
+  // maximum-throughput benchmark runs.
+  bool record_events = true;
 };
 
 struct ParkingLotResult {
@@ -49,6 +53,8 @@ struct ParkingLotResult {
   int group_a_on_cp1 = 0;
   int group_a_on_cp2 = 0;
   std::uint64_t drops = 0;
+  // Simulator events dispatched over the run (throughput benchmarking).
+  std::size_t events_executed = 0;
 };
 
 ParkingLotResult run_parking_lot(const ParkingLotConfig& config);

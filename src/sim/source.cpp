@@ -7,54 +7,76 @@ namespace bcn::sim {
 Source::Source(Simulator& sim, SourceConfig config)
     : sim_(sim),
       config_(config),
-      regulator_(config.regulator, config.initial_rate, config.start_at) {}
+      regulator_(config.regulator, config.initial_rate, config.start_at) {
+  update_gap();
+}
 
 void Source::start(FrameSender sender) {
   sender_ = std::move(sender);
   schedule_next(config_.start_at);
   if (config_.regulator.mode == FeedbackMode::QcnSelfIncrease) {
-    sim_.schedule_at(config_.start_at + config_.qcn_increase_period,
-                     [this] { qcn_tick(); });
+    qcn_timer_ = sim_.schedule_event(
+        config_.start_at + config_.qcn_increase_period, this, EventKind::Tick,
+        kTagQcnTick);
+  }
+}
+
+void Source::start(const EventLink& link, std::uint64_t* sent_counter) {
+  link_ = link;
+  sent_counter_ = sent_counter;
+  schedule_next(config_.start_at);
+  if (config_.regulator.mode == FeedbackMode::QcnSelfIncrease) {
+    qcn_timer_ = sim_.schedule_event(
+        config_.start_at + config_.qcn_increase_period, this, EventKind::Tick,
+        kTagQcnTick);
+  }
+}
+
+void Source::on_event(const SimEvent& event) {
+  if (event.tag == kTagSend) {
+    send_frame();
+  } else {
+    qcn_tick();
   }
 }
 
 void Source::on_bcn(const BcnMessage& message) {
   const double old_rate = regulator_.rate();
   regulator_.on_bcn(message, sim_.now());
-  if (regulator_.rate() != old_rate) repace();
+  if (regulator_.rate() != old_rate) {
+    update_gap();
+    repace();
+  }
 }
 
 void Source::repace() {
-  if (pending_send_ == kInvalidEvent) return;
-  sim_.cancel(pending_send_);
-  pending_send_ = kInvalidEvent;
-  const SimTime gap = transmission_time(config_.frame_bits, regulator_.rate());
-  schedule_next(last_send_ + gap);
+  if (send_timer_ == kInvalidEvent) return;
+  schedule_next(last_send_ + gap_);
 }
 
 void Source::qcn_tick() {
   const double old_rate = regulator_.rate();
   regulator_.self_increase();
-  if (regulator_.rate() != old_rate) repace();
-  sim_.schedule_after(config_.qcn_increase_period, [this] { qcn_tick(); });
+  if (regulator_.rate() != old_rate) {
+    update_gap();
+    repace();
+  }
+  // Re-arm the tick's own slot instead of scheduling a fresh event.
+  sim_.reschedule(qcn_timer_, sim_.now() + config_.qcn_increase_period);
 }
 
 void Source::on_pause(const PauseFrame& pause) {
   paused_until_ = std::max(paused_until_, sim_.now() + pause.duration);
-  if (pending_send_ != kInvalidEvent) {
-    sim_.cancel(pending_send_);
-    pending_send_ = kInvalidEvent;
-    schedule_next(paused_until_);
-  }
+  if (send_timer_ != kInvalidEvent) schedule_next(paused_until_);
 }
 
 void Source::schedule_next(SimTime earliest) {
   const SimTime when = std::max({earliest, sim_.now(), paused_until_});
-  pending_send_ = sim_.schedule_at(when, [this] { send_frame(); });
+  send_timer_ = sim_.arm(send_timer_, when, this, EventKind::SourceToken,
+                         kTagSend);
 }
 
 void Source::send_frame() {
-  pending_send_ = kInvalidEvent;
   if (sim_.now() < paused_until_) {
     schedule_next(paused_until_);
     return;
@@ -77,9 +99,13 @@ void Source::send_frame() {
   frame.rrt_cpid = regulator_.cpid();
   frame.sent_at = sim_.now();
   last_send_ = sim_.now();
-  if (sender_) sender_(frame);
-  const SimTime gap = transmission_time(config_.frame_bits, regulator_.rate());
-  schedule_next(last_send_ + gap);
+  if (link_) {
+    if (sent_counter_) ++*sent_counter_;
+    link_.send(frame);
+  } else if (sender_) {
+    sender_(frame);
+  }
+  schedule_next(last_send_ + gap_);
 }
 
 }  // namespace bcn::sim

@@ -39,7 +39,7 @@ struct SourceConfig {
   SimTime off_time = 5 * kMillisecond;  // OnOff: silence length
 };
 
-class Source {
+class Source : public EventTarget {
  public:
   using FrameSender = std::function<void(const Frame&)>;
 
@@ -49,8 +49,16 @@ class Source {
   // layer adds propagation delay and delivers to the switch).
   void start(FrameSender sender);
 
+  // Fast-path variant: frames go out over a precomputed typed-event link,
+  // optionally bumping `sent_counter` at send time (the network's
+  // frames_sent accounting), with no std::function hop per frame.
+  void start(const EventLink& link, std::uint64_t* sent_counter = nullptr);
+
   void on_bcn(const BcnMessage& message);
   void on_pause(const PauseFrame& pause);
+
+  // Typed-event dispatch: the pacing token and the QCN self-increase tick.
+  void on_event(const SimEvent& event) override;
 
   SourceId id() const { return config_.id; }
   double rate() const { return regulator_.rate(); }
@@ -60,16 +68,32 @@ class Source {
   bool is_paused(SimTime now) const { return now < paused_until_; }
 
  private:
+  // Timer tags carried in this source's typed events.
+  static constexpr std::uint32_t kTagSend = 0;
+  static constexpr std::uint32_t kTagQcnTick = 1;
+
   void send_frame();
   void schedule_next(SimTime earliest);
-  void repace();     // re-schedule the pending send under the current rate
+  void repace();     // re-pace the pending send under the current rate
   void qcn_tick();   // periodic self-increase (QcnSelfIncrease mode)
+  // The inter-frame gap depends only on the regulator rate, which changes
+  // orders of magnitude less often than frames are sent; cache it so the
+  // per-frame path avoids a floating-point divide.
+  void update_gap() {
+    gap_ = transmission_time(config_.frame_bits, regulator_.rate());
+  }
 
   Simulator& sim_;
   SourceConfig config_;
   RateRegulator regulator_;
   FrameSender sender_;
-  EventId pending_send_ = kInvalidEvent;
+  EventLink link_;
+  std::uint64_t* sent_counter_ = nullptr;
+  // The pacing timer's slot is reused for the lifetime of the source:
+  // send_frame re-arms it, repace/on_pause move it in place.
+  EventId send_timer_ = kInvalidEvent;
+  EventId qcn_timer_ = kInvalidEvent;
+  SimTime gap_ = 0;  // cached transmission_time(frame_bits, rate)
   SimTime last_send_ = 0;
   SimTime paused_until_ = 0;
   std::uint64_t frames_sent_ = 0;

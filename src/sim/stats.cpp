@@ -54,26 +54,38 @@ double SimStats::throughput(SimTime horizon) const {
   return bits / to_seconds(window);
 }
 
+std::size_t SimStats::delivered_source_count() const {
+  std::size_t n = 0;
+  for (const std::uint8_t seen : per_source_seen_) n += seen;
+  return n;
+}
+
 std::vector<std::pair<SourceId, double>> SimStats::per_source_bits_sorted()
     const {
-  std::vector<std::pair<SourceId, double>> out(per_source_bits_.begin(),
-                                               per_source_bits_.end());
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // The dense store is already in SourceId order; just drop the holes.
+  std::vector<std::pair<SourceId, double>> out;
+  out.reserve(per_source_bits_.size());
+  for (std::size_t i = 0; i < per_source_bits_.size(); ++i) {
+    if (per_source_seen_[i]) {
+      out.emplace_back(static_cast<SourceId>(i), per_source_bits_[i]);
+    }
+  }
   return out;
 }
 
 double SimStats::jain_fairness_index() const {
-  if (per_source_bits_.empty()) return 1.0;
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (const auto& [id, bits] : per_source_bits_) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < per_source_bits_.size(); ++i) {
+    if (!per_source_seen_[i]) continue;
+    const double bits = per_source_bits_[i];
     sum += bits;
     sum_sq += bits * bits;
+    ++n;
   }
-  if (sum_sq <= 0.0) return 1.0;
-  const double n = static_cast<double>(per_source_bits_.size());
-  return sum * sum / (n * sum_sq);
+  if (n == 0 || sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(n) * sum_sq);
 }
 
 void SimStats::export_metrics(obs::MetricsRegistry& registry,

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -77,15 +76,21 @@ class SimStats {
   // x = q - q0, y = aggregate_rate - C for cross-validation.
   ode::Trajectory to_phase_trajectory(double q0, double capacity) const;
 
-  // Per-flow accounting (filled by the switch on delivery).
+  // Per-flow accounting (filled by the switch on delivery).  Runs on the
+  // per-frame fast path, so the store is a dense vector indexed by
+  // SourceId rather than a hash map.
   void add_delivered(SourceId source, double bits) {
+    if (source >= per_source_bits_.size()) {
+      per_source_bits_.resize(source + 1, 0.0);
+      per_source_seen_.resize(source + 1, 0);
+    }
     per_source_bits_[source] += bits;
+    per_source_seen_[source] = 1;
   }
-  const std::unordered_map<SourceId, double>& per_source_bits() const {
-    return per_source_bits_;
-  }
-  // Export-friendly view: sorted by SourceId so emitters are
-  // deterministic regardless of hash-map iteration order.
+  // Sources that delivered at least one frame (including zero-bit ones).
+  std::size_t delivered_source_count() const;
+  // Export-friendly view: (SourceId, bits) for every source that
+  // delivered, sorted by SourceId.
   std::vector<std::pair<SourceId, double>> per_source_bits_sorted() const;
 
   // Jain fairness index over per-source delivered bits:
@@ -117,7 +122,8 @@ class SimStats {
 
  private:
   std::vector<TracePoint> trace_;
-  std::unordered_map<SourceId, double> per_source_bits_;
+  std::vector<double> per_source_bits_;   // indexed by SourceId
+  std::vector<std::uint8_t> per_source_seen_;
   obs::TimelineSet timelines_;
   obs::EventTrace events_;
   obs::Histogram sigma_histogram_;

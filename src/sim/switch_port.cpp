@@ -34,7 +34,7 @@ void SwitchPort::on_pause(const PauseFrame& pause) {
 }
 
 void SwitchPort::maybe_sample(const Frame& frame) {
-  if (sample_every_ == 0 || !bcn_) return;
+  if (sample_every_ == 0 || !(bcn_link_ || bcn_)) return;
   if (++arrivals_since_sample_ < sample_every_) return;
   arrivals_since_sample_ = 0;
   const double delta_q = queue_bits_ - queue_at_last_sample_;
@@ -52,13 +52,18 @@ void SwitchPort::maybe_sample(const Frame& frame) {
                                   obs::EventKind::BcnNegativeSent,
                                   config_.cpid, frame.source, sigma, 0.0});
     }
-    bcn_({.cpid = config_.cpid, .target = frame.source,
-          .sigma = sigma, .sent_at = sim_.now()});
+    const BcnMessage message{.cpid = config_.cpid, .target = frame.source,
+                             .sigma = sigma, .sent_at = sim_.now()};
+    if (bcn_link_) {
+      bcn_link_.send(message);
+    } else {
+      bcn_(message);
+    }
   }
 }
 
 void SwitchPort::maybe_pause_upstream() {
-  if (config_.pause_threshold <= 0.0 || !pause_) return;
+  if (config_.pause_threshold <= 0.0 || !(pause_link_ || pause_)) return;
   if (queue_bits_ < config_.pause_threshold) return;
   if (sim_.now() < pause_cooldown_until_) return;
   pause_cooldown_until_ = sim_.now() + config_.pause_duration;
@@ -72,7 +77,24 @@ void SwitchPort::maybe_pause_upstream() {
                                 obs::EventKind::PauseOff, config_.port_label,
                                 0, 0.0, duration_s});
   }
-  pause_({config_.pause_duration, sim_.now()});
+  if (pause_link_) {
+    pause_link_.send(PauseFrame{config_.pause_duration, sim_.now()});
+  } else {
+    pause_({config_.pause_duration, sim_.now()});
+  }
+}
+
+void SwitchPort::on_event(const SimEvent& event) {
+  if (event.tag == kTagDepart) {
+    finish_service();
+  } else {
+    resume_after_pause();
+  }
+}
+
+void SwitchPort::resume_after_pause() {
+  serving_ = false;
+  if (sim_.now() >= paused_until_) start_service();
 }
 
 void SwitchPort::start_service() {
@@ -82,16 +104,14 @@ void SwitchPort::start_service() {
   }
   if (sim_.now() < paused_until_) {
     serving_ = true;  // reserve the server; resume when the pause expires
-    sim_.schedule_at(paused_until_, [this] {
-      serving_ = false;
-      if (sim_.now() >= paused_until_) start_service();
-    });
+    sim_.schedule_event(paused_until_, this, EventKind::PauseExpiry,
+                        kTagResume);
     return;
   }
   serving_ = true;
-  const double bits = queue_.front().size_bits;
-  sim_.schedule_after(transmission_time(bits, config_.rate),
-                      [this] { finish_service(); });
+  depart_timer_ = sim_.arm(
+      depart_timer_, sim_.now() + service_time(queue_.front().size_bits), this,
+      EventKind::FrameDeparture, kTagDepart);
 }
 
 void SwitchPort::finish_service() {
@@ -100,7 +120,11 @@ void SwitchPort::finish_service() {
   queue_bits_ = std::max(queue_bits_ - frame.size_bits, 0.0);
   ++stats_.delivered;
   stats_.bits_delivered += frame.size_bits;
-  if (sink_) sink_(frame);
+  if (sink_link_) {
+    sink_link_.send(frame);
+  } else if (sink_) {
+    sink_(frame);
+  }
   serving_ = false;
   start_service();
 }

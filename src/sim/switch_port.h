@@ -43,7 +43,7 @@ struct SwitchPortStats {
   std::uint64_t bcn_sent = 0;
 };
 
-class SwitchPort {
+class SwitchPort : public EventTarget {
  public:
   using FrameSink = std::function<void(const Frame&)>;
   using PauseUpstream = std::function<void(const PauseFrame&)>;
@@ -51,11 +51,19 @@ class SwitchPort {
 
   SwitchPort(Simulator& sim, SwitchPortConfig config);
 
-  // Downstream delivery target for frames completing service.
+  // Typed-event dispatch: service completion and pause expiry.
+  void on_event(const SimEvent& event) override;
+
+  // Downstream delivery target for frames completing service.  Each hop
+  // accepts either a std::function (tests, ad-hoc wiring) or an EventLink
+  // (the scenarios' zero-closure fast path); a set link wins.
   void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+  void set_sink(const EventLink& link) { sink_link_ = link; }
   // Called when this port wants its feeders paused.
   void set_pause_upstream(PauseUpstream pause) { pause_ = std::move(pause); }
+  void set_pause_upstream(const EventLink& link) { pause_link_ = link; }
   void set_bcn_sender(BcnSender sender) { bcn_ = std::move(sender); }
+  void set_bcn_sender(const EventLink& link) { bcn_link_ = link; }
   // Optional shared observability sink: the port records its BCN samples
   // and PAUSE on/off transitions into the stats' event trace (multi-port
   // topologies share one SimStats across ports).
@@ -71,10 +79,26 @@ class SwitchPort {
   const SwitchPortStats& stats() const { return stats_; }
 
  private:
+  // Timer tags carried in this port's typed events.
+  static constexpr std::uint32_t kTagDepart = 0;
+  static constexpr std::uint32_t kTagResume = 1;
+
   void maybe_sample(const Frame& frame);
   void maybe_pause_upstream();
   void start_service();
   void finish_service();
+  void resume_after_pause();
+
+  // One-entry service-time memo: the drain rate is fixed and frame sizes
+  // are usually uniform, so the per-departure floating-point divide
+  // collapses to a compare.
+  SimTime service_time(double bits) {
+    if (bits != service_bits_) {
+      service_bits_ = bits;
+      service_gap_ = transmission_time(bits, config_.rate);
+    }
+    return service_gap_;
+  }
 
   Simulator& sim_;
   SwitchPortConfig config_;
@@ -83,10 +107,18 @@ class SwitchPort {
   FrameSink sink_;
   PauseUpstream pause_;
   BcnSender bcn_;
+  EventLink sink_link_;
+  EventLink pause_link_;
+  EventLink bcn_link_;
 
   std::deque<Frame> queue_;
   double queue_bits_ = 0.0;
+  double service_bits_ = -1.0;
+  SimTime service_gap_ = 0;
   bool serving_ = false;
+  // Reused service-completion timer (stale while the queue is drained or
+  // the server waits out a PAUSE).
+  EventId depart_timer_ = kInvalidEvent;
   SimTime paused_until_ = 0;
   SimTime pause_cooldown_until_ = 0;
 

@@ -5,6 +5,7 @@
 // resolution is comfortably below every physical time scale in a DCE.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace bcn::sim {
@@ -25,7 +26,13 @@ inline constexpr SimTime from_seconds(double s) {
 }
 
 // Transmission time of `bits` at `rate_bps`, rounded up so a positive
-// payload never serializes in zero time.
-SimTime transmission_time(double bits, double rate_bps);
+// payload never serializes in zero time.  Inline: this sits on the
+// per-frame fast path of the packet simulator.
+inline SimTime transmission_time(double bits, double rate_bps) {
+  if (bits <= 0.0) return 0;
+  if (rate_bps <= 0.0) return kSecond * 3600;  // effectively never
+  const double ns = bits / rate_bps * 1e9;
+  return static_cast<SimTime>(std::ceil(ns));
+}
 
 }  // namespace bcn::sim

@@ -48,7 +48,7 @@ TEST_P(ConservationTest, FramesBalance) {
 
   // Per-source accounting sums to the aggregate.
   double per_source_total = 0.0;
-  for (const auto& [id, bits] : net.stats().per_source_bits()) {
+  for (const auto& [id, bits] : net.stats().per_source_bits_sorted()) {
     per_source_total += bits;
   }
   EXPECT_DOUBLE_EQ(per_source_total, c.bits_delivered);

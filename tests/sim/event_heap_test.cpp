@@ -1,0 +1,382 @@
+// The typed-event pool and indexed heap: handle lifecycle, in-place
+// cancel/reschedule, FIFO tie-breaking, slot recycling, and the
+// zero-allocation steady state.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+
+// Global allocation counter for the zero-allocation assertions below.
+// Counting is toggled around the region under test, so the gtest
+// machinery's own allocations never pollute a measurement.  Atomics keep
+// the override safe under the TSan job, which runs this binary too.
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace bcn::sim {
+namespace {
+
+// Records every dispatched event in firing order.
+class Recorder : public EventTarget {
+ public:
+  struct Entry {
+    EventKind kind;
+    std::uint32_t tag;
+    SimTime at;
+  };
+
+  explicit Recorder(Simulator& sim) : sim_(sim) {}
+
+  void on_event(const SimEvent& event) override {
+    entries_.push_back({event.kind, event.tag, sim_.now()});
+    last_ = event;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  const SimEvent& last() const { return last_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<Entry> entries_;
+  SimEvent last_;
+};
+
+TEST(EventHeapTest, TypedEventsCarryKindTagAndPayload) {
+  Simulator sim;
+  Recorder rec(sim);
+
+  Frame frame;
+  frame.source = 7;
+  frame.size_bits = 12000.0;
+  frame.seq = 42;
+  sim.schedule_frame(10, &rec, 1, frame);
+  sim.run_until(10);
+  ASSERT_EQ(rec.entries().size(), 1u);
+  EXPECT_EQ(rec.last().kind, EventKind::FrameArrival);
+  EXPECT_EQ(rec.last().tag, 1u);
+  EXPECT_EQ(rec.last().payload.frame.source, 7u);
+  EXPECT_EQ(rec.last().payload.frame.seq, 42u);
+
+  BcnMessage bcn;
+  bcn.target = 3;
+  bcn.sigma = -1.5;
+  sim.schedule_bcn(20, &rec, 2, bcn);
+  sim.run_until(20);
+  EXPECT_EQ(rec.last().kind, EventKind::BcnDelivery);
+  EXPECT_EQ(rec.last().payload.bcn.target, 3u);
+  EXPECT_DOUBLE_EQ(rec.last().payload.bcn.sigma, -1.5);
+
+  PauseFrame pause;
+  pause.duration = 999;
+  sim.schedule_pause(30, &rec, 3, pause);
+  sim.run_until(30);
+  EXPECT_EQ(rec.last().kind, EventKind::PauseDelivery);
+  EXPECT_EQ(rec.last().payload.pause.duration, 999);
+}
+
+TEST(EventHeapTest, SimultaneousTypedAndCallbackEventsFifo) {
+  Simulator sim;
+  Recorder rec(sim);
+  std::vector<int> order;
+  // Interleave kinds at one instant; firing must follow scheduling order.
+  sim.schedule_event(10, &rec, EventKind::Tick, 0);
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_event(10, &rec, EventKind::Tick, 2);
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  std::vector<std::uint32_t> tags;
+  sim.run_until(10);
+  ASSERT_EQ(rec.entries().size(), 2u);
+  EXPECT_EQ(rec.entries()[0].tag, 0u);
+  EXPECT_EQ(rec.entries()[1].tag, 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventHeapTest, CancelRemovesFromHeapImmediately) {
+  Simulator sim;
+  Recorder rec(sim);
+  const EventId a = sim.schedule_event(10, &rec, EventKind::Tick, 0);
+  sim.schedule_event(20, &rec, EventKind::Tick, 1);
+  EXPECT_EQ(sim.heap_size(), 2u);
+  sim.cancel(a);
+  // In-place heap removal: no tombstone waits to be popped later.
+  EXPECT_EQ(sim.heap_size(), 1u);
+  EXPECT_EQ(sim.cancelled_count(), 1u);
+  sim.run_until(100);
+  ASSERT_EQ(rec.entries().size(), 1u);
+  EXPECT_EQ(rec.entries()[0].tag, 1u);
+}
+
+// Regression: cancelling an event after it fired used to leave a tombstone
+// in a cancelled-set that grew without bound.  Stale cancels must be
+// no-ops and the pool must stay compact.
+TEST(EventHeapTest, CancelAfterFireLeavesNoResidue) {
+  Simulator sim;
+  Recorder rec(sim);
+  std::vector<EventId> fired_ids;
+  for (int round = 0; round < 10'000; ++round) {
+    const EventId id =
+        sim.schedule_event(sim.now() + 1, &rec, EventKind::Tick, 0);
+    sim.run_until(sim.now() + 1);
+    sim.cancel(id);  // stale: event already fired
+    sim.cancel(id);  // repeated stale cancel, still a no-op
+  }
+  EXPECT_EQ(sim.heap_size(), 0u);
+  EXPECT_TRUE(sim.idle());
+  // One live event at a time -> the slab never needed more than one slot,
+  // and every slot is back on the free list.
+  EXPECT_LE(sim.pool_slots(), 2u);
+  EXPECT_EQ(sim.pool_free(), sim.pool_slots());
+  // Stale cancels counted nothing.
+  EXPECT_EQ(sim.cancelled_count(), 0u);
+  EXPECT_EQ(sim.executed(), 10'000u);
+}
+
+TEST(EventHeapTest, RescheduleMovesEventInPlace) {
+  Simulator sim;
+  Recorder rec(sim);
+  const EventId id = sim.schedule_event(100, &rec, EventKind::Tick, 0);
+  sim.schedule_event(50, &rec, EventKind::Tick, 1);
+  EXPECT_TRUE(sim.reschedule(id, 10));  // move ahead of the tag-1 event
+  EXPECT_EQ(sim.heap_size(), 2u);      // moved, not re-inserted
+  sim.run_until(200);
+  ASSERT_EQ(rec.entries().size(), 2u);
+  EXPECT_EQ(rec.entries()[0].tag, 0u);
+  EXPECT_EQ(rec.entries()[0].at, 10);
+  EXPECT_EQ(rec.entries()[1].tag, 1u);
+  EXPECT_EQ(sim.rescheduled_count(), 1u);
+}
+
+TEST(EventHeapTest, RescheduleReentersFifoOrder) {
+  Simulator sim;
+  Recorder rec(sim);
+  const EventId id = sim.schedule_event(10, &rec, EventKind::Tick, 0);
+  sim.schedule_event(10, &rec, EventKind::Tick, 1);
+  // Rescheduling to the same instant is a cancel + fresh schedule: the
+  // moved event now fires after the tag-1 event it originally preceded.
+  EXPECT_TRUE(sim.reschedule(id, 10));
+  sim.run_until(10);
+  ASSERT_EQ(rec.entries().size(), 2u);
+  EXPECT_EQ(rec.entries()[0].tag, 1u);
+  EXPECT_EQ(rec.entries()[1].tag, 0u);
+}
+
+TEST(EventHeapTest, RescheduleStaleHandleFails) {
+  Simulator sim;
+  Recorder rec(sim);
+  const EventId id = sim.schedule_event(10, &rec, EventKind::Tick, 0);
+  sim.run_until(10);
+  EXPECT_FALSE(sim.reschedule(id, 20));
+  const EventId cancelled = sim.schedule_event(30, &rec, EventKind::Tick, 1);
+  sim.cancel(cancelled);
+  EXPECT_FALSE(sim.reschedule(cancelled, 40));
+  sim.run_until(100);
+  EXPECT_EQ(rec.entries().size(), 1u);
+}
+
+// A recurring timer that re-arms from inside its own handler keeps one
+// pool slot for its whole lifetime.
+TEST(EventHeapTest, SelfRearmingTimerReusesItsSlot) {
+  Simulator sim;
+
+  class Timer : public EventTarget {
+   public:
+    explicit Timer(Simulator& sim) : sim_(sim) {}
+    void start() { id_ = sim_.schedule_event(1, this, EventKind::Tick, 0); }
+    void on_event(const SimEvent& event) override {
+      ++ticks_;
+      ASSERT_TRUE(sim_.reschedule(event.id, sim_.now() + 1));
+    }
+    int ticks() const { return ticks_; }
+
+   private:
+    Simulator& sim_;
+    EventId id_ = kInvalidEvent;
+    int ticks_ = 0;
+  };
+
+  Timer timer(sim);
+  timer.start();
+  sim.run_until(5000);
+  EXPECT_EQ(timer.ticks(), 5000);
+  EXPECT_EQ(sim.pool_slots(), 1u);
+  EXPECT_EQ(sim.heap_size(), 1u);  // still armed
+}
+
+TEST(EventHeapTest, ArmReschedulesLiveAndSchedulesStale) {
+  Simulator sim;
+  Recorder rec(sim);
+  EventId id = kInvalidEvent;
+  // Stale/invalid handle: arm schedules fresh.
+  id = sim.arm(id, 10, &rec, EventKind::Tick, 0);
+  EXPECT_NE(id, kInvalidEvent);
+  // Live handle: arm moves it, same handle stays valid.
+  const EventId same = sim.arm(id, 20, &rec, EventKind::Tick, 0);
+  EXPECT_EQ(same, id);
+  sim.run_until(100);
+  ASSERT_EQ(rec.entries().size(), 1u);
+  EXPECT_EQ(rec.entries()[0].at, 20);
+}
+
+TEST(EventHeapTest, RecycledSlotStalesOldHandles) {
+  Simulator sim;
+  Recorder rec(sim);
+  const EventId old_id = sim.schedule_event(10, &rec, EventKind::Tick, 0);
+  sim.cancel(old_id);
+  // The freed slot is reused; the old handle must not touch the new event.
+  const EventId new_id = sim.schedule_event(20, &rec, EventKind::Tick, 1);
+  sim.cancel(old_id);
+  EXPECT_FALSE(sim.reschedule(old_id, 30));
+  EXPECT_EQ(sim.heap_size(), 1u);
+  sim.run_until(100);
+  ASSERT_EQ(rec.entries().size(), 1u);
+  EXPECT_EQ(rec.entries()[0].tag, 1u);
+  (void)new_id;
+}
+
+TEST(EventHeapTest, RandomizedOrderIsNondecreasingWithFifoTieBreak) {
+  Simulator sim;
+  Recorder rec(sim);
+  std::uint64_t rng = 12345;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  // tag carries the scheduling index so ties are checkable.
+  std::vector<SimTime> when(1000);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    when[i] = static_cast<SimTime>(next() % 64);  // dense: many ties
+    sim.schedule_event(when[i], &rec, EventKind::Tick, i);
+  }
+  sim.run_until(64);
+  ASSERT_EQ(rec.entries().size(), 1000u);
+  for (std::size_t i = 1; i < rec.entries().size(); ++i) {
+    const auto& prev = rec.entries()[i - 1];
+    const auto& cur = rec.entries()[i];
+    ASSERT_LE(prev.at, cur.at);
+    if (prev.at == cur.at) {
+      ASSERT_LT(prev.tag, cur.tag);  // FIFO among simultaneous events
+    }
+  }
+}
+
+// The tentpole's allocation guarantee: once the pool is warm, scheduling
+// and dispatching typed events performs no heap allocation at all.
+TEST(EventHeapTest, SteadyStateTypedEventsAllocateNothing) {
+  Simulator sim;
+  // A sink that only counts: the recording target's own vector growth must
+  // not be attributed to the scheduler.
+  class CountingTarget : public EventTarget {
+   public:
+    void on_event(const SimEvent&) override { ++count_; }
+    std::uint64_t count() const { return count_; }
+
+   private:
+    std::uint64_t count_ = 0;
+  };
+  CountingTarget rec;
+  Frame frame;
+  frame.size_bits = 12000.0;
+  // Warm-up: grow the slab, the heap array, and the free list to their
+  // working-set sizes.
+  for (int i = 0; i < 64; ++i) {
+    sim.schedule_frame(sim.now() + 1 + i % 7, &rec, 0, frame);
+  }
+  sim.run_until(sim.now() + 100);
+  ASSERT_TRUE(sim.idle());
+
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 32; ++i) {
+      sim.schedule_frame(sim.now() + 1 + i % 7, &rec, 0, frame);
+    }
+    EventId moved = sim.schedule_event(sim.now() + 9, &rec, EventKind::Tick, 1);
+    sim.reschedule(moved, sim.now() + 3);
+    EventId dropped = sim.schedule_event(sim.now() + 5, &rec, EventKind::Tick, 2);
+    sim.cancel(dropped);
+    sim.run_until(sim.now() + 10);
+  }
+  g_count_allocs.store(false);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+  EXPECT_EQ(rec.count(), 64u + 1000u * 33u);
+}
+
+TEST(EventHeapTest, PastDeadlineClampsAndCounts) {
+  Simulator sim;
+  Recorder rec(sim);
+  sim.schedule_event(50, &rec, EventKind::Tick, 0);
+  sim.run_until(50);
+  sim.schedule_event(10, &rec, EventKind::Tick, 1);  // strictly in the past
+  EXPECT_EQ(sim.clamped_count(), 1u);
+  sim.run_until(50);  // fires at now, not in the past
+  ASSERT_EQ(rec.entries().size(), 2u);
+  EXPECT_EQ(rec.entries()[1].at, 50);
+}
+
+TEST(EventHeapTest, ExportMetricsPublishesSchedulerCounters) {
+  Simulator sim;
+  Recorder rec(sim);
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_event(10 + i, &rec, EventKind::Tick, 0);
+  }
+  const EventId id = sim.schedule_event(100, &rec, EventKind::Tick, 1);
+  sim.cancel(id);
+  sim.run_until(1000);
+
+  obs::MetricsRegistry registry;
+  sim.export_metrics(registry);
+  ASSERT_NE(registry.find_gauge("sim.heap_high_water"), nullptr);
+  EXPECT_EQ(registry.find_gauge("sim.heap_high_water")->value(), 9.0);
+  ASSERT_NE(registry.find_gauge("sim.pool_slots"), nullptr);
+  EXPECT_EQ(registry.find_gauge("sim.pool_slots")->value(),
+            static_cast<double>(sim.pool_slots()));
+  ASSERT_NE(registry.find_gauge("sim.pool_in_use"), nullptr);
+  EXPECT_EQ(registry.find_gauge("sim.pool_in_use")->value(), 0.0);
+  ASSERT_NE(registry.find_counter("sim.events_executed"), nullptr);
+  EXPECT_EQ(registry.find_counter("sim.events_executed")->value(), 8u);
+  ASSERT_NE(registry.find_counter("sim.events_cancelled"), nullptr);
+  EXPECT_EQ(registry.find_counter("sim.events_cancelled")->value(), 1u);
+  ASSERT_NE(registry.find_counter("sim.schedule_clamped"), nullptr);
+  EXPECT_EQ(registry.find_counter("sim.schedule_clamped")->value(), 0u);
+}
+
+TEST(EventHeapTest, EventLinkForwardsAfterFixedDelay) {
+  Simulator sim;
+  Recorder rec(sim);
+  const EventLink link(sim, &rec, 5, /*delay=*/250);
+  EXPECT_TRUE(static_cast<bool>(link));
+  EXPECT_FALSE(static_cast<bool>(EventLink{}));
+  sim.run_until(100);
+  Frame frame;
+  frame.source = 1;
+  link.send(frame);
+  sim.run_until(1000);
+  ASSERT_EQ(rec.entries().size(), 1u);
+  EXPECT_EQ(rec.entries()[0].kind, EventKind::FrameArrival);
+  EXPECT_EQ(rec.entries()[0].tag, 5u);
+  EXPECT_EQ(rec.entries()[0].at, 350);
+}
+
+}  // namespace
+}  // namespace bcn::sim
