@@ -64,10 +64,16 @@ int run(bench::RunContext& ctx) {
   cfg.params = p;
   cfg.initial_rate = p.capacity / p.num_sources;
   cfg.record_interval = 20 * sim::kMicrosecond;
+  cfg.faults = ctx.faults;
   sim::Network net(cfg);
   net.run(sim::from_seconds(kDuration));
   bench::record_sim_metrics(net.stats(), ctx.metrics);
-  if (ctx.metrics) net.simulator().export_metrics(*ctx.metrics);
+  if (ctx.metrics) {
+    net.simulator().export_metrics(*ctx.metrics);
+    if (ctx.faults.armed()) {
+      sim::export_fault_metrics(net.fault_counters(), *ctx.metrics);
+    }
+  }
   bench::export_observability(net.stats(), "packet_vs_fluid");
   const auto packet = net.stats().to_phase_trajectory(p.q0, p.capacity);
 

@@ -39,6 +39,7 @@ int run(bench::RunContext& ctx) {
     sim::MultihopConfig cfg;
     cfg.enable_pause = m.pause;
     cfg.enable_bcn = m.bcn;
+    cfg.faults = ctx.faults;
     // Observe the PAUSE+BCN run: its event trace shows the rollback
     // (edge-port PAUSE bursts) giving way to targeted BCN feedback.
     sim::SimStats observed;

@@ -18,7 +18,8 @@ std::vector<Experiment>& registry() {
 }
 
 const std::vector<std::string> kStandardFlags = {
-    "help", "list", "run", "threads", "out", "seed", "json", "trace"};
+    "help", "list", "run", "threads", "out", "seed", "json", "trace",
+    "faults"};
 
 void print_usage(const char* prog) {
   std::printf(
@@ -36,6 +37,9 @@ void print_usage(const char* prog) {
       "                the per-experiment self-profile lands in\n"
       "                RUN_<name>.json under profile.*\n"
       "  --run name    run one registered experiment (default: all)\n"
+      "  --faults spec inject deterministic faults into packet-simulator\n"
+      "                experiments (BCN_FAULTS env fallback); see\n"
+      "                docs/FAULTS.md, e.g. --faults bcn_drop=0.2,seed=7\n"
       "  --list        list registered experiments and exit\n\n"
       "experiments:\n",
       prog);
@@ -102,6 +106,26 @@ int bench_main(int argc, const char* const* argv) {
   ctx.args = &args;
   ctx.threads = thread_count(args, 1);
   ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  {
+    std::optional<std::string> spec = args.get("faults");
+    if (!spec) {
+      if (const char* env = std::getenv("BCN_FAULTS")) {
+        if (*env) spec = env;
+      }
+    }
+    if (spec) {
+      std::string error;
+      const auto plan = sim::parse_fault_plan(*spec, &error);
+      if (!plan) {
+        std::fprintf(stderr, "--faults: %s\n%s\n", error.c_str(),
+                     sim::fault_plan_usage());
+        return 2;
+      }
+      ctx.faults = *plan;
+      std::printf("[runner] fault plan: %s\n",
+                  sim::fault_plan_summary(ctx.faults).c_str());
+    }
+  }
   if (const auto out = args.get("out")) {
     set_output_dir(*out);
   }

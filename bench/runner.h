@@ -16,6 +16,7 @@
 
 #include "common/args.h"
 #include "obs/metrics.h"
+#include "sim/faults.h"
 
 namespace bcn::bench {
 
@@ -29,6 +30,10 @@ struct RunContext {
   // experiment records here is embedded in its RUN_<name>.json under
   // "metrics.".  Always non-null inside an experiment fn.
   obs::MetricsRegistry* metrics = nullptr;
+  // Degraded-network plan from --faults / BCN_FAULTS (sim/faults.h);
+  // unarmed by default.  Experiments that simulate a packet network
+  // forward it into their scenario configs.
+  sim::FaultPlan faults;
 };
 
 struct Experiment {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Four gates:
+# Five gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
 #     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
 #     test suites, which exercise parallel_for / ThreadPool / the
@@ -17,6 +17,13 @@
 #  4. Sim throughput: runs the perf_microbench artifact emitters and
 #     validates BENCH_sim_throughput.json (all scenario keys present,
 #     self-diff at threshold 0 exits 0).
+#  5. Fault smoke: runs the feedback-loss bench with a nonzero drop rate
+#     (the docs/FAULTS.md recipe), asserts fault.* counters land in the
+#     RUN json, requires two invocations of the same plan to produce
+#     byte-identical BENCH_feedback_loss.json artifacts, and checks a
+#     malformed --faults spec is rejected with exit 2 and a usage line.
+#     (The FaultsTest cases already ran under TSan in gate 1 as part of
+#     bcn_sim_tests.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -141,3 +148,59 @@ PY
 }
 
 echo "[check.sh] sim throughput smoke clean ($TPUT_JSON)"
+
+# --- fault smoke ----------------------------------------------------------
+# The docs/FAULTS.md BCN-loss recipe, end-to-end: nonzero drop rate,
+# fault.* counters in the RUN json, and a reproducible fault schedule
+# (same plan twice => byte-identical BENCH_feedback_loss.json).
+cmake --build "$SMOKE_BUILD_DIR" -j --target feedback_loss_robustness
+
+FAULT_BENCH="$SMOKE_BUILD_DIR"/bench/feedback_loss_robustness
+FAULT_PLAN='bcn_drop=0.2,bcn_delay=0.1:100us,seed=7'
+FAULT_OUT_A=$(mktemp -d)
+FAULT_OUT_B=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT" "$FAULT_OUT_A" "$FAULT_OUT_B"' EXIT
+"$FAULT_BENCH" --faults "$FAULT_PLAN" --out "$FAULT_OUT_A" > /dev/null
+"$FAULT_BENCH" --faults "$FAULT_PLAN" --out "$FAULT_OUT_B" > /dev/null
+
+FAULT_RUN_JSON="$FAULT_OUT_A/RUN_feedback_loss_robustness.json"
+[[ -f "$FAULT_RUN_JSON" ]] || { echo "[check.sh] missing $FAULT_RUN_JSON"; exit 1; }
+python3 - "$FAULT_RUN_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+for key in ("bcn_dropped", "bcn_delayed", "bcn_duplicated", "data_dropped",
+            "pause_dropped", "link_flaps", "flap_dropped"):
+    full = f"metrics.fault.{key}"
+    assert full in data, f"missing {full}"
+assert data["metrics.fault.bcn_dropped"] > 0, "drop rate 0.2 injected nothing"
+assert data["metrics.fault.bcn_delayed"] > 0, "delay rate 0.1 injected nothing"
+print(f"[check.sh] fault counters present: "
+      f"{data['metrics.fault.bcn_dropped']:.0f} BCN dropped, "
+      f"{data['metrics.fault.bcn_delayed']:.0f} delayed")
+PY
+
+cmp "$FAULT_OUT_A/BENCH_feedback_loss.json" \
+    "$FAULT_OUT_B/BENCH_feedback_loss.json" || {
+  echo "[check.sh] fault schedule not reproducible across invocations"; exit 1;
+}
+
+# env fallback path: BCN_FAULTS must behave like --faults.
+BCN_FAULTS="$FAULT_PLAN" "$FAULT_BENCH" --out "$FAULT_OUT_B" > /dev/null
+cmp "$FAULT_OUT_A/BENCH_feedback_loss.json" \
+    "$FAULT_OUT_B/BENCH_feedback_loss.json" || {
+  echo "[check.sh] BCN_FAULTS env fallback diverges from --faults"; exit 1;
+}
+
+# A malformed spec must be a usage error (exit 2), printing the grammar.
+set +e
+FAULT_ERR=$("$FAULT_BENCH" --faults 'bcn_drop=1.5' --out "$FAULT_OUT_B" 2>&1)
+FAULT_STATUS=$?
+set -e
+[[ $FAULT_STATUS -eq 2 ]] || {
+  echo "[check.sh] malformed --faults exited $FAULT_STATUS, want 2"; exit 1;
+}
+grep -q 'fault spec grammar' <<< "$FAULT_ERR" || {
+  echo "[check.sh] malformed --faults printed no usage line"; exit 1;
+}
+
+echo "[check.sh] fault smoke clean ($FAULT_RUN_JSON)"

@@ -23,6 +23,13 @@ const char* EventTrace::kind_name(EventKind kind) {
     case EventKind::PauseOn: return "pause_on";
     case EventKind::PauseOff: return "pause_off";
     case EventKind::PauseApplied: return "pause_applied";
+    case EventKind::FaultBcnDropped: return "fault_bcn_dropped";
+    case EventKind::FaultBcnDelayed: return "fault_bcn_delayed";
+    case EventKind::FaultBcnDuplicated: return "fault_bcn_duplicated";
+    case EventKind::FaultDataDropped: return "fault_data_dropped";
+    case EventKind::FaultPauseDropped: return "fault_pause_dropped";
+    case EventKind::LinkDown: return "link_down";
+    case EventKind::LinkUp: return "link_up";
   }
   return "unknown";
 }

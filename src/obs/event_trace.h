@@ -23,6 +23,15 @@ enum class EventKind {
   PauseOn,           // switch asserted PAUSE (value = duration, seconds)
   PauseOff,          // that PAUSE's scheduled expiry
   PauseApplied,      // a source's regulator entered the paused state
+  // Injected faults (sim/faults.h): a *Sent event with no matching
+  // *Applied pairs with one of these to show where the loop broke.
+  FaultBcnDropped,   // notification lost on the reverse path
+  FaultBcnDelayed,   // notification delayed (value = extra delay, s)
+  FaultBcnDuplicated,// notification duplicated
+  FaultDataDropped,  // data frame lost on the forward link
+  FaultPauseDropped, // PAUSE frame lost on the reverse path
+  LinkDown,          // timed flap: link went dead (point = link label)
+  LinkUp,            // timed flap: link restored
 };
 
 // `point` is the emitting congestion point / port label; `flow` the

@@ -99,9 +99,23 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
 }
 
 void CoreSwitch::emit_bcn(const BcnMessage& message) {
+  SimTime extra_delay = 0;
+  if (faults_) {
+    if (faults_->drop_bcn(sim_.now(), message.target)) return;
+    extra_delay = faults_->bcn_extra_delay(sim_.now(), message.target);
+    if (faults_->duplicate_bcn(sim_.now(), message.target)) {
+      // The duplicate travels on time; only the original may be delayed.
+      if (bcn_link_) {
+        bcn_link_.send(message);
+      } else {
+        send_bcn_(message);
+      }
+    }
+  }
   if (bcn_link_) {
-    bcn_link_.send(message);
+    bcn_link_.send(message, extra_delay);
   } else {
+    // Callback wiring delivers synchronously; extra delay needs a link.
     send_bcn_(message);
   }
 }
@@ -120,6 +134,9 @@ void CoreSwitch::maybe_pause() {
   stats_.events().record({to_seconds(pause_cooldown_until_),
                           obs::EventKind::PauseOff, config_.cpid, 0, 0.0,
                           duration_s});
+  // A lost PAUSE frame leaves the PauseOn edge with no PauseApplied: the
+  // switch asserted back-pressure but no source heard it.
+  if (faults_ && faults_->drop_pause(sim_.now())) return;
   if (pause_link_) {
     pause_link_.send(PauseFrame{config_.pause_duration, sim_.now()});
   } else {

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/frame.h"
 #include "sim/stats.h"
 
@@ -75,6 +76,12 @@ class CoreSwitch : public EventTarget {
   void set_pause_sender(PauseSender sender) { send_pause_ = std::move(sender); }
   void set_pause_sender(const EventLink& link) { pause_link_ = link; }
 
+  // Optional reverse-path fault injector (sim/faults.h): BCN drop /
+  // delay / duplication and PAUSE loss are decided at emission time.
+  // Scenarios only attach an injector when the plan is armed, so the
+  // lossless path stays untouched.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   double queue_bits() const { return queue_bits_; }
   const CoreSwitchConfig& config() const { return config_; }
 
@@ -107,6 +114,7 @@ class CoreSwitch : public EventTarget {
   EventLink bcn_link_;
   EventLink pause_link_;
   EventLink sink_link_;
+  FaultInjector* faults_ = nullptr;
 
   std::deque<Frame> queue_;
   double queue_bits_ = 0.0;

@@ -189,6 +189,12 @@ class EventLink {
   void send(const BcnMessage& message) const {
     sim_->schedule_bcn(sim_->now() + delay_, target_, tag_, message);
   }
+  // Fault-injection hook: deliver with extra reverse-path delay on top of
+  // the link's propagation delay (sim/faults.h).
+  void send(const BcnMessage& message, SimTime extra_delay) const {
+    sim_->schedule_bcn(sim_->now() + delay_ + extra_delay, target_, tag_,
+                       message);
+  }
   void send(const PauseFrame& pause) const {
     sim_->schedule_pause(sim_->now() + delay_, target_, tag_, pause);
   }

@@ -28,6 +28,7 @@ class Scenario : public EventTarget {
   static constexpr std::uint32_t kTagPauseToSources = 3;
   static constexpr std::uint32_t kTagBcnToSource = 4;
   static constexpr std::uint32_t kTagMonitor = 5;
+  static constexpr std::uint32_t kTagFlapEdge = 6;
 
   explicit Scenario(const MultihopConfig& config) : config_(config) {
     // --- CORE ports ------------------------------------------------------
@@ -70,6 +71,24 @@ class Scenario : public EventTarget {
       hot_port_->set_observer(config.observer);
       cold_port_->set_observer(config.observer);
       edge_->set_observer(config.observer);
+    }
+
+    if (config.faults.armed()) {
+      obs::EventTrace* trace =
+          config.observer ? &config.observer->events() : nullptr;
+      // Reverse-path lanes key off the port labels; the E1 -> CORE
+      // forward link is entity 0.
+      hot_faults_ = FaultInjector(config.faults, kMultihopHotPort,
+                                  &fault_counters_, trace);
+      edge_faults_ = FaultInjector(config.faults, kMultihopEdgePort,
+                                   &fault_counters_, trace);
+      link_faults_ = FaultInjector(config.faults, 0, &fault_counters_, trace);
+      hot_port_->set_fault_injector(&hot_faults_);
+      edge_->set_fault_injector(&edge_faults_);
+      for (const LinkFlapWindow& w : config.faults.flaps) {
+        sim_.schedule_event(w.down_at, this, EventKind::Tick, kTagFlapEdge);
+        sim_.schedule_event(w.up_at, this, EventKind::Tick, kTagFlapEdge);
+      }
     }
 
     // E1 forwards to CORE: route by destination after the hop delay.
@@ -127,6 +146,13 @@ class Scenario : public EventTarget {
         edge_->on_frame(event.payload.frame);
         break;
       case kTagFrameToCore:
+        if (link_faults_.armed()) {
+          const Frame& f = event.payload.frame;
+          if (link_faults_.cut_by_flap(sim_.now(), f.source) ||
+              link_faults_.drop_data(sim_.now(), f.source)) {
+            break;
+          }
+        }
         (event.payload.frame.dst == kHotDst ? *hot_port_ : *cold_port_)
             .on_frame(event.payload.frame);
         break;
@@ -144,6 +170,17 @@ class Scenario : public EventTarget {
       case kTagMonitor:
         monitor();
         break;
+      case kTagFlapEdge: {
+        const bool down = link_faults_.link_down(sim_.now());
+        if (down) ++fault_counters_.link_flaps;
+        if (config_.observer) {
+          config_.observer->events().record(
+              {to_seconds(sim_.now()),
+               down ? obs::EventKind::LinkDown : obs::EventKind::LinkUp, 0, 0,
+               0.0, 0.0});
+        }
+        break;
+      }
     }
   }
 
@@ -163,7 +200,13 @@ class Scenario : public EventTarget {
     result.edge_peak_queue = edge_peak_;
     result.hot_peak_queue = hot_peak_;
     result.events_executed = sim_.executed();
-    if (config_.metrics) sim_.export_metrics(*config_.metrics);
+    result.fault_counters = fault_counters_;
+    if (config_.metrics) {
+      sim_.export_metrics(*config_.metrics);
+      if (config_.faults.armed()) {
+        export_fault_metrics(fault_counters_, *config_.metrics);
+      }
+    }
     return result;
   }
 
@@ -186,6 +229,10 @@ class Scenario : public EventTarget {
   std::unique_ptr<SwitchPort> cold_port_;
   std::unique_ptr<SwitchPort> edge_;
   std::vector<std::unique_ptr<Source>> sources_;
+  FaultCounters fault_counters_;
+  FaultInjector hot_faults_;
+  FaultInjector edge_faults_;
+  FaultInjector link_faults_;
   EventId monitor_timer_ = kInvalidEvent;
   double edge_peak_ = 0.0;
   double hot_peak_ = 0.0;

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/faults.h"
 #include "sim/time.h"
 
 namespace bcn::obs {
@@ -63,6 +64,12 @@ struct MultihopConfig {
   // When set, the run exports its scheduler gauges/counters (heap high
   // water, pool occupancy, cancels, ...) under "sim." before returning.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Degraded-network description (sim/faults.h).  Reverse-path faults
+  // apply to the hot port's BCN/PAUSE and the edge's upstream PAUSE;
+  // data_drop and flap windows apply on the E1 -> CORE forward link.
+  // Counters export as "fault.*" into `metrics` when set.
+  FaultPlan faults;
 };
 
 struct MultihopResult {
@@ -77,6 +84,8 @@ struct MultihopResult {
   double hot_peak_queue = 0.0;
   // Simulator events dispatched over the run (throughput benchmarking).
   std::size_t events_executed = 0;
+  // Injected-fault tally (all zero when the plan is unarmed).
+  FaultCounters fault_counters;
 };
 
 // Builds, runs and tears down one victim scenario.

@@ -69,6 +69,21 @@ Network::Network(NetworkConfig config) : config_(config) {
 
   if (!config_.record_events) stats_.events().set_enabled(false);
 
+  if (config_.faults.armed()) {
+    // Entity 1 (the core switch's cpid) owns the reverse-path lanes;
+    // entity 0 the forward source -> switch link.  An unarmed plan skips
+    // this block entirely so the lossless path never touches fault state.
+    switch_faults_ = FaultInjector(config_.faults, sw.cpid, &fault_counters_,
+                                   &stats_.events());
+    link_faults_ =
+        FaultInjector(config_.faults, 0, &fault_counters_, &stats_.events());
+    switch_->set_fault_injector(&switch_faults_);
+    for (const LinkFlapWindow& w : config_.faults.flaps) {
+      sim_.schedule_event(w.down_at, this, EventKind::Tick, kTagFlapEdge);
+      sim_.schedule_event(w.up_at, this, EventKind::Tick, kTagFlapEdge);
+    }
+  }
+
   // Backward channel: BCN unicast to the tagged source, PAUSE broadcast to
   // every upstream sender, both after the propagation delay.  Deliveries
   // are typed events dispatched back to this network and traced as
@@ -102,6 +117,13 @@ Network::Network(NetworkConfig config) : config_(config) {
 void Network::on_event(const SimEvent& event) {
   switch (event.tag) {
     case kTagFrameToSwitch:
+      if (link_faults_.armed()) {
+        const Frame& f = event.payload.frame;
+        if (link_faults_.cut_by_flap(sim_.now(), f.source) ||
+            link_faults_.drop_data(sim_.now(), f.source)) {
+          break;
+        }
+      }
       switch_->on_frame(event.payload.frame);
       break;
     case kTagBcnToSource:
@@ -113,6 +135,17 @@ void Network::on_event(const SimEvent& event) {
     case kTagSampleTick:
       record_sample();
       break;
+    case kTagFlapEdge: {
+      // Scheduled at every window edge; inside a window it's the down
+      // edge ([down_at, up_at) is half-open, so up_at tests false).
+      const bool down = link_faults_.link_down(sim_.now());
+      if (down) ++fault_counters_.link_flaps;
+      stats_.events().record(
+          {to_seconds(sim_.now()),
+           down ? obs::EventKind::LinkDown : obs::EventKind::LinkUp, 0, 0,
+           0.0, 0.0});
+      break;
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include "core/bcn_params.h"
 #include "sim/core_switch.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/source.h"
 #include "sim/stats.h"
 
@@ -51,6 +52,13 @@ struct NetworkConfig {
   // recording sits on the per-sample fast path, so maximum-throughput runs
   // (the sim-throughput benchmark) turn it off.
   bool record_events = true;
+
+  // Degraded-network description (sim/faults.h).  The default all-zero
+  // plan leaves the simulation bit-identical to a build without fault
+  // wiring.  Reverse-path faults (BCN drop/delay/dup, PAUSE loss) apply
+  // at the core switch; data_drop and flap windows apply on the
+  // source -> switch forward link.
+  FaultPlan faults;
 };
 
 class Network : public EventTarget {
@@ -65,6 +73,7 @@ class Network : public EventTarget {
   void on_event(const SimEvent& event) override;
 
   const SimStats& stats() const { return stats_; }
+  const FaultCounters& fault_counters() const { return fault_counters_; }
   const CoreSwitch& core_switch() const { return *switch_; }
   const std::vector<std::unique_ptr<Source>>& sources() const {
     return sources_;
@@ -80,6 +89,7 @@ class Network : public EventTarget {
   static constexpr std::uint32_t kTagBcnToSource = 1;
   static constexpr std::uint32_t kTagPauseToSources = 2;
   static constexpr std::uint32_t kTagSampleTick = 3;
+  static constexpr std::uint32_t kTagFlapEdge = 4;
 
   void record_sample();
   void deliver_bcn(const BcnMessage& msg);
@@ -88,6 +98,11 @@ class Network : public EventTarget {
   NetworkConfig config_;
   Simulator sim_;
   SimStats stats_;
+  // Fault tally plus the two injection points: reverse-path faults at the
+  // core switch, forward-link faults (data_drop, flaps) at frame delivery.
+  FaultCounters fault_counters_;
+  FaultInjector switch_faults_;
+  FaultInjector link_faults_;
   std::unique_ptr<CoreSwitch> switch_;
   std::vector<std::unique_ptr<Source>> sources_;
   SimTime run_until_ = 0;

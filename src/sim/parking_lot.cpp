@@ -19,6 +19,10 @@ class Scenario : public EventTarget {
   static constexpr std::uint32_t kTagFrameToCp2 = 1;
   static constexpr std::uint32_t kTagBcnToSource = 2;
   static constexpr std::uint32_t kTagMonitor = 3;
+  static constexpr std::uint32_t kTagFlapEdge = 4;
+  // CP1's forwarded traffic gets its own channel so link faults hit only
+  // the CP1 -> CP2 hop, not group B's direct access link.
+  static constexpr std::uint32_t kTagFrameCp1ToCp2 = 5;
 
   explicit Scenario(const ParkingLotConfig& config) : config_(config) {
     auto switch_config = [&](CongestionPointId cpid, double capacity) {
@@ -44,9 +48,26 @@ class Scenario : public EventTarget {
       stats2_.events().set_enabled(false);
     }
 
-    // CP1 feeds CP2 after the hop delay.
+    if (config.faults.armed()) {
+      // Each congestion point draws from its own per-CPID lanes and
+      // traces into its own SimStats; the CP1 -> CP2 link is entity 0.
+      cp1_faults_ =
+          FaultInjector(config.faults, 1, &fault_counters_, &stats1_.events());
+      cp2_faults_ =
+          FaultInjector(config.faults, 2, &fault_counters_, &stats2_.events());
+      link_faults_ =
+          FaultInjector(config.faults, 0, &fault_counters_, &stats1_.events());
+      cp1_->set_fault_injector(&cp1_faults_);
+      cp2_->set_fault_injector(&cp2_faults_);
+      for (const LinkFlapWindow& w : config.faults.flaps) {
+        sim_.schedule_event(w.down_at, this, EventKind::Tick, kTagFlapEdge);
+        sim_.schedule_event(w.up_at, this, EventKind::Tick, kTagFlapEdge);
+      }
+    }
+
+    // CP1 feeds CP2 after the hop delay (own channel: see kTagFrameCp1ToCp2).
     cp1_->set_sink(
-        EventLink(sim_, this, kTagFrameToCp2, config.propagation_delay));
+        EventLink(sim_, this, kTagFrameCp1ToCp2, config.propagation_delay));
 
     const int total = config.group_a + config.group_b;
     sources_.reserve(total);
@@ -89,6 +110,16 @@ class Scenario : public EventTarget {
       case kTagFrameToCp2:
         cp2_->on_frame(event.payload.frame);
         break;
+      case kTagFrameCp1ToCp2:
+        if (link_faults_.armed()) {
+          const Frame& f = event.payload.frame;
+          if (link_faults_.cut_by_flap(sim_.now(), f.source) ||
+              link_faults_.drop_data(sim_.now(), f.source)) {
+            break;
+          }
+        }
+        cp2_->on_frame(event.payload.frame);
+        break;
       case kTagBcnToSource:
         if (event.payload.bcn.target < sources_.size()) {
           sources_[event.payload.bcn.target]->on_bcn(event.payload.bcn);
@@ -99,6 +130,15 @@ class Scenario : public EventTarget {
         peak2_ = std::max(peak2_, cp2_->queue_bits());
         sim_.reschedule(monitor_timer_, sim_.now() + 20 * kMicrosecond);
         break;
+      case kTagFlapEdge: {
+        const bool down = link_faults_.link_down(sim_.now());
+        if (down) ++fault_counters_.link_flaps;
+        stats1_.events().record(
+            {to_seconds(sim_.now()),
+             down ? obs::EventKind::LinkDown : obs::EventKind::LinkUp, 0, 0,
+             0.0, 0.0});
+        break;
+      }
     }
   }
 
@@ -129,6 +169,7 @@ class Scenario : public EventTarget {
     r.drops =
         stats1_.counters.frames_dropped + stats2_.counters.frames_dropped;
     r.events_executed = sim_.executed();
+    r.fault_counters = fault_counters_;
     return r;
   }
 
@@ -140,6 +181,10 @@ class Scenario : public EventTarget {
   std::unique_ptr<CoreSwitch> cp1_;
   std::unique_ptr<CoreSwitch> cp2_;
   std::vector<std::unique_ptr<Source>> sources_;
+  FaultCounters fault_counters_;
+  FaultInjector cp1_faults_;
+  FaultInjector cp2_faults_;
+  FaultInjector link_faults_;
   EventId monitor_timer_ = kInvalidEvent;
   double peak1_ = 0.0;
   double peak2_ = 0.0;

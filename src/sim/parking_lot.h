@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "sim/faults.h"
 #include "sim/time.h"
 
 namespace bcn::sim {
@@ -38,6 +39,11 @@ struct ParkingLotConfig {
   // Causal BCN event traces at both congestion points; off for
   // maximum-throughput benchmark runs.
   bool record_events = true;
+
+  // Degraded-network description (sim/faults.h).  Reverse-path faults
+  // apply at both congestion points (independent RNG lanes per CPID);
+  // data_drop and flap windows apply on the CP1 -> CP2 forward link.
+  FaultPlan faults;
 };
 
 struct ParkingLotResult {
@@ -55,6 +61,8 @@ struct ParkingLotResult {
   std::uint64_t drops = 0;
   // Simulator events dispatched over the run (throughput benchmarking).
   std::size_t events_executed = 0;
+  // Injected-fault tally (all zero when the plan is unarmed).
+  FaultCounters fault_counters;
 };
 
 ParkingLotResult run_parking_lot(const ParkingLotConfig& config);

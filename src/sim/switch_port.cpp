@@ -54,8 +54,21 @@ void SwitchPort::maybe_sample(const Frame& frame) {
     }
     const BcnMessage message{.cpid = config_.cpid, .target = frame.source,
                              .sigma = sigma, .sent_at = sim_.now()};
+    SimTime extra_delay = 0;
+    if (faults_) {
+      if (faults_->drop_bcn(sim_.now(), frame.source)) return;
+      extra_delay = faults_->bcn_extra_delay(sim_.now(), frame.source);
+      if (faults_->duplicate_bcn(sim_.now(), frame.source)) {
+        // The duplicate travels on time; only the original may be delayed.
+        if (bcn_link_) {
+          bcn_link_.send(message);
+        } else {
+          bcn_(message);
+        }
+      }
+    }
     if (bcn_link_) {
-      bcn_link_.send(message);
+      bcn_link_.send(message, extra_delay);
     } else {
       bcn_(message);
     }
@@ -77,6 +90,8 @@ void SwitchPort::maybe_pause_upstream() {
                                 obs::EventKind::PauseOff, config_.port_label,
                                 0, 0.0, duration_s});
   }
+  // A lost PAUSE leaves the PauseOn edge with no PauseApplied upstream.
+  if (faults_ && faults_->drop_pause(sim_.now())) return;
   if (pause_link_) {
     pause_link_.send(PauseFrame{config_.pause_duration, sim_.now()});
   } else {

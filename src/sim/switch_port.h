@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/frame.h"
 #include "sim/stats.h"
 
@@ -69,6 +70,11 @@ class SwitchPort : public EventTarget {
   // topologies share one SimStats across ports).
   void set_observer(SimStats* stats) { observer_ = stats; }
 
+  // Optional reverse-path fault injector (sim/faults.h) applied to this
+  // port's BCN emissions and upstream-PAUSE frames.  Scenarios only
+  // attach one when the plan is armed.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   // Frame arrival at this port.
   void on_frame(const Frame& frame);
 
@@ -110,6 +116,7 @@ class SwitchPort : public EventTarget {
   EventLink sink_link_;
   EventLink pause_link_;
   EventLink bcn_link_;
+  FaultInjector* faults_ = nullptr;
 
   std::deque<Frame> queue_;
   double queue_bits_ = 0.0;
