@@ -109,7 +109,7 @@ int run(bench::RunContext& ctx) {
   // Start 50% overloaded so every source receives negative BCN early and
   // acquires its RRT tag; the per-message AIMD then hunts around q0.
   cfg.initial_rate = 1.5 * sp.capacity / sp.num_sources;
-  cfg.feedback_mode = sim::FeedbackMode::DraftPerMessage;
+  cfg.mechanism = "bcn-draft";
   cfg.record_interval = 20 * sim::kMicrosecond;
   sim::Network net(cfg);
   net.run(80 * sim::kMillisecond);

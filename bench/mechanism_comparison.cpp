@@ -1,13 +1,15 @@
-// E14 (extension): the four feedback disciplines of paper Section II on
-// one plant -- BCN with continuous (fluid-matched) AIMD, BCN with the
-// literal per-message draft AIMD, QCN-style negative-only quantized
-// feedback with source self-increase, and FERA-style explicit rate
-// advertising.  Same overloaded start, same switch.
+// E14 (extension): every registered congestion-control mechanism with a
+// packet facet on one plant -- BCN with continuous (fluid-matched) AIMD,
+// BCN with the literal per-message draft AIMD, QCN-style negative-only
+// quantized feedback with source self-increase, RCP-style explicit rate
+// computation, and FERA-style explicit fair-share advertising.  Same
+// overloaded start, same switch.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "runner.h"
 #include "common/table.h"
+#include "core/mechanism.h"
 #include "sim/network.h"
 
 using namespace bcn;
@@ -16,8 +18,7 @@ namespace {
 
 int run(bench::RunContext& ctx) {
   (void)ctx;
-  std::printf("=== E14: BCN vs draft-AIMD vs QCN-style vs FERA feedback "
-              "===\n");
+  std::printf("=== E14: the registered mechanisms on one plant ===\n");
   core::BcnParams p;
   p.num_sources = 5;
   p.capacity = 10e9;
@@ -36,16 +37,12 @@ int run(bench::RunContext& ctx) {
                       "throughput (Gbps)", "late osc. p2p (frames)"});
   std::vector<plot::Series> series;
 
-  const std::pair<sim::FeedbackMode, const char*> modes[] = {
-      {sim::FeedbackMode::FluidMatched, "BCN fluid-matched"},
-      {sim::FeedbackMode::DraftPerMessage, "BCN draft per-message"},
-      {sim::FeedbackMode::QcnSelfIncrease, "QCN-style"},
-      {sim::FeedbackMode::FeraExplicitRate, "FERA explicit-rate"}};
-
-  for (const auto& [mode, name] : modes) {
+  for (const core::MechanismInfo& info : core::mechanism_registry()) {
+    if (!info.has_packet) continue;
+    const char* name = info.name;
     sim::NetworkConfig cfg;
     cfg.params = p;
-    cfg.feedback_mode = mode;
+    cfg.mechanism = name;
     cfg.initial_rate = 3e9;  // 15 Gbps aggregate burst into 10 Gbps
     cfg.record_interval = 50 * sim::kMicrosecond;
     sim::Network net(cfg);
@@ -83,7 +80,7 @@ int run(bench::RunContext& ctx) {
              stdout);
 
   plot::AsciiOptions ascii;
-  ascii.title = "queue under the four disciplines";
+  ascii.title = "queue under the registered disciplines";
   ascii.x_label = "t [ms]";
   ascii.y_label = "q [Mbit]";
   plot::SvgOptions svg;
@@ -93,17 +90,17 @@ int run(bench::RunContext& ctx) {
   svg.ref_lines.push_back({false, p.q0 / 1e6, "q0"});
   bench::emit_figure("mechanism_comparison", series, ascii, svg);
 
-  std::printf("\nReading: all three settle the queue near q0 with zero "
-              "drops, but by different mechanisms -- BCN balances "
+  std::printf("\nReading: every mechanism settles the queue near q0 with "
+              "zero drops, but by different means -- BCN balances "
               "explicit positive/negative feedback, the draft's "
-              "quantized AIMD adds a sustained frame-scale wiggle, and "
+              "quantized AIMD adds a sustained frame-scale wiggle, "
               "QCN-style control gets there with *no* positive messages "
-              "at all: the sources' self-increase probes until sigma "
-              "turns negative, trading a slight throughput loss (rate "
-              "sawtooth around C) for a one-way feedback channel.\n");
+              "at all (self-increase probes until sigma turns negative), "
+              "and the explicit-rate pair (RCP, FERA) skips the AIMD "
+              "search entirely by telling every source what to send.\n");
   return 0;
 }
 
 }  // namespace
 
-BCN_EXPERIMENT("mechanism_comparison", "E14: BCN vs draft vs QCN vs FERA feedback disciplines", run)
+BCN_EXPERIMENT("mechanism_comparison", "E14: all registered mechanisms (BCN, draft, QCN, RCP, FERA) on one plant", run)

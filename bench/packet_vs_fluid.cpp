@@ -7,6 +7,7 @@
 #include "bench_util.h"
 #include "runner.h"
 #include "common/table.h"
+#include "core/mechanism.h"
 #include "core/simulate.h"
 #include "sim/network.h"
 
@@ -38,7 +39,9 @@ std::string fmt_period(const std::optional<double>& period) {
 namespace {
 
 int run(bench::RunContext& ctx) {
-  std::printf("=== E11: packet simulator vs fluid model ===\n");
+  std::printf("=== E11: packet simulator vs fluid model (--mechanism %s) "
+              "===\n",
+              ctx.mechanism.c_str());
   const core::BcnParams p = slow_regime();
   bench::print_params(p);
   std::printf("calibration: per-source BCN interval ~%.0f us << oscillation "
@@ -48,20 +51,40 @@ int run(bench::RunContext& ctx) {
 
   constexpr double kDuration = 0.04;
 
-  // Fluid runs.
-  core::FluidRunOptions fopts;
-  fopts.duration = kDuration;
-  fopts.record_interval = 2e-5;
-  const auto lin = core::simulate_fluid(
-      core::FluidModel(p, core::ModelLevel::Linearized), fopts);
-  const auto non = core::simulate_fluid(
-      core::FluidModel(p, core::ModelLevel::Nonlinear), fopts);
-  bench::record_fluid_metrics(lin, ctx.metrics);
-  bench::record_fluid_metrics(non, ctx.metrics);
+  // Fluid runs.  The default BCN path goes through FluidModel directly;
+  // other mechanisms integrate their own fluid facet.  FERA is
+  // packet-only: its fluid side is skipped entirely.
+  core::FluidRun lin, non;
+  const bool has_fluid = core::find_mechanism(ctx.mechanism)->has_fluid;
+  if (ctx.mechanism == "bcn" || ctx.mechanism == "bcn-draft") {
+    core::FluidRunOptions fopts;
+    fopts.duration = kDuration;
+    fopts.record_interval = 2e-5;
+    lin = core::simulate_fluid(
+        core::FluidModel(p, core::ModelLevel::Linearized), fopts);
+    non = core::simulate_fluid(
+        core::FluidModel(p, core::ModelLevel::Nonlinear), fopts);
+  } else if (has_fluid) {
+    core::MechanismConfig mcfg;
+    mcfg.plant = p;
+    const auto mech = core::make_fluid_mechanism(ctx.mechanism, mcfg);
+    core::MechanismRunOptions mopts;
+    mopts.duration = kDuration;
+    mopts.record_interval = 2e-5;
+    mopts.level = core::ModelLevel::Linearized;
+    lin = core::simulate_fluid_mechanism(*mech, mopts);
+    mopts.level = core::ModelLevel::Nonlinear;
+    non = core::simulate_fluid_mechanism(*mech, mopts);
+  }
+  if (has_fluid) {
+    bench::record_fluid_metrics(lin, ctx.metrics);
+    bench::record_fluid_metrics(non, ctx.metrics);
+  }
 
-  // Packet run (fluid-matched feedback application).
+  // Packet run under the same mechanism.
   sim::NetworkConfig cfg;
   cfg.params = p;
+  cfg.mechanism = ctx.mechanism;
   cfg.initial_rate = p.capacity / p.num_sources;
   cfg.record_interval = 20 * sim::kMicrosecond;
   cfg.faults = ctx.faults;
@@ -78,6 +101,14 @@ int run(bench::RunContext& ctx) {
   const auto packet = net.stats().to_phase_trajectory(p.q0, p.capacity);
 
   const double prominence = 0.05 * p.q0;
+  if (!has_fluid) {
+    const auto f_pkt = analysis::extract_features(packet, prominence);
+    std::printf("\n%s is packet-only (no fluid facet); packet transient: "
+                "peak q %.3f Mbit at %.2f ms, settle q %.3f Mbit\n",
+                ctx.mechanism.c_str(), (f_pkt.peak_value + p.q0) / 1e6,
+                f_pkt.peak_time * 1e3, (f_pkt.final_value + p.q0) / 1e6);
+    return 0;
+  }
   const auto features = analysis::extract_features_batch(
       {&lin.trajectory, &non.trajectory, &packet}, prominence, ctx.threads);
   const auto& f_lin = features[0];

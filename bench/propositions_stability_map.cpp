@@ -14,11 +14,80 @@
 #include "common/format.h"
 #include "common/table.h"
 #include "control/routh_hurwitz.h"
+#include "core/mechanism.h"
+#include "exec/parallel_for.h"
 #include "runner.h"
 
 using namespace bcn;
 
 namespace {
+
+// The Propositions and Theorem 1 are BCN theorems, so --mechanism other
+// than bcn/bcn-draft gets the generic map instead: the registry's own
+// gain axes (log-spaced 1/8x..8x around the defaults) scored by the
+// generic numeric phase-plane verdict.
+int run_generic_map(bench::RunContext& ctx, const core::MechanismInfo& info,
+                    const core::BcnParams& base, int grid) {
+  core::MechanismConfig cfg0;
+  cfg0.plant = base;
+  const auto [d1, d2] = info.default_gains(cfg0);
+  const auto g1 = analysis::logspace(d1 / 8.0, d1 * 8.0, grid);
+  const auto g2 = analysis::logspace(d2 / 8.0, d2 * 8.0, grid);
+
+  struct Cell {
+    bool stable = false;
+    double max_x = 0.0;
+    double min_x = 0.0;
+  };
+  const auto cells = exec::parallel_map<Cell>(
+      g1.size() * g2.size(),
+      [&, d1 = d1, d2 = d2](std::size_t idx) {
+        core::MechanismConfig cfg;
+        cfg.plant = base;
+        info.set_gains(cfg, g1[idx / g2.size()], g2[idx % g2.size()]);
+        const auto mech = core::make_fluid_mechanism(info.name, cfg);
+        const auto verdict = core::mechanism_numeric_verdict(*mech);
+        return Cell{verdict.strongly_stable, verdict.max_x, verdict.min_x};
+      },
+      {.threads = ctx.threads});
+
+  std::printf("\nmechanism: %s -- %s\n", info.name, info.summary);
+  std::printf("map legend: generic numeric verdict per cell -- '#' bounded "
+              "strictly inside the buffer strip, '.' not; columns %s="
+              "%.4g..%.4g (log), rows %s=%.4g..%.4g (log)\n",
+              info.gain2, g2.front(), g2.back(), info.gain1, g1.front(),
+              g1.back());
+  int stable = 0;
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    std::printf("%s=%8.4g  ", info.gain1, g1[i]);
+    for (std::size_t j = 0; j < g2.size(); ++j, ++idx) {
+      stable += cells[idx].stable ? 1 : 0;
+      std::fputc(cells[idx].stable ? '#' : '.', stdout);
+    }
+    std::fputc('\n', stdout);
+  }
+  std::printf("\n%d/%zu cells strongly stable (Theorem-1/Proposition "
+              "columns are BCN-only and skipped for this mechanism)\n",
+              stable, cells.size());
+
+  CsvWriter csv({info.gain1, info.gain2, "numeric_stable", "max_x_bits",
+                 "min_x_bits"});
+  idx = 0;
+  for (std::size_t i = 0; i < g1.size(); ++i) {
+    for (std::size_t j = 0; j < g2.size(); ++j, ++idx) {
+      csv.add_row({CsvWriter::format(g1[i]), CsvWriter::format(g2[j]),
+                   cells[idx].stable ? "1" : "0",
+                   CsvWriter::format(cells[idx].max_x),
+                   CsvWriter::format(cells[idx].min_x)});
+    }
+  }
+  const auto csv_path = ctx.out_dir / "propositions_stability_map.csv";
+  if (csv.write_file(csv_path)) {
+    std::printf("  [artifact] %s\n", csv_path.string().c_str());
+  }
+  return 0;
+}
 
 int run(bench::RunContext& ctx) {
   std::printf("=== Propositions 1-4: stability map ===\n");
@@ -40,6 +109,17 @@ int run(bench::RunContext& ctx) {
   if (grid < 2) {
     std::fprintf(stderr, "--grid must be >= 2\n");
     return 2;
+  }
+  if (ctx.mechanism != "bcn" && ctx.mechanism != "bcn-draft") {
+    const auto* info = core::find_mechanism(ctx.mechanism);
+    if (!info->has_fluid) {
+      std::printf("\nmechanism '%s' is packet-only (no fluid facet); no "
+                  "stability map to draw -- see bench/mechanism_matrix for "
+                  "its packet-level behavior.\n",
+                  info->name);
+      return 0;
+    }
+    return run_generic_map(ctx, *info, base, grid);
   }
   const auto gi = analysis::logspace(0.125, 32.0, grid);
   const auto gd = analysis::logspace(1.0 / 1024.0, 0.5, grid);

@@ -7,6 +7,7 @@
 
 #include "bench_util.h"
 #include "common/json.h"
+#include "core/mechanism.h"
 #include "obs/tracing.h"
 
 namespace bcn::bench {
@@ -19,7 +20,7 @@ std::vector<Experiment>& registry() {
 
 const std::vector<std::string> kStandardFlags = {
     "help", "list", "run", "threads", "out", "seed", "json", "trace",
-    "faults"};
+    "faults", "mechanism"};
 
 void print_usage(const char* prog) {
   std::printf(
@@ -40,6 +41,9 @@ void print_usage(const char* prog) {
       "  --faults spec inject deterministic faults into packet-simulator\n"
       "                experiments (BCN_FAULTS env fallback); see\n"
       "                docs/FAULTS.md, e.g. --faults bcn_drop=0.2,seed=7\n"
+      "  --mechanism m congestion-control mechanism for experiments that\n"
+      "                honor it (default bcn); --mechanism list to\n"
+      "                enumerate the registry\n"
       "  --list        list registered experiments and exit\n\n"
       "experiments:\n",
       prog);
@@ -126,6 +130,20 @@ int bench_main(int argc, const char* const* argv) {
                   sim::fault_plan_summary(ctx.faults).c_str());
     }
   }
+  if (const auto mech = args.get("mechanism")) {
+    if (*mech == "list") {
+      for (const auto& info : core::mechanism_registry()) {
+        std::printf("%-10s %s\n", info.name, info.summary);
+      }
+      return 0;
+    }
+    if (!core::find_mechanism(*mech)) {
+      std::fprintf(stderr, "--mechanism: unknown mechanism '%s' (known: %s)\n",
+                   mech->c_str(), core::mechanism_name_list().c_str());
+      return 2;
+    }
+    ctx.mechanism = *mech;
+  }
   if (const auto out = args.get("out")) {
     set_output_dir(*out);
   }
@@ -166,6 +184,7 @@ int bench_main(int argc, const char* const* argv) {
       json.add("wall_seconds", wall);
       json.add("threads", ctx.threads);
       json.add("seed", static_cast<std::int64_t>(ctx.seed));
+      json.add("mechanism", ctx.mechanism);
       metrics.write_json(json, "metrics.");
       const auto path = ctx.out_dir / ("RUN_" + e->name + ".json");
       if (json.write_file(path)) {

@@ -34,6 +34,10 @@ struct RunContext {
   // unarmed by default.  Experiments that simulate a packet network
   // forward it into their scenario configs.
   sim::FaultPlan faults;
+  // Congestion-control mechanism from --mechanism, validated against
+  // core::mechanism_registry().  Experiments that run a single-mechanism
+  // scenario forward it into their NetworkConfig / fluid facet.
+  std::string mechanism = "bcn";
 };
 
 struct Experiment {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Five gates:
+# Six gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
 #     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
 #     test suites, which exercise parallel_for / ThreadPool / the
@@ -24,6 +24,13 @@
 #     malformed --faults spec is rejected with exit 2 and a usage line.
 #     (The FaultsTest cases already ran under TSan in gate 1 as part of
 #     bcn_sim_tests.)
+#  6. Mechanism matrix smoke: runs the E22 mechanism-matrix bench (a 3x3
+#     stability map per registered fluid mechanism plus the heterogeneous
+#     competition pairs), validates BENCH_mechanism_matrix.json (map and
+#     competition keys, fluid boundedness, fairness in [0, 1]), requires
+#     two invocations to self-diff clean at threshold 0 with identical
+#     key sets, and checks --mechanism bogus is rejected with exit 2
+#     while --mechanism list prints the registry.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -204,3 +211,75 @@ grep -q 'fault spec grammar' <<< "$FAULT_ERR" || {
 }
 
 echo "[check.sh] fault smoke clean ($FAULT_RUN_JSON)"
+
+# --- mechanism-matrix smoke -------------------------------------------------
+# The pluggable-mechanism layer end-to-end: per-mechanism gain maps and
+# heterogeneous competition must emit a complete, deterministic artifact,
+# and the --mechanism flag must accept the registry and reject impostors.
+cmake --build "$SMOKE_BUILD_DIR" -j --target mechanism_matrix
+
+MECH_BENCH="$SMOKE_BUILD_DIR"/bench/mechanism_matrix
+MECH_OUT_A=$(mktemp -d)
+MECH_OUT_B=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT" "$FAULT_OUT_A" "$FAULT_OUT_B" "$MECH_OUT_A" "$MECH_OUT_B"' EXIT
+"$MECH_BENCH" --out "$MECH_OUT_A" > /dev/null
+"$MECH_BENCH" --out "$MECH_OUT_B" > /dev/null
+
+MATRIX_JSON="$MECH_OUT_A/BENCH_mechanism_matrix.json"
+[[ -f "$MATRIX_JSON" ]] || { echo "[check.sh] missing $MATRIX_JSON"; exit 1; }
+python3 - "$MATRIX_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("benchmark") == "mechanism_matrix", data.get("benchmark")
+for mech in ("bcn", "bcn-draft", "qcn", "rcp"):
+    cells = data.get(f"map.{mech}.cells")
+    assert cells == 9, f"map.{mech}.cells = {cells!r}, want 9"
+    stable = data.get(f"map.{mech}.stable_cells")
+    assert isinstance(stable, (int, float)) and 0 <= stable <= 9, \
+        f"map.{mech}.stable_cells = {stable!r}"
+    for i in range(9):
+        for axis in ("g1", "g2", "stable"):
+            key = f"map.{mech}.cell{i}.{axis}"
+            assert key in data, f"missing {key}"
+    assert f"map.{mech}.solo_stable" in data
+for pair in ("bcn_vs_bcn", "bcn_vs_qcn", "bcn_vs_rcp", "qcn_vs_rcp"):
+    assert data.get(f"comp.{pair}.fluid.bounded") == 1, \
+        f"{pair}: fluid competition left the buffer strip"
+    fairness = data.get(f"comp.{pair}.packet.fairness")
+    assert isinstance(fairness, (int, float)) and 0.0 < fairness <= 1.0, \
+        f"{pair}: packet fairness {fairness!r}"
+    assert f"comp.{pair}.fluid.fairness" in data
+    assert f"comp.{pair}.packet.frames_dropped" in data
+maps = ", ".join(f"{m}={data[f'map.{m}.stable_cells']:.0f}/9"
+                 for m in ("bcn", "bcn-draft", "qcn", "rcp"))
+print(f"[check.sh] mechanism matrix valid: stable cells {maps}")
+PY
+
+# Byte-determinism across invocations, and key-set completeness: the
+# second run must carry exactly the same keys with exactly equal values.
+"$SMOKE_BUILD_DIR"/tools/bcn_bench_diff \
+  --a "$MATRIX_JSON" --b "$MECH_OUT_B/BENCH_mechanism_matrix.json" \
+  --threshold 0 --require-same-keys > /dev/null || {
+  echo "[check.sh] mechanism matrix not reproducible across invocations"; exit 1;
+}
+
+# An unknown mechanism name must be a usage error (exit 2) naming the
+# registry; `--mechanism list` must enumerate it and exit 0.
+set +e
+MECH_ERR=$("$MECH_BENCH" --mechanism bogus --out "$MECH_OUT_B" 2>&1)
+MECH_STATUS=$?
+set -e
+[[ $MECH_STATUS -eq 2 ]] || {
+  echo "[check.sh] --mechanism bogus exited $MECH_STATUS, want 2"; exit 1;
+}
+grep -q "unknown mechanism 'bogus'" <<< "$MECH_ERR" || {
+  echo "[check.sh] --mechanism bogus printed no usage line"; exit 1;
+}
+MECH_LIST=$("$MECH_BENCH" --mechanism list)
+for name in bcn bcn-draft qcn rcp fera; do
+  grep -q "^$name " <<< "$MECH_LIST" || {
+    echo "[check.sh] --mechanism list omits $name"; exit 1;
+  }
+done
+
+echo "[check.sh] mechanism matrix smoke clean ($MATRIX_JSON)"

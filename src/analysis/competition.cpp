@@ -1,0 +1,145 @@
+#include "analysis/competition.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace bcn::analysis {
+namespace {
+
+struct State {
+  double x = 0.0;
+  double ya = 0.0;
+  double yb = 0.0;
+};
+
+State derive(const core::FluidMechanism& a, const core::FluidMechanism& b,
+             double share_a, double share_b, double lo, double hi,
+             const State& s) {
+  State d;
+  d.x = s.ya + s.yb;
+  // Buffer walls: the queue cannot drain below empty or grow past full.
+  if ((s.x <= lo && d.x < 0.0) || (s.x >= hi && d.x > 0.0)) d.x = 0.0;
+  const double y_total = s.ya + s.yb;
+  d.ya = a.group_rate_deriv(s.x, s.ya, y_total, share_a);
+  d.yb = b.group_rate_deriv(s.x, s.yb, y_total, share_b);
+  return d;
+}
+
+State axpy(const State& s, double h, const State& d) {
+  return {s.x + h * d.x, s.ya + h * d.ya, s.yb + h * d.yb};
+}
+
+}  // namespace
+
+CompetitionRun simulate_fluid_competition(std::string_view mech_a,
+                                          std::string_view mech_b,
+                                          const core::MechanismConfig& base,
+                                          const CompetitionOptions& options) {
+  CompetitionRun run;
+  run.mech_a = std::string(mech_a);
+  run.mech_b = std::string(mech_b);
+
+  const double n_total = base.plant.num_sources;
+  const double na =
+      std::max(1.0, std::round(options.split * n_total));
+  const double nb = std::max(1.0, n_total - na);
+  const double cap = base.plant.capacity;
+  run.share_a = cap * na / (na + nb);
+  run.share_b = cap * nb / (na + nb);
+
+  core::MechanismConfig cfg_a = base;
+  cfg_a.plant.num_sources = na;
+  core::MechanismConfig cfg_b = base;
+  cfg_b.plant.num_sources = nb;
+  const auto a = core::make_fluid_mechanism(mech_a, cfg_a);
+  const auto b = core::make_fluid_mechanism(mech_b, cfg_b);
+  if (!a || !b) return run;  // packet-only mechanism: no fluid verdict
+
+  const double lo = -base.plant.q0;
+  const double hi = base.plant.buffer - base.plant.q0;
+
+  // Analysis start: empty queue, both groups exactly at their share.
+  State s{lo, 0.0, 0.0};
+  const double dt = options.dt;
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(options.duration / dt));
+  const auto record_every = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(options.record_interval / dt)));
+
+  run.max_x = run.min_x = s.x;
+  // The start sits on the empty wall by construction; the underflow check
+  // only makes sense after the orbit has left it.
+  bool left_wall = false;
+  double post_min_x = hi;
+  const double wall_tol = 1e-6 * base.plant.q0;
+
+  run.t.reserve(steps / record_every + 2);
+  run.x.reserve(steps / record_every + 2);
+  run.ya.reserve(steps / record_every + 2);
+  run.yb.reserve(steps / record_every + 2);
+
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    if (i % record_every == 0) {
+      run.t.push_back(t);
+      run.x.push_back(s.x);
+      run.ya.push_back(s.ya);
+      run.yb.push_back(s.yb);
+    }
+    if (i == steps) break;
+
+    // Classic RK4 on the clipped field.
+    const State k1 = derive(*a, *b, run.share_a, run.share_b, lo, hi, s);
+    const State k2 = derive(*a, *b, run.share_a, run.share_b, lo, hi,
+                            axpy(s, dt / 2.0, k1));
+    const State k3 = derive(*a, *b, run.share_a, run.share_b, lo, hi,
+                            axpy(s, dt / 2.0, k2));
+    const State k4 =
+        derive(*a, *b, run.share_a, run.share_b, lo, hi, axpy(s, dt, k3));
+    s.x += dt / 6.0 * (k1.x + 2.0 * k2.x + 2.0 * k3.x + k4.x);
+    s.ya += dt / 6.0 * (k1.ya + 2.0 * k2.ya + 2.0 * k3.ya + k4.ya);
+    s.yb += dt / 6.0 * (k1.yb + 2.0 * k2.yb + 2.0 * k3.yb + k4.yb);
+    // Physical limits: queue within the buffer, group rates nonnegative.
+    s.x = std::clamp(s.x, lo, hi);
+    s.ya = std::max(s.ya, -run.share_a);
+    s.yb = std::max(s.yb, -run.share_b);
+
+    run.max_x = std::max(run.max_x, s.x);
+    run.min_x = std::min(run.min_x, s.x);
+    if (!left_wall && s.x > lo + wall_tol) left_wall = true;
+    if (left_wall) post_min_x = std::min(post_min_x, s.x);
+  }
+
+  run.bounded = left_wall && run.max_x < hi - wall_tol &&
+                post_min_x > lo + wall_tol;
+
+  // Tail statistics.
+  const double tail_start = options.duration * (1.0 - options.tail_fraction);
+  double sum_x = 0.0, sum_ya = 0.0, sum_yb = 0.0;
+  double tmin_x = hi, tmax_x = lo;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < run.t.size(); ++i) {
+    if (run.t[i] < tail_start) continue;
+    sum_x += run.x[i];
+    sum_ya += run.ya[i];
+    sum_yb += run.yb[i];
+    tmin_x = std::min(tmin_x, run.x[i]);
+    tmax_x = std::max(tmax_x, run.x[i]);
+    ++count;
+  }
+  if (count > 0) {
+    const double inv = 1.0 / static_cast<double>(count);
+    run.tail_queue_mean = sum_x * inv + base.plant.q0;
+    run.tail_x_p2p = tmax_x - tmin_x;
+    run.tail_rate_a = sum_ya * inv + run.share_a;
+    run.tail_rate_b = sum_yb * inv + run.share_b;
+    const double r1 = run.tail_rate_a / run.share_a;
+    const double r2 = run.tail_rate_b / run.share_b;
+    const double denom = 2.0 * (r1 * r1 + r2 * r2);
+    run.fairness = denom > 0.0 ? (r1 + r2) * (r1 + r2) / denom : 0.0;
+  }
+  return run;
+}
+
+}  // namespace bcn::analysis

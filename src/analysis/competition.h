@@ -1,0 +1,72 @@
+// Heterogeneous-competition fluid analysis: two source groups running
+// different congestion-control mechanisms share one bottleneck queue.
+//
+// State is the 3-vector (x, y_a, y_b) with x = q - q0 and y_g the group's
+// aggregate-rate deviation from its capacity share:
+//
+//   x'   = y_a + y_b                      (clipped at the buffer walls)
+//   y_g' = mech_g.group_rate_deriv(x, y_g, y_a + y_b, share_g)
+//
+// integrated with a fixed-step RK4 (the planar event-localizing driver in
+// src/ode is two-dimensional; competition trades event localization for a
+// small step).  The verdict reports boundedness inside the buffer strip,
+// tail oscillation, and share-normalized Jain fairness -- the questions
+// the BBR-vs-CUBIC style competition literature asks of such pairs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mechanism.h"
+
+namespace bcn::analysis {
+
+struct CompetitionOptions {
+  double duration = 0.05;         // seconds of model time
+  double dt = 1e-6;               // RK4 step
+  double record_interval = 1e-5;  // series sampling period
+  double split = 0.5;             // fraction of the N sources in group A
+  double tail_fraction = 0.5;     // last fraction of the horizon analyzed
+};
+
+struct CompetitionRun {
+  std::string mech_a;
+  std::string mech_b;
+  double share_a = 0.0;  // group capacity shares [bits/s]
+  double share_b = 0.0;
+
+  // Recorded series (t, x, y_a, y_b).
+  std::vector<double> t;
+  std::vector<double> x;
+  std::vector<double> ya;
+  std::vector<double> yb;
+
+  // Whole-horizon queue extrema (phase-plane verdict inputs).
+  double max_x = 0.0;
+  double min_x = 0.0;
+  // Strictly inside the buffer strip for the whole horizon (walls never
+  // pinned the queue).
+  bool bounded = false;
+
+  // Tail statistics (last tail_fraction of the horizon).
+  double tail_queue_mean = 0.0;  // mean q = x + q0 [bits]
+  double tail_x_p2p = 0.0;       // queue oscillation peak-to-peak [bits]
+  double tail_rate_a = 0.0;      // mean group aggregate rates [bits/s]
+  double tail_rate_b = 0.0;
+  // Jain index over the share-normalized tail rates: 1.0 = each group
+  // holds exactly its fair share.
+  double fairness = 0.0;
+};
+
+// Integrates mechanism `mech_a` (group A) against `mech_b` (group B) on
+// the plant in `base`.  Group facets are built with num_sources scaled to
+// the group's head count; both groups start at their fair share with an
+// empty queue (the analysis start).  Returns a default-constructed run
+// (empty series) if either mechanism lacks a fluid facet.
+CompetitionRun simulate_fluid_competition(std::string_view mech_a,
+                                          std::string_view mech_b,
+                                          const core::MechanismConfig& base,
+                                          const CompetitionOptions& options = {});
+
+}  // namespace bcn::analysis

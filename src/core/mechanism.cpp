@@ -1,0 +1,393 @@
+#include "core/mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bcn::core {
+namespace {
+
+// --- BCN --------------------------------------------------------------------
+// Delegates the switched system to FluidModel so the ported facet is
+// arithmetically identical to the original single-mechanism code path.
+class BcnFluidMechanism final : public FluidMechanism {
+ public:
+  BcnFluidMechanism(const BcnParams& plant, bool draft)
+      : FluidMechanism(plant), draft_(draft) {}
+
+  const char* name() const override { return draft_ ? "bcn-draft" : "bcn"; }
+
+  double sigma(Vec2 z) const override {
+    return -(z.x + plant_.k() * z.y);
+  }
+
+  ode::HybridSystem hybrid_system(ModelLevel level) const override {
+    return FluidModel(plant_, level).hybrid_system();
+  }
+
+  std::vector<RegionLaw> region_laws() const override {
+    return {{"increase", plant_.increase_m(), plant_.increase_n(), true},
+            {"decrease", plant_.decrease_m(), plant_.decrease_n(), true}};
+  }
+
+  double group_rate_deriv(double x, double y_group, double y_total,
+                          double share) const override {
+    const double s = -(x + plant_.k() * y_total);
+    if (s > 0.0) return plant_.a() * s;  // additive increase, a = Ru Gi N_g
+    // Multiplicative decrease scales the group's own aggregate rate.
+    return plant_.b() * (y_group + share) * s;
+  }
+
+ private:
+  bool draft_;
+};
+
+// --- QCN --------------------------------------------------------------------
+// Negative-only quantized feedback; rate recovery is the sources' own
+// periodic active increase.  Fluid caricature:
+//
+//   * everywhere: the self-increase timers contribute a constant drive
+//     ai = N R_AI / T_AI (the active-increase phase; fast recovery decays
+//     toward it);
+//   * sigma < 0: each sampled message cuts the targeted source by
+//     max_decrease * Fb/(Fb_max+1); below full scale Fb is proportional
+//     to sigma_frames / fb_scale, so the smooth limit is the BCN
+//     multiplicative law with the effective gain b = max_decrease/fb_scale
+//     (= 1/128 at the QCN defaults, matching the BCN draft Gd).
+//
+// The drive never vanishes at the origin, so QCN has no equilibrium: the
+// orbit settles into a sawtooth riding just inside the decrease region.
+class QcnFluidMechanism final : public FluidMechanism {
+ public:
+  QcnFluidMechanism(const BcnParams& plant, const QcnParams& qcn)
+      : FluidMechanism(plant), qcn_(qcn) {}
+
+  const char* name() const override { return "qcn"; }
+
+  double active_drive() const {
+    return plant_.num_sources * qcn_.active_increase / qcn_.increase_period;
+  }
+  double effective_gd() const { return qcn_.max_decrease / qcn_.fb_scale; }
+
+  double sigma(Vec2 z) const override {
+    return -(z.x + plant_.k() * z.y);
+  }
+
+  ode::HybridSystem hybrid_system(ModelLevel level) const override {
+    ode::HybridSystem system;
+    const double k = plant_.k();
+    const double ai = active_drive();
+    const double b = effective_gd();
+    const double cap = plant_.capacity;
+
+    system.modes.push_back(
+        [ai](double /*t*/, Vec2 z) -> Vec2 { return {z.y, ai}; });
+    if (level == ModelLevel::Linearized) {
+      const double bc = b * cap;
+      system.modes.push_back([ai, bc, k](double /*t*/, Vec2 z) -> Vec2 {
+        return {z.y, ai - bc * (z.x + k * z.y)};
+      });
+    } else {
+      system.modes.push_back([ai, b, k, cap](double /*t*/, Vec2 z) -> Vec2 {
+        return {z.y, ai - b * (z.y + cap) * (z.x + k * z.y)};
+      });
+    }
+
+    if (level != ModelLevel::Clipped) {
+      system.mode_of = [k](double /*t*/, Vec2 z) {
+        return -(z.x + k * z.y) > 0.0 ? kModeIncrease : kModeDecrease;
+      };
+      system.guards.push_back(
+          [k](double /*t*/, Vec2 z) { return z.x + k * z.y; });
+      return system;
+    }
+
+    // Buffer walls, mirroring FluidModel's clipped structure: on a wall
+    // the sampled queue variation vanishes and sigma degenerates to -x.
+    system.modes.push_back(
+        [ai](double /*t*/, Vec2 /*z*/) -> Vec2 { return {0.0, ai}; });
+    system.modes.push_back([ai, b, cap](double /*t*/, Vec2 z) -> Vec2 {
+      return {0.0, ai - b * (z.y + cap) * z.x};
+    });
+    const double lo = x_min();
+    const double hi = x_max();
+    const double wall_tol = 1e-9 * plant_.q0;
+    system.mode_of = [k, lo, hi, wall_tol](double /*t*/, Vec2 z) {
+      if (z.x <= lo + wall_tol && z.y <= 0.0) return kModeEmptyWall;
+      if (z.x >= hi - wall_tol && z.y >= 0.0) return kModeFullWall;
+      return -(z.x + k * z.y) > 0.0 ? kModeIncrease : kModeDecrease;
+    };
+    system.guards.push_back(
+        [k](double /*t*/, Vec2 z) { return z.x + k * z.y; });
+    system.guards.push_back([lo](double /*t*/, Vec2 z) { return z.x - lo; });
+    system.guards.push_back([hi](double /*t*/, Vec2 z) { return z.x - hi; });
+    system.guards.push_back([](double /*t*/, Vec2 z) { return z.y; });
+    return system;
+  }
+
+  std::vector<RegionLaw> region_laws() const override {
+    const double bc = effective_gd() * plant_.capacity;
+    return {{"increase (constant drive)", 0.0, 0.0, false},
+            {"decrease", plant_.k() * bc, bc, true}};
+  }
+
+  bool has_equilibrium() const override { return false; }
+
+  double group_rate_deriv(double x, double y_group, double y_total,
+                          double share) const override {
+    const double s = -(x + plant_.k() * y_total);
+    const double ai = active_drive();
+    if (s > 0.0) return ai;
+    return ai + effective_gd() * (y_group + share) * s;
+  }
+
+ private:
+  QcnParams qcn_;
+};
+
+// --- RCP --------------------------------------------------------------------
+// Explicit-rate control: one advertised rate R for every flow, updated
+// each interval d by the relative rate mismatch and the queue excess,
+//   dR/dt = R (alpha (C - Y) - beta (q - q0)/d) / (C d),   Y = N R.
+// In translated aggregate coordinates (Y = y + C):
+//   dy/dt = (y + C)(-alpha y - (beta/d) x) / (C d),
+// a single smooth law on the whole interior: unlike BCN/QCN there is no
+// switching line, only the buffer walls.  Linearization at the origin
+// gives lambda^2 + (alpha/d) lambda + beta/d^2, stable for any positive
+// gains (the Voice & Raina alpha = 0.4, beta = 0.226 defaults put it in
+// the well-damped spiral regime).
+class RcpFluidMechanism final : public FluidMechanism {
+ public:
+  RcpFluidMechanism(const BcnParams& plant, const RcpParams& rcp)
+      : FluidMechanism(plant), rcp_(rcp) {}
+
+  const char* name() const override { return "rcp"; }
+
+  double sigma(Vec2 z) const override {
+    return -rcp_.alpha * z.y - (rcp_.beta / rcp_.interval) * z.x;
+  }
+
+  ode::HybridSystem hybrid_system(ModelLevel level) const override {
+    ode::HybridSystem system;
+    const double alpha = rcp_.alpha;
+    const double bd = rcp_.beta / rcp_.interval;  // beta/d
+    const double d = rcp_.interval;
+    const double cap = plant_.capacity;
+
+    if (level == ModelLevel::Linearized) {
+      const double ad = alpha / d;
+      const double bdd = bd / d;  // beta/d^2
+      system.modes.push_back([ad, bdd](double /*t*/, Vec2 z) -> Vec2 {
+        return {z.y, -ad * z.y - bdd * z.x};
+      });
+    } else {
+      system.modes.push_back(
+          [alpha, bd, d, cap](double /*t*/, Vec2 z) -> Vec2 {
+            return {z.y,
+                    (z.y + cap) * (-alpha * z.y - bd * z.x) / (cap * d)};
+          });
+    }
+
+    if (level != ModelLevel::Clipped) {
+      system.mode_of = [](double /*t*/, Vec2 /*z*/) { return 0; };
+      return system;
+    }
+
+    // Walls: the queue pins, the rate law keeps integrating with x frozen.
+    system.modes.push_back(
+        [alpha, bd, d, cap](double /*t*/, Vec2 z) -> Vec2 {
+          return {0.0, (z.y + cap) * (-alpha * z.y - bd * z.x) / (cap * d)};
+        });
+    system.modes.push_back(
+        [alpha, bd, d, cap](double /*t*/, Vec2 z) -> Vec2 {
+          return {0.0, (z.y + cap) * (-alpha * z.y - bd * z.x) / (cap * d)};
+        });
+    const double lo = x_min();
+    const double hi = x_max();
+    const double wall_tol = 1e-9 * plant_.q0;
+    system.mode_of = [lo, hi, wall_tol](double /*t*/, Vec2 z) {
+      if (z.x <= lo + wall_tol && z.y <= 0.0) return 1;
+      if (z.x >= hi - wall_tol && z.y >= 0.0) return 2;
+      return 0;
+    };
+    system.guards.push_back([lo](double /*t*/, Vec2 z) { return z.x - lo; });
+    system.guards.push_back([hi](double /*t*/, Vec2 z) { return z.x - hi; });
+    system.guards.push_back([](double /*t*/, Vec2 z) { return z.y; });
+    return system;
+  }
+
+  std::vector<RegionLaw> region_laws() const override {
+    const double d = rcp_.interval;
+    return {{"interior", rcp_.alpha / d, rcp_.beta / (d * d), true}};
+  }
+
+  double group_rate_deriv(double x, double y_group, double y_total,
+                          double share) const override {
+    // Every flow is advertised the same R, so each group's aggregate
+    // scales by the same relative update.
+    const double cap = plant_.capacity;
+    const double d = rcp_.interval;
+    return (y_group + share) *
+           (-rcp_.alpha * y_total - (rcp_.beta / d) * x) / (cap * d);
+  }
+
+ private:
+  RcpParams rcp_;
+};
+
+// --- registry ---------------------------------------------------------------
+
+void set_bcn_gains(MechanismConfig& c, double g1, double g2) {
+  c.plant.gi = g1;
+  c.plant.gd = g2;
+}
+std::pair<double, double> default_bcn_gains(const MechanismConfig& c) {
+  return {c.plant.gi, c.plant.gd};
+}
+void set_qcn_gains(MechanismConfig& c, double g1, double g2) {
+  c.qcn.active_increase = g1;
+  c.qcn.max_decrease = g2;
+}
+std::pair<double, double> default_qcn_gains(const MechanismConfig& c) {
+  return {c.qcn.active_increase, c.qcn.max_decrease};
+}
+void set_rcp_gains(MechanismConfig& c, double g1, double g2) {
+  c.rcp.alpha = g1;
+  c.rcp.beta = g2;
+}
+std::pair<double, double> default_rcp_gains(const MechanismConfig& c) {
+  return {c.rcp.alpha, c.rcp.beta};
+}
+void set_fera_gains(MechanismConfig& c, double g1, double g2) {
+  c.fera.alpha = g1;
+  c.fera.smoothing = g2;
+}
+std::pair<double, double> default_fera_gains(const MechanismConfig& c) {
+  return {c.fera.alpha, c.fera.smoothing};
+}
+
+}  // namespace
+
+const std::vector<MechanismInfo>& mechanism_registry() {
+  static const std::vector<MechanismInfo> registry = {
+      {"bcn",
+       "BCN with fluid-matched feedback application (paper eq. (2)/(7))",
+       "gi", "gd", true, true, set_bcn_gains, default_bcn_gains},
+      {"bcn-draft",
+       "BCN with the draft's literal per-message quantized jumps",
+       "gi", "gd", true, true, set_bcn_gains, default_bcn_gains},
+      {"qcn",
+       "QCN-style: negative-only quantized feedback, source self-increase",
+       "active_increase", "max_decrease", true, true, set_qcn_gains,
+       default_qcn_gains},
+      {"rcp",
+       "RCP-style explicit rate: rate-mismatch + queue terms per interval",
+       "alpha", "beta", true, true, set_rcp_gains, default_rcp_gains},
+      {"fera",
+       "FERA/ERICA-style explicit fair-share advertisement (packet only)",
+       "alpha", "smoothing", false, true, set_fera_gains,
+       default_fera_gains},
+  };
+  return registry;
+}
+
+const MechanismInfo* find_mechanism(std::string_view name) {
+  for (const MechanismInfo& info : mechanism_registry()) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+std::string mechanism_name_list() {
+  std::string out;
+  for (const MechanismInfo& info : mechanism_registry()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
+}
+
+std::unique_ptr<FluidMechanism> make_fluid_mechanism(
+    std::string_view name, const MechanismConfig& config) {
+  if (name == "bcn") {
+    return std::make_unique<BcnFluidMechanism>(config.plant, false);
+  }
+  if (name == "bcn-draft") {
+    return std::make_unique<BcnFluidMechanism>(config.plant, true);
+  }
+  if (name == "qcn") {
+    return std::make_unique<QcnFluidMechanism>(config.plant, config.qcn);
+  }
+  if (name == "rcp") {
+    return std::make_unique<RcpFluidMechanism>(config.plant, config.rcp);
+  }
+  return nullptr;
+}
+
+FluidRun simulate_fluid_mechanism(const FluidMechanism& mechanism,
+                                  const MechanismRunOptions& options) {
+  const BcnParams& p = mechanism.plant();
+  const Vec2 z0 = mechanism.analysis_initial_point();
+
+  ode::HybridOptions hopts;
+  hopts.tol = options.tol;
+  hopts.record_interval = options.record_interval;
+  if (options.convergence_tol > 0.0 && mechanism.has_equilibrium()) {
+    const double q0 = p.q0;
+    const double cap = p.capacity;
+    const double tol = options.convergence_tol;
+    hopts.stop_when = [q0, cap, tol](double /*t*/, Vec2 z) {
+      return std::abs(z.x) / q0 + std::abs(z.y) / cap < tol;
+    };
+  }
+
+  const ode::HybridResult hybrid =
+      ode::integrate_hybrid(mechanism.hybrid_system(options.level), 0.0, z0,
+                            options.duration, hopts);
+
+  FluidRun run;
+  run.trajectory = hybrid.trajectory;
+  run.switches = hybrid.switches;
+  run.completed = hybrid.completed;
+  run.converged = hybrid.stopped_early;
+  run.steps_accepted = hybrid.steps_accepted;
+  run.steps_rejected = hybrid.steps_rejected;
+  run.min_step = hybrid.min_accepted_step;
+  run.event_bisections = hybrid.event_bisection_iterations;
+
+  const std::size_t start = run.trajectory.size() > 1 ? 1 : 0;
+  const double t_gate = run.switches.empty()
+                            ? std::numeric_limits<double>::infinity()
+                            : run.switches.front().t;
+  run.max_x = run.min_x = run.trajectory[start].z.x;
+  run.max_y = run.min_y = run.trajectory[start].z.y;
+  for (std::size_t i = start; i < run.trajectory.size(); ++i) {
+    const auto& s = run.trajectory[i];
+    run.max_x = std::max(run.max_x, s.z.x);
+    run.min_x = std::min(run.min_x, s.z.x);
+    run.max_y = std::max(run.max_y, s.z.y);
+    run.min_y = std::min(run.min_y, s.z.y);
+    if (s.t >= t_gate) {
+      run.post_switch_max_x = std::max(run.post_switch_max_x, s.z.x);
+      run.post_switch_min_x = std::min(run.post_switch_min_x, s.z.x);
+    }
+  }
+  return run;
+}
+
+NumericVerdict mechanism_numeric_verdict(const FluidMechanism& mechanism,
+                                         const MechanismRunOptions& options) {
+  MechanismRunOptions opts = options;
+  if (opts.convergence_tol == 0.0) opts.convergence_tol = 1e-8;
+  const FluidRun run = simulate_fluid_mechanism(mechanism, opts);
+  NumericVerdict verdict;
+  verdict.max_x = run.max_x;
+  verdict.min_x = run.post_switch_min_x;
+  verdict.converged = run.converged;
+  verdict.strongly_stable = run.max_x < mechanism.x_max() &&
+                            run.post_switch_min_x > mechanism.x_min() &&
+                            run.completed;
+  return verdict;
+}
+
+}  // namespace bcn::core

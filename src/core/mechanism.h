@@ -1,0 +1,179 @@
+// Pluggable congestion-control mechanisms: the fluid facet.
+//
+// The phase-plane machinery (hybrid integration, numeric strong-stability
+// verdicts, stability maps, fluid-vs-packet cross-validation) originally
+// hard-wired BCN's sigma feedback.  A CongestionControlMechanism now has
+// two coordinated facets:
+//
+//   * the fluid facet (this header): the ODE right-hand sides, switching
+//     structure and linearized region laws consumed by src/core and
+//     src/ode;
+//   * the packet facet (sim/mechanism.h): the switch feedback-generation
+//     policy and regulator reaction policy consumed by src/sim.
+//
+// Both facets of one mechanism are registered under one name ("bcn",
+// "qcn", "rcp", ...) in the registry below, which is what --mechanism
+// resolves against in the bench runner and the analysis tools.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/bcn_params.h"
+#include "core/fluid_model.h"
+#include "core/simulate.h"
+#include "core/stability.h"
+
+namespace bcn::core {
+
+// RCP-style explicit-rate controller (Voice & Raina): once per control
+// interval d the switch updates its advertised rate by the relative rate
+// mismatch plus a queue term,
+//   R <- R [1 + (T/d) (alpha (C - y) - beta (q - q0)/d) / C].
+// The (q - q0) form (instead of the classic q) places the equilibrium at
+// the phase-plane origin shared by the other mechanisms.
+struct RcpParams {
+  double alpha = 0.4;     // rate-mismatch gain
+  double beta = 0.226;    // queue-drain gain
+  double interval = 1e-4; // control interval d [s] (the RTT estimate)
+};
+
+// QCN-style operation promoted out of the old rate_regulator.h mode
+// flags: negative-only quantized feedback, source-driven recovery.
+struct QcnParams {
+  double active_increase = 5e6;    // R_AI [bits/s] per self-increase
+  double increase_period = 1e-4;   // self-increase timer period [s]
+  int feedback_bits = 6;           // |Fb| quantized to 2^bits - 1 levels
+  double fb_scale = 64.0;          // sigma_frames mapping to full scale
+  int fast_recovery_cycles = 5;
+  double max_decrease = 0.5;       // largest per-message rate fraction cut
+  double frame_bits = 12000.0;     // sigma quantum for the Fb field
+};
+
+// FERA/ERICA-style explicit fair-share advertisement (packet-only: the
+// advert jumps between fair-share levels as the flow estimate updates,
+// which has no planar fluid limit in this framework).
+struct FeraParams {
+  double alpha = 0.5;              // queue-correction weight in the advert
+  std::uint64_t epoch_frames = 1000;  // flow-estimation epoch length
+  double smoothing = 0.5;          // regulator EWMA weight for new adverts
+};
+
+// Everything needed to instantiate any registered mechanism: the shared
+// plant description plus the per-mechanism knobs.
+struct MechanismConfig {
+  BcnParams plant = BcnParams::standard_draft();
+  RcpParams rcp;
+  QcnParams qcn;
+  FeraParams fera;
+};
+
+// One linearized region law lambda^2 + m lambda + n = 0 of a mechanism's
+// switched dynamics.  Mechanisms whose drive in a region is constant
+// (QCN's active increase) have no second-order law there.
+struct RegionLaw {
+  const char* label = "";
+  double m = 0.0;
+  double n = 0.0;
+  bool linearizable = true;
+};
+
+// The fluid facet: a planar switched system in the translated coordinates
+// x = q - q0, y = (aggregate rate) - C shared with FluidModel.
+class FluidMechanism {
+ public:
+  virtual ~FluidMechanism() = default;
+
+  virtual const char* name() const = 0;
+  const BcnParams& plant() const { return plant_; }
+
+  // Feedback signal driving the regulators; its sign selects the region.
+  virtual double sigma(Vec2 z) const = 0;
+
+  // The switched system at a given model level, compatible with
+  // ode::integrate_hybrid.
+  virtual ode::HybridSystem hybrid_system(ModelLevel level) const = 0;
+
+  // Linearized characteristic polynomials per region.
+  virtual std::vector<RegionLaw> region_laws() const = 0;
+
+  // False when the vector field cannot vanish at the origin (QCN's
+  // constant active increase): the mechanism orbits a sawtooth / limit
+  // cycle instead of settling.
+  virtual bool has_equilibrium() const { return true; }
+
+  // Group dynamics for heterogeneous competition: dy_g/dt for a source
+  // group whose fair share of the capacity is `share` [bits/s], carrying
+  // aggregate deviation y_group, while the shared queue sees x and the
+  // total deviation y_total.  Always the nonlinear (level-(8)) law.
+  virtual double group_rate_deriv(double x, double y_group, double y_total,
+                                  double share) const = 0;
+
+  // Buffer walls and the canonical analysis start, shared by every
+  // mechanism operating on the same plant.
+  double x_min() const { return -plant_.q0; }
+  double x_max() const { return plant_.buffer - plant_.q0; }
+  Vec2 analysis_initial_point() const { return {-plant_.q0, 0.0}; }
+
+ protected:
+  explicit FluidMechanism(const BcnParams& plant) : plant_(plant) {}
+
+  BcnParams plant_;
+};
+
+// --- registry ---------------------------------------------------------------
+
+struct MechanismInfo {
+  const char* name;
+  const char* summary;
+  // The two gain axes a per-mechanism stability map sweeps.
+  const char* gain1;
+  const char* gain2;
+  bool has_fluid;
+  bool has_packet;
+  void (*set_gains)(MechanismConfig&, double g1, double g2);
+  std::pair<double, double> (*default_gains)(const MechanismConfig&);
+};
+
+const std::vector<MechanismInfo>& mechanism_registry();
+
+// nullptr when `name` is not registered.
+const MechanismInfo* find_mechanism(std::string_view name);
+
+// "bcn, bcn-draft, qcn, rcp, fera" -- for usage/error messages.
+std::string mechanism_name_list();
+
+// Builds the fluid facet; nullptr for unknown names and for packet-only
+// mechanisms (fera).
+std::unique_ptr<FluidMechanism> make_fluid_mechanism(
+    std::string_view name, const MechanismConfig& config = {});
+
+// --- generic numeric analysis ----------------------------------------------
+
+struct MechanismRunOptions {
+  ModelLevel level = ModelLevel::Nonlinear;
+  double duration = 0.01;
+  double record_interval = 0.0;
+  ode::Tolerances tol{1e-9, 1e-9};
+  // Stop once |x|/q0 + |y|/C falls below this (0 disables; ignored for
+  // mechanisms without an equilibrium).
+  double convergence_tol = 0.0;
+};
+
+// Integrates a mechanism's switched system from the analysis start,
+// mirroring core::simulate_fluid for FluidModel.
+FluidRun simulate_fluid_mechanism(const FluidMechanism& mechanism,
+                                  const MechanismRunOptions& options = {});
+
+// Numeric strong-stability verdict generalized to any fluid facet: the
+// orbit must stay strictly inside the buffer strip after its first
+// switching event.  For BCN this agrees with
+// core::numeric_strong_stability.
+NumericVerdict mechanism_numeric_verdict(const FluidMechanism& mechanism,
+                                         const MechanismRunOptions& options = {});
+
+}  // namespace bcn::core

@@ -10,6 +10,7 @@ CoreSwitch::CoreSwitch(Simulator& sim, CoreSwitchConfig config,
     : sim_(sim),
       config_(config),
       stats_(stats),
+      mech_a_(&default_bcn_mechanism()),
       sampling_rng_(config.sampling_seed) {
   sample_every_ = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(std::llround(1.0 / config_.pm)));
@@ -31,15 +32,13 @@ void CoreSwitch::on_frame(const Frame& frame) {
 }
 
 void CoreSwitch::maybe_sample(const Frame& frame) {
-  if (config_.fera_mode) {
-    // Active-flow estimation: distinct sources per epoch.
-    epoch_sources_.insert(frame.source);
-    if (++epoch_arrivals_ >= config_.fera_epoch_frames) {
-      active_flow_estimate_ = std::max<std::size_t>(1, epoch_sources_.size());
-      epoch_sources_.clear();
-      epoch_arrivals_ = 0;
-    }
-  }
+  const bool split = mech_b_ && frame.source >= first_b_;
+  PacketMechanism& mech = split ? *mech_b_ : *mech_a_;
+  // Arrival hooks are link-level rate/flow measurements (RCP's arrival
+  // accumulator, FERA's flow estimator): every mechanism observing this
+  // port sees every frame, including the other group's cross traffic.
+  if (hook_a_) mech_a_->on_arrival(frame, to_seconds(sim_.now()));
+  if (hook_b_) mech_b_->on_arrival(frame, to_seconds(sim_.now()));
 
   if (config_.random_sampling) {
     if (!sampling_rng_.bernoulli(config_.pm)) return;
@@ -57,44 +56,41 @@ void CoreSwitch::maybe_sample(const Frame& frame) {
 
   if (!has_bcn_sender()) return;
   const double now_s = to_seconds(sim_.now());
-  if (config_.fera_mode) {
-    // FERA/ERICA-style explicit rate: fair share scaled by the queue
-    // deviation from the reference.
-    const double fair =
-        config_.capacity / static_cast<double>(active_flow_estimate_);
-    const double correction =
-        1.0 - config_.fera_alpha * (queue_bits_ - config_.q0) / config_.q0;
-    const double advertised = std::max(0.0, fair * correction);
-    if (sigma < 0.0) {
+  const FeedbackDecision decision =
+      mech.on_sample({sigma, queue_bits_, now_s, &frame, &config_});
+  switch (decision.kind) {
+    case FeedbackDecision::Kind::None:
+      break;
+    case FeedbackDecision::Kind::Negative:
       ++stats_.counters.bcn_negative;
-    } else {
+      stats_.events().record({now_s, obs::EventKind::BcnNegativeSent,
+                              config_.cpid, frame.source, sigma, 0.0});
+      emit_bcn({.cpid = config_.cpid, .target = frame.source,
+                .sigma = sigma, .sent_at = sim_.now()});
+      break;
+    case FeedbackDecision::Kind::Positive:
       ++stats_.counters.bcn_positive;
-    }
-    stats_.events().record({now_s, obs::EventKind::BcnRateAdvertSent,
-                            config_.cpid, frame.source, sigma, advertised});
-    emit_bcn({.cpid = config_.cpid, .target = frame.source,
-              .sigma = sigma, .advertised_rate = advertised,
-              .sent_at = sim_.now()});
-    return;
-  }
-  if (sigma < 0.0) {
-    // Negative feedback: always sent to the sampled frame's source.
-    ++stats_.counters.bcn_negative;
-    stats_.events().record({now_s, obs::EventKind::BcnNegativeSent,
-                            config_.cpid, frame.source, sigma, 0.0});
-    emit_bcn({.cpid = config_.cpid, .target = frame.source,
-              .sigma = sigma, .sent_at = sim_.now()});
-  } else if (sigma > 0.0 && !config_.suppress_positive &&
-             (!config_.positive_requires_rrt ||
-              (frame.has_rrt && frame.rrt_cpid == config_.cpid)) &&
-             queue_bits_ < config_.q0) {
-    // Positive feedback: only to tagged (rate-regulated) sources, and only
-    // while the queue is below the reference (paper Section II.B).
-    ++stats_.counters.bcn_positive;
-    stats_.events().record({now_s, obs::EventKind::BcnPositiveSent,
-                            config_.cpid, frame.source, sigma, 0.0});
-    emit_bcn({.cpid = config_.cpid, .target = frame.source,
-              .sigma = sigma, .sent_at = sim_.now()});
+      stats_.events().record({now_s, obs::EventKind::BcnPositiveSent,
+                              config_.cpid, frame.source, sigma, 0.0});
+      emit_bcn({.cpid = config_.cpid, .target = frame.source,
+                .sigma = sigma, .sent_at = sim_.now()});
+      break;
+    case FeedbackDecision::Kind::RateAdvert:
+      // Rate advertisements reuse the BCN positive/negative tallies by
+      // sigma sign so the send/apply causal accounting stays closed.
+      if (sigma < 0.0) {
+        ++stats_.counters.bcn_negative;
+      } else {
+        ++stats_.counters.bcn_positive;
+      }
+      stats_.events().record({now_s, obs::EventKind::BcnRateAdvertSent,
+                              config_.cpid, frame.source, sigma,
+                              decision.advertised_rate});
+      emit_bcn({.cpid = config_.cpid, .target = frame.source,
+                .sigma = sigma,
+                .advertised_rate = decision.advertised_rate,
+                .sent_at = sim_.now()});
+      break;
   }
 }
 

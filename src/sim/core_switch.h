@@ -1,18 +1,24 @@
 // The core-switch congestion point (paper Fig. 1): a drop-tail FIFO queue
 // draining at the bottleneck capacity, frame sampling every 1/pm arrivals,
-// sigma computation per eq. (1), BCN message generation, and 802.3x PAUSE
-// when the queue exceeds the severe-congestion threshold qsc.
+// sigma computation per eq. (1), and 802.3x PAUSE when the queue exceeds
+// the severe-congestion threshold qsc.
+//
+// What feedback a sampled frame triggers is the attached congestion-
+// control mechanism's decision (sim/mechanism.h): sigma-sign BCN
+// messages for bcn/bcn-draft, negative-only for qcn, an explicit rate
+// advertisement for fera/rcp.  The switch owns the plant (queue, drain,
+// sampling, PAUSE); the mechanism owns the feedback policy.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_set>
 
 #include "common/rng.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/frame.h"
+#include "sim/mechanism.h"
 #include "sim/stats.h"
 
 namespace bcn::sim {
@@ -29,18 +35,10 @@ struct CoreSwitchConfig {
   SimTime pause_duration = 3355;  // 512-bit quanta x 65535 at 10 Gbps [ns]
   // Draft semantics: positive BCN only reaches sources already associated
   // (tagged) with this congestion point.  The fluid model of the paper
-  // assumes positive feedback reaches every source, so the fluid-matched
-  // cross-validation runs disable this gate.
+  // assumes positive feedback reaches every source, so mechanisms doing
+  // fluid-matched cross-validation disable this gate (the Network wiring
+  // sets it from PacketMechanism::positive_requires_rrt()).
   bool positive_requires_rrt = true;
-  // QCN semantics: the network sends only negative feedback.
-  bool suppress_positive = false;
-  // FERA semantics: advertise an explicit allowed rate on every sample,
-  // R_adv = (C / active_flows) * (1 - alpha * (q - q0)/q0), instead of
-  // sigma-sign feedback.
-  bool fera_mode = false;
-  double fera_alpha = 0.5;
-  // Active flows are estimated as the distinct sources seen per epoch.
-  std::uint64_t fera_epoch_frames = 1000;
   // Sampling discipline: the paper models a *deterministic* 1/pm arrival
   // count; the original ECM proposal samples each arrival independently
   // with probability pm.  Both are supported; random sampling is seeded
@@ -65,8 +63,8 @@ class CoreSwitch : public EventTarget {
   void set_sink(FrameSink sink) { sink_ = std::move(sink); }
   void set_sink(const EventLink& link) { sink_link_ = link; }
 
-  // Frame arrival from the fabric.  Samples, possibly emits BCN/PAUSE via
-  // the callbacks, then enqueues or drops.
+  // Frame arrival from the fabric.  Samples, possibly emits feedback /
+  // PAUSE via the callbacks, then enqueues or drops.
   void on_frame(const Frame& frame);
 
   // Each sender accepts either a std::function (tests, ad-hoc wiring) or
@@ -76,7 +74,21 @@ class CoreSwitch : public EventTarget {
   void set_pause_sender(PauseSender sender) { send_pause_ = std::move(sender); }
   void set_pause_sender(const EventLink& link) { pause_link_ = link; }
 
-  // Optional reverse-path fault injector (sim/faults.h): BCN drop /
+  // Congestion-control mechanism driving feedback generation; defaults to
+  // the shared BCN fluid-matched mechanism.  Not owned.
+  void set_mechanism(PacketMechanism* mechanism) {
+    mech_a_ = mechanism;
+    hook_a_ = mechanism->wants_arrival_hook();
+  }
+  // Heterogeneous competition: sources with id >= first_b are handled by
+  // `mechanism` instead of the primary one.
+  void set_mechanism_split(PacketMechanism* mechanism, SourceId first_b) {
+    mech_b_ = mechanism;
+    hook_b_ = mechanism->wants_arrival_hook();
+    first_b_ = first_b;
+  }
+
+  // Optional reverse-path fault injector (sim/faults.h): feedback drop /
   // delay / duplication and PAUSE loss are decided at emission time.
   // Scenarios only attach an injector when the plan is armed, so the
   // lossless path stays untouched.
@@ -115,6 +127,14 @@ class CoreSwitch : public EventTarget {
   EventLink pause_link_;
   EventLink sink_link_;
   FaultInjector* faults_ = nullptr;
+  // Primary mechanism (all sources) plus the optional competition split;
+  // the arrival-hook flags are cached so the per-frame fast path skips
+  // the virtual call for mechanisms without switch-side state.
+  PacketMechanism* mech_a_;
+  PacketMechanism* mech_b_ = nullptr;
+  bool hook_a_ = false;
+  bool hook_b_ = false;
+  SourceId first_b_ = ~SourceId{0};
 
   std::deque<Frame> queue_;
   double queue_bits_ = 0.0;
@@ -129,11 +149,6 @@ class CoreSwitch : public EventTarget {
   std::uint64_t sample_every_ = 100;  // round(1/pm)
   double queue_at_last_sample_ = 0.0;
   SimTime pause_cooldown_until_ = 0;
-
-  // FERA active-flow estimation.
-  std::unordered_set<SourceId> epoch_sources_;
-  std::uint64_t epoch_arrivals_ = 0;
-  std::size_t active_flow_estimate_ = 1;
 
   Rng sampling_rng_{0x5eed};
 };

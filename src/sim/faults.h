@@ -1,9 +1,11 @@
 // Deterministic fault injection for the packet simulator.
 //
-// The paper's fluid model assumes the sigma feedback always reaches the
-// rate regulator; a real DCE fabric loses, delays, duplicates and
-// reorders BCN notification frames on the reverse path, loses data and
-// PAUSE frames, and flaps links.  A FaultPlan describes such a degraded
+// Every mechanism's fluid facet (core/mechanism.h) assumes its feedback
+// -- sigma-sign BCN, quantized QCN decreases, explicit rate adverts --
+// always reaches the rate regulator; a real DCE fabric loses, delays,
+// duplicates and reorders notification frames on the reverse path, loses
+// data and PAUSE frames, and flaps links.  A FaultPlan describes such a
+// degraded
 // network; per-entity FaultInjectors apply it at the injection points
 // (the congestion points' reverse-path transmitters and the scenario
 // hubs' forward links).

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/mechanism.h"
 #include "sim/source.h"
 #include "sim/stats.h"
 #include "sim/switch_port.h"
@@ -100,6 +101,12 @@ class Scenario : public EventTarget {
         EventLink(sim_, this, kTagPauseToEdge, config.propagation_delay));
 
     // --- sources ---------------------------------------------------------
+    // Culprits run QCN-style recovery so negative-only BCN from the hot
+    // port suffices; the victim never receives feedback.
+    core::MechanismConfig mcfg;
+    mcfg.qcn.active_increase = 2e6;
+    mcfg.qcn.frame_bits = config.frame_bits;
+    qcn_mechanism_ = make_packet_mechanism("qcn", mcfg);
     const int total = config.num_culprits + 1;
     sources_.reserve(total);
     for (int i = 0; i < total; ++i) {
@@ -112,10 +119,7 @@ class Scenario : public EventTarget {
       sc.regulator.min_rate = 10e6;
       sc.regulator.max_rate = config.offered_rate;  // offered-load cap
       sc.regulator.frame_bits = config.frame_bits;
-      // Culprits run QCN-style recovery so negative-only BCN from the hot
-      // port suffices; the victim never receives feedback.
-      sc.regulator.mode = FeedbackMode::QcnSelfIncrease;
-      sc.regulator.qcn_active_increase = 2e6;
+      sc.mechanism = qcn_mechanism_.get();
       sources_.push_back(std::make_unique<Source>(sim_, sc));
     }
 
@@ -228,6 +232,8 @@ class Scenario : public EventTarget {
   std::unique_ptr<SwitchPort> hot_port_;
   std::unique_ptr<SwitchPort> cold_port_;
   std::unique_ptr<SwitchPort> edge_;
+  // Declared before sources_, whose regulators point into it.
+  std::unique_ptr<PacketMechanism> qcn_mechanism_;
   std::vector<std::unique_ptr<Source>> sources_;
   FaultCounters fault_counters_;
   FaultInjector hot_faults_;

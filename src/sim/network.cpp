@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <string>
@@ -21,6 +22,31 @@ Network::Network(NetworkConfig config) : config_(config) {
   const core::BcnParams& p = config_.params;
   assert(p.is_valid());
 
+  // Resolve the mechanism name(s) against the registry.  Misconfiguration
+  // is a programming error in scenario wiring, so fail loudly.
+  core::MechanismConfig mcfg;
+  mcfg.plant = p;
+  mcfg.rcp = config_.rcp;
+  mcfg.qcn = config_.qcn;
+  mcfg.fera = config_.fera;
+  mcfg.qcn.frame_bits = config_.frame_bits;
+  mech_a_ = make_packet_mechanism(config_.mechanism, mcfg);
+  if (!mech_a_) {
+    std::fprintf(stderr, "Network: unknown mechanism '%s' (known: %s)\n",
+                 config_.mechanism.c_str(),
+                 core::mechanism_name_list().c_str());
+    std::abort();
+  }
+  if (!config_.mechanism_b.empty()) {
+    mech_b_ = make_packet_mechanism(config_.mechanism_b, mcfg);
+    if (!mech_b_) {
+      std::fprintf(stderr, "Network: unknown mechanism_b '%s' (known: %s)\n",
+                   config_.mechanism_b.c_str(),
+                   core::mechanism_name_list().c_str());
+      std::abort();
+    }
+  }
+
   CoreSwitchConfig sw;
   sw.cpid = 1;
   sw.capacity = p.capacity;
@@ -30,22 +56,30 @@ Network::Network(NetworkConfig config) : config_(config) {
   sw.w = p.w;
   sw.pm = p.pm;
   sw.enable_pause = config_.enable_pause;
-  // Fluid-matched runs need the fluid model's bidirectional feedback;
-  // QCN-style operation sends negative feedback only.
-  sw.positive_requires_rrt =
-      config_.feedback_mode == FeedbackMode::DraftPerMessage;
-  sw.suppress_positive =
-      config_.feedback_mode == FeedbackMode::QcnSelfIncrease;
-  sw.fera_mode = config_.feedback_mode == FeedbackMode::FeraExplicitRate;
+  // The draft's CPID gate on positive feedback is the mechanism's call;
+  // fluid-matched runs need the fluid model's ungated bidirectional
+  // feedback, the draft mode keeps the gate.
+  sw.positive_requires_rrt = mech_a_->positive_requires_rrt();
   sw.random_sampling = config_.random_sampling;
   sw.sampling_seed = config_.sampling_seed;
   switch_ = std::make_unique<CoreSwitch>(sim_, sw, stats_);
+  switch_->set_mechanism(mech_a_.get());
 
   const auto n = static_cast<std::size_t>(p.num_sources);
   const double max_rate =
       config_.max_rate > 0.0 ? config_.max_rate : p.capacity;
   const double init_rate =
       config_.initial_rate > 0.0 ? config_.initial_rate : p.init_rate;
+
+  // Competition split: sources [first_b, n) run mechanism_b.
+  std::size_t first_b = n;
+  if (mech_b_) {
+    const std::size_t nb =
+        std::min(config_.sources_b > 0 ? config_.sources_b : n / 2, n);
+    first_b = n - nb;
+    switch_->set_mechanism_split(mech_b_.get(),
+                                 static_cast<SourceId>(first_b));
+  }
 
   sources_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -59,7 +93,7 @@ Network::Network(NetworkConfig config) : config_(config) {
     sc.regulator.min_rate = config_.min_rate;
     sc.regulator.max_rate = max_rate;
     sc.regulator.frame_bits = config_.frame_bits;
-    sc.regulator.mode = config_.feedback_mode;
+    sc.mechanism = i >= first_b ? mech_b_.get() : mech_a_.get();
     sc.pattern = config_.pattern;
     sc.on_time = config_.on_time;
     sc.off_time = config_.off_time;

@@ -5,12 +5,15 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/bcn_params.h"
+#include "core/mechanism.h"
 #include "sim/core_switch.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
+#include "sim/mechanism.h"
 #include "sim/source.h"
 #include "sim/stats.h"
 
@@ -22,7 +25,18 @@ struct NetworkConfig {
   // One-way propagation delay on each hop (the paper assumes ~0.5 us for a
   // 100 m run); BCN messages travel backwards over the same delay.
   SimTime propagation_delay = 500;  // ns
-  FeedbackMode feedback_mode = FeedbackMode::FluidMatched;
+  // Congestion-control mechanism by registry name (core/mechanism.h):
+  // "bcn" (fluid-matched, default), "bcn-draft", "qcn", "rcp", "fera".
+  std::string mechanism = "bcn";
+  // Heterogeneous competition: when non-empty, the last `sources_b`
+  // sources (default: half of them) run mechanism_b against `mechanism`
+  // on the shared bottleneck.
+  std::string mechanism_b;
+  std::size_t sources_b = 0;
+  // Per-mechanism knobs (the plant itself comes from `params`).
+  core::RcpParams rcp;
+  core::QcnParams qcn;
+  core::FeraParams fera;
   double min_rate = 1e6;
   double max_rate = 0.0;  // 0 -> capacity (source line rate = C)
   // 0 -> every source starts at params.init_rate; the fluid analysis start
@@ -98,6 +112,10 @@ class Network : public EventTarget {
   NetworkConfig config_;
   Simulator sim_;
   SimStats stats_;
+  // Owned mechanism instances (declared before switch_/sources_, which
+  // hold raw pointers into them, so they outlive their users).
+  std::unique_ptr<PacketMechanism> mech_a_;
+  std::unique_ptr<PacketMechanism> mech_b_;
   // Fault tally plus the two injection points: reverse-path faults at the
   // core switch, forward-link faults (data_drop, flaps) at frame delivery.
   FaultCounters fault_counters_;

@@ -81,7 +81,7 @@ class Scenario : public EventTarget {
       sc.regulator.ru = config.ru;
       sc.regulator.min_rate = 1e6;
       sc.regulator.max_rate = std::max(config.capacity1, config.capacity2);
-      sc.regulator.mode = FeedbackMode::FluidMatched;
+      // Default mechanism: BCN with fluid-matched feedback application.
       sources_.push_back(std::make_unique<Source>(sim_, sc));
     }
 

@@ -1,17 +1,19 @@
 #include "sim/rate_regulator.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace bcn::sim {
 
 RateRegulator::RateRegulator(const RegulatorConfig& config,
-                             double initial_rate, SimTime now)
-    : config_(config), rate_(initial_rate), last_update_(now) {
+                             double initial_rate, SimTime now,
+                             const PacketMechanism* mechanism)
+    : config_(config),
+      mechanism_(mechanism ? mechanism : &default_bcn_mechanism()),
+      last_update_(now) {
+  state_.rate = initial_rate;
   clamp();
-  counters_.min_rate_seen = counters_.max_rate_seen = rate_;
-  target_rate_ = rate_;
-  recovery_cycles_ = config_.qcn_fast_recovery_cycles;  // no recovery armed
+  counters_.min_rate_seen = counters_.max_rate_seen = state_.rate;
+  mechanism_->init_state(state_);
 }
 
 void RateRegulator::on_bcn(const BcnMessage& message, SimTime now) {
@@ -22,93 +24,41 @@ void RateRegulator::on_bcn(const BcnMessage& message, SimTime now) {
   const double dt = to_seconds(std::max<SimTime>(now - last_update_, 0));
   last_update_ = now;
   counters_.last_sigma = message.sigma;
-  switch (config_.mode) {
-    case FeedbackMode::FluidMatched:
-      apply_fluid(message.sigma, dt);
-      break;
-    case FeedbackMode::DraftPerMessage:
-      apply_draft(message.sigma);
-      break;
-    case FeedbackMode::QcnSelfIncrease:
-      apply_qcn(message.sigma);
-      break;
-    case FeedbackMode::FeraExplicitRate:
-      if (message.advertised_rate >= 0.0) {
-        const double alpha = config_.fera_smoothing;
-        rate_ = (1.0 - alpha) * rate_ + alpha * message.advertised_rate;
-        ++counters_.rate_adverts_applied;
-      }
-      break;
-  }
-  if (config_.mode != FeedbackMode::FeraExplicitRate) {
-    if (message.sigma < 0.0) {
-      ++counters_.bcn_negative_applied;
-    } else if (message.sigma > 0.0) {
+  switch (mechanism_->apply_feedback(state_, config_, message, dt)) {
+    case AppliedFeedback::Positive:
       ++counters_.bcn_positive_applied;
-    }
+      break;
+    case AppliedFeedback::Negative:
+      ++counters_.bcn_negative_applied;
+      break;
+    case AppliedFeedback::RateAdvert:
+      ++counters_.rate_adverts_applied;
+      break;
+    case AppliedFeedback::None:
+      break;
   }
   clamp();
   note_rate();
   // Draft behavior: a regulator whose rate has recovered to the line rate
   // dissociates and its frames drop the RRT tag.
-  if (rate_ >= config_.max_rate) associated_ = false;
-}
-
-void RateRegulator::apply_fluid(double sigma, double dt) {
-  if (sigma > 0.0) {
-    rate_ += config_.gi * config_.ru * sigma * dt;  // dr = Gi Ru sigma dt
-  } else if (sigma < 0.0) {
-    // Exact integration of dr/dt = Gd sigma r over dt (sigma held).
-    rate_ *= std::exp(config_.gd * sigma * dt);
-  }
-}
-
-void RateRegulator::apply_draft(double sigma) {
-  const double sigma_frames = sigma / config_.frame_bits;
-  if (sigma > 0.0) {
-    rate_ += config_.gi * config_.ru * sigma_frames;
-  } else if (sigma < 0.0) {
-    const double factor = std::max(1.0 - config_.max_decrease,
-                                   1.0 + config_.gd * sigma_frames);
-    rate_ *= factor;
-  }
-}
-
-void RateRegulator::apply_qcn(double sigma) {
-  if (sigma >= 0.0) return;  // QCN: negative feedback only
-  // Quantize |sigma| (in frames) to the feedback field's resolution.
-  const double sigma_frames = -sigma / config_.frame_bits;
-  const double full_scale =
-      static_cast<double>((1 << config_.qcn_feedback_bits) - 1);
-  const double fb = std::min(
-      full_scale, std::ceil(sigma_frames / config_.qcn_fb_scale * full_scale));
-  if (fb <= 0.0) return;
-  target_rate_ = rate_;  // remember where we were for fast recovery
-  rate_ *= 1.0 - config_.max_decrease * fb / (full_scale + 1.0);
-  recovery_cycles_ = 0;
+  if (state_.rate >= config_.max_rate) associated_ = false;
 }
 
 void RateRegulator::self_increase() {
-  if (config_.mode != FeedbackMode::QcnSelfIncrease) return;
-  if (recovery_cycles_ < config_.qcn_fast_recovery_cycles) {
-    rate_ = (rate_ + target_rate_) / 2.0;
-    ++recovery_cycles_;
-  } else {
-    target_rate_ += config_.qcn_active_increase;
-    rate_ = (rate_ + target_rate_) / 2.0;
-  }
+  if (!mechanism_->has_self_increase()) return;
+  mechanism_->self_increase(state_, config_);
   ++counters_.self_increases;
   clamp();
   note_rate();
 }
 
 void RateRegulator::clamp() {
-  rate_ = std::clamp(rate_, config_.min_rate, config_.max_rate);
+  state_.rate = std::clamp(state_.rate, config_.min_rate, config_.max_rate);
 }
 
 void RateRegulator::note_rate() {
-  counters_.min_rate_seen = std::min(counters_.min_rate_seen, rate_);
-  counters_.max_rate_seen = std::max(counters_.max_rate_seen, rate_);
+  counters_.min_rate_seen = std::min(counters_.min_rate_seen, state_.rate);
+  counters_.max_rate_seen = std::max(counters_.max_rate_seen, state_.rate);
 }
 
 }  // namespace bcn::sim

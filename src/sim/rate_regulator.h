@@ -1,41 +1,28 @@
-// Reaction-point rate regulator: the AIMD law of paper eq. (2).
+// Reaction-point rate regulator: the mechanism-driven end of the control
+// loop (paper eq. (2) for BCN).
 //
-// Two feedback-application modes:
+// The regulator owns what every mechanism shares -- clamping to
+// [min_rate, max_rate], congestion-point association, and the applied-
+// feedback counters -- and delegates the actual rate update to its
+// PacketMechanism's reaction-point facet (sim/mechanism.h):
 //
-//  * FluidMatched (default): each BCN message applies the paper's
-//    *continuous* law integrated over the time since the previous update,
-//    dr = Gi Ru sigma dt (sigma > 0) or r *= exp(Gd sigma dt) (sigma < 0).
-//    The packet simulator then discretizes exactly the ODE (7) that the
-//    phase-plane analysis studies, which is what the fluid-vs-packet
-//    cross-validation experiment (E11) needs.
-//
-//  * DraftPerMessage: the literal per-message jump of the BCN draft,
-//    r += Gi Ru sigma_frames, r *= (1 + Gd sigma_frames), with sigma
-//    quantized to frames and the multiplicative factor floored.  This mode
-//    exhibits the quantization-sustained oscillations seen in the
-//    experiments of Lu et al. [4].
+//  * "bcn" (default): each BCN message applies the paper's *continuous*
+//    law integrated over the time since the previous update,
+//    dr = Gi Ru sigma dt (sigma > 0) or r *= exp(Gd sigma dt) (sigma < 0),
+//    so the packet simulator discretizes exactly the ODE (7) the
+//    phase-plane analysis studies (what cross-validation E11 needs).
+//  * "bcn-draft": the literal per-message jump of the BCN draft, with
+//    sigma quantized to frames and the multiplicative factor floored.
+//  * "qcn": negative-only quantized decrease; recovery via the source's
+//    periodic self_increase() calls.
+//  * "fera" / "rcp": explicit-rate adoption from the switch's adverts.
 #pragma once
 
 #include "sim/frame.h"
+#include "sim/mechanism.h"
 #include "sim/time.h"
 
 namespace bcn::sim {
-
-// * QcnSelfIncrease: the QCN direction the paper's Section II sketches --
-//   the network sends only *negative* feedback, quantized to a few bits;
-//   rate recovery is the source's own job (fast recovery toward the
-//   pre-decrease target, then linear active increase), driven by the
-//   source's periodic self_increase() calls.
-//
-// * FeraExplicitRate: the FERA/ERICA direction -- the switch computes an
-//   explicit allowed rate and the regulator adopts it verbatim (smoothed
-//   by an EWMA to avoid jumping on every sample).
-enum class FeedbackMode {
-  FluidMatched,
-  DraftPerMessage,
-  QcnSelfIncrease,
-  FeraExplicitRate,
-};
 
 struct RegulatorConfig {
   double gi = 4.0;
@@ -43,21 +30,9 @@ struct RegulatorConfig {
   double ru = 8e6;           // bits/s
   double min_rate = 1e6;     // starvation floor [bits/s]
   double max_rate = 10e9;    // source line rate [bits/s]
-  double frame_bits = 12000; // sigma quantum in DraftPerMessage mode
-  // Largest fraction of the rate one message may remove (DraftPerMessage
-  // and QcnSelfIncrease).
+  double frame_bits = 12000; // sigma quantum in bcn-draft mode
+  // Largest fraction of the rate one bcn-draft message may remove.
   double max_decrease = 0.5;
-  FeedbackMode mode = FeedbackMode::FluidMatched;
-
-  // --- QcnSelfIncrease only -------------------------------------------------
-  int qcn_feedback_bits = 6;     // |Fb| quantized to 2^bits - 1 levels
-  double qcn_fb_scale = 64.0;    // sigma_frames mapping to full scale
-  int qcn_fast_recovery_cycles = 5;
-  double qcn_active_increase = 5e6;  // R_AI [bits/s] per self-increase
-
-  // --- FeraExplicitRate only --------------------------------------------------
-  // EWMA weight of a newly advertised rate (1.0 adopts it instantly).
-  double fera_smoothing = 0.5;
 };
 
 // Per-regulator reaction accounting: how much feedback this reaction
@@ -76,11 +51,15 @@ struct RegulatorCounters {
 
 class RateRegulator {
  public:
+  // `mechanism` selects the reaction policy; nullptr uses the shared BCN
+  // fluid-matched mechanism.  The pointer is not owned and must outlive
+  // the regulator.
   RateRegulator(const RegulatorConfig& config, double initial_rate,
-                SimTime now);
+                SimTime now, const PacketMechanism* mechanism = nullptr);
 
-  double rate() const { return rate_; }
+  double rate() const { return state_.rate; }
   const RegulatorCounters& counters() const { return counters_; }
+  const PacketMechanism& mechanism() const { return *mechanism_; }
 
   // True once a negative BCN associated this regulator with a congestion
   // point; its data frames then carry the RRT tag (paper Section II.B).
@@ -90,33 +69,26 @@ class RateRegulator {
   // Applies one BCN message at simulated time `now`.
   void on_bcn(const BcnMessage& message, SimTime now);
 
-  // QcnSelfIncrease: one recovery step (fast recovery toward the
-  // pre-decrease target rate, then linear active increase).  No-op in the
-  // other modes.
+  // One recovery step for mechanisms with source-driven recovery (QCN:
+  // fast recovery toward the pre-decrease target rate, then linear active
+  // increase).  No-op for the others.
   void self_increase();
 
-  // QcnSelfIncrease introspection (for tests).
-  double target_rate() const { return target_rate_; }
-  bool in_fast_recovery() const {
-    return recovery_cycles_ < config_.qcn_fast_recovery_cycles;
-  }
+  // Self-increase introspection (for tests).
+  double target_rate() const { return state_.target_rate; }
+  bool in_fast_recovery() const { return mechanism_->in_fast_recovery(state_); }
 
  private:
-  void apply_fluid(double sigma, double dt);
-  void apply_draft(double sigma);
-  void apply_qcn(double sigma);
   void clamp();
   void note_rate();
 
   RegulatorConfig config_;
-  double rate_;
+  const PacketMechanism* mechanism_;
+  RegulatorState state_;
   RegulatorCounters counters_;
   bool associated_ = false;
   CongestionPointId cpid_ = 0;
   SimTime last_update_;
-  // QcnSelfIncrease state.
-  double target_rate_ = 0.0;
-  int recovery_cycles_ = 0;
 };
 
 }  // namespace bcn::sim

@@ -7,36 +7,36 @@ namespace bcn::sim {
 Source::Source(Simulator& sim, SourceConfig config)
     : sim_(sim),
       config_(config),
-      regulator_(config.regulator, config.initial_rate, config.start_at) {
+      regulator_(config.regulator, config.initial_rate, config.start_at,
+                 config.mechanism) {
   update_gap();
 }
 
 void Source::start(FrameSender sender) {
   sender_ = std::move(sender);
   schedule_next(config_.start_at);
-  if (config_.regulator.mode == FeedbackMode::QcnSelfIncrease) {
-    qcn_timer_ = sim_.schedule_event(
-        config_.start_at + config_.qcn_increase_period, this, EventKind::Tick,
-        kTagQcnTick);
-  }
+  arm_self_increase();
 }
 
 void Source::start(const EventLink& link, std::uint64_t* sent_counter) {
   link_ = link;
   sent_counter_ = sent_counter;
   schedule_next(config_.start_at);
-  if (config_.regulator.mode == FeedbackMode::QcnSelfIncrease) {
-    qcn_timer_ = sim_.schedule_event(
-        config_.start_at + config_.qcn_increase_period, this, EventKind::Tick,
-        kTagQcnTick);
-  }
+  arm_self_increase();
+}
+
+void Source::arm_self_increase() {
+  if (!regulator_.mechanism().has_self_increase()) return;
+  self_increase_timer_ = sim_.schedule_event(
+      config_.start_at + config_.self_increase_period, this, EventKind::Tick,
+      kTagSelfIncrease);
 }
 
 void Source::on_event(const SimEvent& event) {
   if (event.tag == kTagSend) {
     send_frame();
   } else {
-    qcn_tick();
+    self_increase_tick();
   }
 }
 
@@ -54,7 +54,7 @@ void Source::repace() {
   schedule_next(last_send_ + gap_);
 }
 
-void Source::qcn_tick() {
+void Source::self_increase_tick() {
   const double old_rate = regulator_.rate();
   regulator_.self_increase();
   if (regulator_.rate() != old_rate) {
@@ -62,7 +62,8 @@ void Source::qcn_tick() {
     repace();
   }
   // Re-arm the tick's own slot instead of scheduling a fresh event.
-  sim_.reschedule(qcn_timer_, sim_.now() + config_.qcn_increase_period);
+  sim_.reschedule(self_increase_timer_,
+                  sim_.now() + config_.self_increase_period);
 }
 
 void Source::on_pause(const PauseFrame& pause) {

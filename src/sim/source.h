@@ -2,8 +2,8 @@
 //
 // The source is a saturating sender (it always has data, the parallel
 // read/write pattern of cluster file systems the paper assumes) paced at
-// the regulator's current rate; BCN messages adjust that rate, and 802.3x
-// PAUSE frames suspend transmission entirely.
+// the regulator's current rate; feedback messages adjust that rate, and
+// 802.3x PAUSE frames suspend transmission entirely.
 #pragma once
 
 #include <functional>
@@ -29,10 +29,13 @@ struct SourceConfig {
   double initial_rate = 1e9;  // offered/paced rate at t = 0 [bits/s]
   SimTime start_at = 0;
   RegulatorConfig regulator;
-  // Period of the QcnSelfIncrease recovery timer (only used in that mode;
-  // real QCN uses a byte counter -- a timer is the simulator's
-  // deterministic equivalent).
-  SimTime qcn_increase_period = 100 * kMicrosecond;
+  // Congestion-control mechanism for the regulator (sim/mechanism.h);
+  // nullptr uses the shared BCN fluid-matched mechanism.  Not owned.
+  const PacketMechanism* mechanism = nullptr;
+  // Period of the self-increase recovery timer, armed only for mechanisms
+  // with source-driven recovery (QCN; real QCN uses a byte counter -- a
+  // timer is the simulator's deterministic equivalent).
+  SimTime self_increase_period = 100 * kMicrosecond;
 
   TrafficPattern pattern = TrafficPattern::Saturating;
   SimTime on_time = 5 * kMillisecond;   // OnOff: burst length
@@ -57,7 +60,7 @@ class Source : public EventTarget {
   void on_bcn(const BcnMessage& message);
   void on_pause(const PauseFrame& pause);
 
-  // Typed-event dispatch: the pacing token and the QCN self-increase tick.
+  // Typed-event dispatch: the pacing token and the self-increase tick.
   void on_event(const SimEvent& event) override;
 
   SourceId id() const { return config_.id; }
@@ -70,12 +73,13 @@ class Source : public EventTarget {
  private:
   // Timer tags carried in this source's typed events.
   static constexpr std::uint32_t kTagSend = 0;
-  static constexpr std::uint32_t kTagQcnTick = 1;
+  static constexpr std::uint32_t kTagSelfIncrease = 1;
 
   void send_frame();
   void schedule_next(SimTime earliest);
-  void repace();     // re-pace the pending send under the current rate
-  void qcn_tick();   // periodic self-increase (QcnSelfIncrease mode)
+  void repace();            // re-pace the pending send under the current rate
+  void self_increase_tick();  // periodic recovery (QCN-style mechanisms)
+  void arm_self_increase();
   // The inter-frame gap depends only on the regulator rate, which changes
   // orders of magnitude less often than frames are sent; cache it so the
   // per-frame path avoids a floating-point divide.
@@ -92,7 +96,7 @@ class Source : public EventTarget {
   // The pacing timer's slot is reused for the lifetime of the source:
   // send_frame re-arms it, repace/on_pause move it in place.
   EventId send_timer_ = kInvalidEvent;
-  EventId qcn_timer_ = kInvalidEvent;
+  EventId self_increase_timer_ = kInvalidEvent;
   SimTime gap_ = 0;  // cached transmission_time(frame_bits, rate)
   SimTime last_send_ = 0;
   SimTime paused_until_ = 0;

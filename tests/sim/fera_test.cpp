@@ -1,7 +1,8 @@
-// FeraExplicitRate: the FERA/ERICA direction of paper Section II -- the
-// switch advertises an explicit allowed rate; regulators adopt it.
+// The "fera" mechanism: the FERA/ERICA direction of paper Section II --
+// the switch advertises an explicit allowed rate; regulators adopt it.
 #include <gtest/gtest.h>
 
+#include "sim/mechanism.h"
 #include "sim/network.h"
 #include "sim/rate_regulator.h"
 
@@ -10,15 +11,19 @@ namespace {
 
 RegulatorConfig fera_config() {
   RegulatorConfig c;
-  c.mode = FeedbackMode::FeraExplicitRate;
   c.min_rate = 1e6;
   c.max_rate = 10e9;
-  c.fera_smoothing = 0.5;
   return c;
 }
 
+// Default FeraParams: smoothing 0.5.
+const PacketMechanism& fera_mechanism() {
+  static const auto mech = make_packet_mechanism("fera");
+  return *mech;
+}
+
 TEST(FeraRegulatorTest, AdoptsAdvertisedRateWithSmoothing) {
-  RateRegulator reg(fera_config(), 2e9, 0);
+  RateRegulator reg(fera_config(), 2e9, 0, &fera_mechanism());
   reg.on_bcn({.cpid = 1, .target = 0, .sigma = -1.0,
               .advertised_rate = 1e9, .sent_at = 0},
              100);
@@ -30,9 +35,10 @@ TEST(FeraRegulatorTest, AdoptsAdvertisedRateWithSmoothing) {
 }
 
 TEST(FeraRegulatorTest, InstantAdoptionWithFullSmoothing) {
-  RegulatorConfig c = fera_config();
-  c.fera_smoothing = 1.0;
-  RateRegulator reg(c, 2e9, 0);
+  core::MechanismConfig m;
+  m.fera.smoothing = 1.0;
+  const auto mech = make_packet_mechanism("fera", m);
+  RateRegulator reg(fera_config(), 2e9, 0, mech.get());
   reg.on_bcn({.cpid = 1, .target = 0, .sigma = 5.0,
               .advertised_rate = 3e9, .sent_at = 0},
              100);
@@ -40,13 +46,13 @@ TEST(FeraRegulatorTest, InstantAdoptionWithFullSmoothing) {
 }
 
 TEST(FeraRegulatorTest, MessageWithoutAdvertisedRateIgnored) {
-  RateRegulator reg(fera_config(), 2e9, 0);
+  RateRegulator reg(fera_config(), 2e9, 0, &fera_mechanism());
   reg.on_bcn({.cpid = 1, .target = 0, .sigma = -1e6, .sent_at = 0}, 100);
   EXPECT_DOUBLE_EQ(reg.rate(), 2e9);
 }
 
 TEST(FeraRegulatorTest, ClampedToLimits) {
-  RateRegulator reg(fera_config(), 2e9, 0);
+  RateRegulator reg(fera_config(), 2e9, 0, &fera_mechanism());
   reg.on_bcn({.cpid = 1, .target = 0, .sigma = -1.0,
               .advertised_rate = 0.0, .sent_at = 0},
              100);
@@ -71,7 +77,7 @@ TEST(FeraNetworkTest, ConvergesToFairShareAndReference) {
   p.qsc = 28e6;
   p.pm = 0.2;
   cfg.params = p;
-  cfg.feedback_mode = FeedbackMode::FeraExplicitRate;
+  cfg.mechanism = "fera";
   cfg.initial_rate = 2e9;  // 16 Gbps burst
   Network net(cfg);
   net.run(60 * kMillisecond);
@@ -107,7 +113,7 @@ TEST(FeraNetworkTest, SettlesWithinFewAdvertisementRounds) {
   p.qsc = 28e6;
   p.pm = 0.2;
   cfg.params = p;
-  cfg.feedback_mode = FeedbackMode::FeraExplicitRate;
+  cfg.mechanism = "fera";
   cfg.initial_rate = 2e9;
   Network net(cfg);
   net.run(60 * kMillisecond);

@@ -128,7 +128,7 @@ TEST(NetworkTest, DraftModeSustainsQuantizationOscillation) {
   // oscillation reported in the experiments of Lu et al. [4], which the
   // continuous fluid model cannot itself produce.
   NetworkConfig cfg = slow_regime();
-  cfg.feedback_mode = FeedbackMode::DraftPerMessage;
+  cfg.mechanism = "bcn-draft";
   Network net(cfg);
   net.run(80 * kMillisecond);
   auto excursion = [&](SimTime lo_t, SimTime hi_t) {

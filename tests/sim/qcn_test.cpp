@@ -1,8 +1,9 @@
-// QcnSelfIncrease feedback mode: negative-only quantized feedback with
+// The "qcn" mechanism: negative-only quantized feedback with
 // source-driven recovery (the QCN direction the paper's Section II
 // sketches).
 #include <gtest/gtest.h>
 
+#include "sim/mechanism.h"
 #include "sim/network.h"
 #include "sim/rate_regulator.h"
 
@@ -11,23 +12,26 @@ namespace {
 
 RegulatorConfig qcn_config() {
   RegulatorConfig c;
-  c.mode = FeedbackMode::QcnSelfIncrease;
   c.min_rate = 1e6;
   c.max_rate = 10e9;
   c.frame_bits = 12000.0;
-  c.max_decrease = 0.5;
-  c.qcn_active_increase = 5e6;
   return c;
 }
 
+// Defaults: 6 feedback bits, fb_scale 64, max_decrease 0.5, R_AI 5 Mbps.
+const PacketMechanism& qcn_mechanism() {
+  static const auto mech = make_packet_mechanism("qcn");
+  return *mech;
+}
+
 TEST(QcnRegulatorTest, PositiveFeedbackIgnored) {
-  RateRegulator reg(qcn_config(), 1e9, 0);
+  RateRegulator reg(qcn_config(), 1e9, 0, &qcn_mechanism());
   reg.on_bcn({1, 0, 1e6, 0}, 100);
   EXPECT_DOUBLE_EQ(reg.rate(), 1e9);
 }
 
 TEST(QcnRegulatorTest, NegativeFeedbackQuantizedDecrease) {
-  RateRegulator reg(qcn_config(), 1e9, 0);
+  RateRegulator reg(qcn_config(), 1e9, 0, &qcn_mechanism());
   // sigma = -64 frames -> full-scale Fb = 63 -> factor 1 - 0.5*63/64.
   reg.on_bcn({1, 0, -64.0 * 12000.0, 0}, 100);
   EXPECT_NEAR(reg.rate(), 1e9 * (1.0 - 0.5 * 63.0 / 64.0), 1e3);
@@ -36,14 +40,14 @@ TEST(QcnRegulatorTest, NegativeFeedbackQuantizedDecrease) {
 }
 
 TEST(QcnRegulatorTest, SmallSigmaStillQuantizesToOneStep) {
-  RateRegulator reg(qcn_config(), 1e9, 0);
+  RateRegulator reg(qcn_config(), 1e9, 0, &qcn_mechanism());
   // A tiny violation maps to Fb = 1, not zero (ceil quantization).
   reg.on_bcn({1, 0, -0.1 * 12000.0, 0}, 100);
   EXPECT_NEAR(reg.rate(), 1e9 * (1.0 - 0.5 * 1.0 / 64.0), 1e3);
 }
 
 TEST(QcnRegulatorTest, FastRecoveryHalvesTowardTarget) {
-  RateRegulator reg(qcn_config(), 1e9, 0);
+  RateRegulator reg(qcn_config(), 1e9, 0, &qcn_mechanism());
   reg.on_bcn({1, 0, -64.0 * 12000.0, 0}, 100);
   const double after_drop = reg.rate();
   reg.self_increase();
@@ -55,7 +59,7 @@ TEST(QcnRegulatorTest, FastRecoveryHalvesTowardTarget) {
 }
 
 TEST(QcnRegulatorTest, ActiveIncreaseProbesBeyondTarget) {
-  RateRegulator reg(qcn_config(), 1e9, 0);
+  RateRegulator reg(qcn_config(), 1e9, 0, &qcn_mechanism());
   reg.on_bcn({1, 0, -64.0 * 12000.0, 0}, 100);
   for (int i = 0; i < 5; ++i) reg.self_increase();  // finish fast recovery
   const double recovered = reg.rate();
@@ -64,10 +68,9 @@ TEST(QcnRegulatorTest, ActiveIncreaseProbesBeyondTarget) {
   EXPECT_GT(reg.target_rate(), 1e9);
 }
 
-TEST(QcnRegulatorTest, SelfIncreaseNoopInOtherModes) {
-  RegulatorConfig c = qcn_config();
-  c.mode = FeedbackMode::FluidMatched;
-  RateRegulator reg(c, 1e9, 0);
+TEST(QcnRegulatorTest, SelfIncreaseNoopForBcnMechanism) {
+  // The default (BCN) mechanism has no self-increase timer.
+  RateRegulator reg(qcn_config(), 1e9, 0);
   reg.self_increase();
   EXPECT_DOUBLE_EQ(reg.rate(), 1e9);
 }
@@ -82,7 +85,7 @@ TEST(QcnNetworkTest, NegativeOnlyFeedbackStillControlsQueue) {
   p.qsc = 28e6;
   p.pm = 0.2;
   cfg.params = p;
-  cfg.feedback_mode = FeedbackMode::QcnSelfIncrease;
+  cfg.mechanism = "qcn";
   cfg.initial_rate = 3e9;  // overloaded start: 15 Gbps aggregate
   Network net(cfg);
   net.run(60 * kMillisecond);
@@ -117,7 +120,7 @@ TEST(QcnNetworkTest, SawtoothAroundLinkCapacity) {
   p.qsc = 28e6;
   p.pm = 0.2;
   cfg.params = p;
-  cfg.feedback_mode = FeedbackMode::QcnSelfIncrease;
+  cfg.mechanism = "qcn";
   cfg.initial_rate = 2e9;
   Network net(cfg);
   net.run(100 * kMillisecond);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/mechanism.h"
+
 namespace bcn::sim {
 namespace {
 
@@ -14,8 +16,14 @@ RegulatorConfig fluid_config() {
   c.ru = 8e6;
   c.min_rate = 1e6;
   c.max_rate = 10e9;
-  c.mode = FeedbackMode::FluidMatched;
   return c;
+}
+
+// The per-message AIMD of the BCN draft (regulators default to the
+// fluid-matched "bcn" mechanism when none is given).
+const PacketMechanism& draft_mechanism() {
+  static const auto mech = make_packet_mechanism("bcn-draft");
+  return *mech;
 }
 
 TEST(RateRegulatorTest, FluidIncreaseIntegratesOdeExactly) {
@@ -88,9 +96,8 @@ TEST(RateRegulatorTest, ZeroSigmaLeavesRateUnchanged) {
 
 TEST(RateRegulatorTest, DraftModeAppliesPerMessageJump) {
   RegulatorConfig c = fluid_config();
-  c.mode = FeedbackMode::DraftPerMessage;
   c.frame_bits = 12000.0;
-  RateRegulator reg(c, 1e9, 0);
+  RateRegulator reg(c, 1e9, 0, &draft_mechanism());
   // sigma = +12000 bits = +1 frame: dr = Gi Ru * 1, independent of dt.
   reg.on_bcn({1, 0, 12000.0, 0}, 12345);
   EXPECT_NEAR(reg.rate(), 1e9 + 4.0 * 8e6, 1.0);
@@ -98,8 +105,7 @@ TEST(RateRegulatorTest, DraftModeAppliesPerMessageJump) {
 
 TEST(RateRegulatorTest, DraftModeMultiplicativeDecrease) {
   RegulatorConfig c = fluid_config();
-  c.mode = FeedbackMode::DraftPerMessage;
-  RateRegulator reg(c, 1e9, 0);
+  RateRegulator reg(c, 1e9, 0, &draft_mechanism());
   // sigma = -12.8 frames: factor = 1 - 12.8/128 = 0.9.
   reg.on_bcn({1, 0, -12.8 * 12000.0, 0}, 1);
   EXPECT_NEAR(reg.rate(), 0.9e9, 1e3);
@@ -107,9 +113,8 @@ TEST(RateRegulatorTest, DraftModeMultiplicativeDecrease) {
 
 TEST(RateRegulatorTest, DraftModeDecreaseFloorBoundsJump) {
   RegulatorConfig c = fluid_config();
-  c.mode = FeedbackMode::DraftPerMessage;
   c.max_decrease = 0.5;
-  RateRegulator reg(c, 1e9, 0);
+  RateRegulator reg(c, 1e9, 0, &draft_mechanism());
   // An enormous negative sigma would make the factor negative; the floor
   // keeps one message from removing more than half the rate.
   reg.on_bcn({1, 0, -1e9, 0}, 1);

@@ -14,7 +14,6 @@ SourceConfig basic_config() {
   c.initial_rate = 1e9;  // 12 us per frame
   c.regulator.min_rate = 1e6;
   c.regulator.max_rate = 10e9;
-  c.regulator.mode = FeedbackMode::FluidMatched;
   return c;
 }
 

@@ -16,6 +16,7 @@
 #include "common/table.h"
 #include "control/frequency.h"
 #include "core/delayed_model.h"
+#include "core/mechanism.h"
 #include "core/simulate.h"
 #include "core/stability.h"
 #include "obs/tracing.h"
@@ -31,7 +32,10 @@ void usage() {
       "                   [--qsc bits] [--gi x] [--gd x] [--ru bps]\n"
       "                   [--w x] [--pm x] [--delay seconds]\n"
       "                   [--duration seconds] [--plot]\n"
-      "                   [--trace file] [--help]\n"
+      "                   [--mechanism name] [--trace file] [--help]\n"
+      "  --mechanism m analyze this congestion-control mechanism's fluid\n"
+      "                facet instead of BCN's (see core/mechanism.h);\n"
+      "                closed-form BCN propositions apply to bcn only\n"
       "  --trace file  record wall-clock spans, print the self-profile\n"
       "                table and write Chrome trace-event JSON there\n"
       "                (BCN_TRACE env fallback)");
@@ -47,8 +51,14 @@ int main(int argc, char** argv) {
   }
   if (!reject_unknown_flags(args, {"help", "N", "C", "q0", "B", "qsc", "gi",
                                    "gd", "ru", "w", "pm", "delay", "duration",
-                                   "plot", "trace"})) {
+                                   "plot", "trace", "mechanism"})) {
     usage();
+    return 2;
+  }
+  const std::string mechanism = args.get("mechanism").value_or("bcn");
+  if (!core::find_mechanism(mechanism)) {
+    std::fprintf(stderr, "--mechanism: unknown mechanism '%s' (known: %s)\n",
+                 mechanism.c_str(), core::mechanism_name_list().c_str());
     return 2;
   }
   const auto trace_path = obs::maybe_enable_tracing(args);
@@ -75,6 +85,62 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n\n", p.describe().c_str());
+
+  // Non-BCN mechanisms: analyze the registered fluid facet and stop (the
+  // closed-form propositions below are BCN theory).  bcn-draft shares
+  // BCN's fluid facet, so it takes the full path.
+  if (mechanism != "bcn" && mechanism != "bcn-draft") {
+    const auto* info = core::find_mechanism(mechanism);
+    std::printf("mechanism: %s -- %s\n", info->name, info->summary);
+    core::MechanismConfig mcfg;
+    mcfg.plant = p;
+    const auto mech = core::make_fluid_mechanism(mechanism, mcfg);
+    if (!mech) {
+      std::printf("packet-only mechanism: no fluid facet to analyze; use "
+                  "the packet benches (bcn_bench --mechanism %s).\n",
+                  mechanism.c_str());
+      return 0;
+    }
+    std::printf("equilibrium at the origin: %s\n",
+                mech->has_equilibrium() ? "yes" : "no (sawtooth orbit)");
+    TablePrinter laws({"region", "lambda^2 + m lambda + n", "m", "n"});
+    for (const auto& law : mech->region_laws()) {
+      laws.add_row({law.label,
+                    law.linearizable ? "second-order" : "constant drive",
+                    TablePrinter::format(law.m), TablePrinter::format(law.n)});
+    }
+    std::fputs(laws.to_string("linearized region laws").c_str(), stdout);
+
+    core::MechanismRunOptions mopts;
+    mopts.duration = args.get_double("duration", 1.5e-3);
+    for (const auto& [level, name] :
+         {std::pair{core::ModelLevel::Linearized, "linearized"},
+          std::pair{core::ModelLevel::Nonlinear, "nonlinear "}}) {
+      mopts.level = level;
+      const auto verdict = core::mechanism_numeric_verdict(*mech, mopts);
+      std::printf("numeric %s: %-22s peak q = %.6g, dip q = %.6g\n", name,
+                  verdict.strongly_stable ? "strongly stable"
+                                          : "NOT strongly stable",
+                  verdict.max_x + p.q0, verdict.min_x + p.q0);
+    }
+
+    if (args.get_bool("plot")) {
+      mopts.level = core::ModelLevel::Nonlinear;
+      mopts.record_interval = mopts.duration / 1000.0;
+      const auto run = core::simulate_fluid_mechanism(*mech, mopts);
+      plot::Series q;
+      q.name = "q(t)";
+      for (const auto& s : run.trajectory.samples()) {
+        q.add(s.t * 1e3, (s.z.x + p.q0) / 1e6);
+      }
+      plot::AsciiOptions ascii;
+      ascii.title = "queue transient (nonlinear fluid facet)";
+      ascii.x_label = "t [ms]";
+      ascii.y_label = "q [Mbit]";
+      std::printf("\n%s", plot::render_ascii({q}, ascii).c_str());
+    }
+    return 0;
+  }
 
   const auto report = core::analyze_stability(p);
   std::printf("analysis: %s\n\n", report.summary().c_str());
