@@ -20,7 +20,7 @@ std::vector<Experiment>& registry() {
 
 const std::vector<std::string> kStandardFlags = {
     "help", "list", "run", "threads", "out", "seed", "json", "trace",
-    "faults", "mechanism"};
+    "faults", "mechanism", "map-mode"};
 
 void print_usage(const char* prog) {
   std::printf(
@@ -44,6 +44,10 @@ void print_usage(const char* prog) {
       "  --mechanism m congestion-control mechanism for experiments that\n"
       "                honor it (default bcn); --mechanism list to\n"
       "                enumerate the registry\n"
+      "  --map-mode m  stability-map execution strategy for experiments\n"
+      "                that compute maps: scalar (default; the legacy\n"
+      "                per-cell path), batch (SoA batched integrator), or\n"
+      "                adaptive (batched + quadtree boundary refinement)\n"
       "  --list        list registered experiments and exit\n\n"
       "experiments:\n",
       prog);
@@ -143,6 +147,15 @@ int bench_main(int argc, const char* const* argv) {
       return 2;
     }
     ctx.mechanism = *mech;
+  }
+  if (const auto mode = args.get("map-mode")) {
+    if (!analysis::parse_map_mode(*mode, &ctx.map_mode)) {
+      std::fprintf(stderr,
+                   "--map-mode: unknown mode '%s' (known: scalar, batch, "
+                   "adaptive)\n",
+                   mode->c_str());
+      return 2;
+    }
   }
   if (const auto out = args.get("out")) {
     set_output_dir(*out);

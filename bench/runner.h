@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/stability_map.h"
 #include "common/args.h"
 #include "obs/metrics.h"
 #include "sim/faults.h"
@@ -38,6 +39,10 @@ struct RunContext {
   // core::mechanism_registry().  Experiments that run a single-mechanism
   // scenario forward it into their NetworkConfig / fluid facet.
   std::string mechanism = "bcn";
+  // Stability-map execution strategy from --map-mode {scalar, batch,
+  // adaptive}.  Experiments computing maps forward it into
+  // analysis::StabilityMapOptions.
+  analysis::MapMode map_mode = analysis::MapMode::Scalar;
 };
 
 struct Experiment {

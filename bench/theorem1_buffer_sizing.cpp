@@ -60,7 +60,7 @@ int run(bench::RunContext& ctx) {
     const double lin = measured_peak_queue(q, core::ModelLevel::Linearized);
     const double non = measured_peak_queue(q, core::ModelLevel::Nonlinear);
     const auto b_min = analysis::min_stable_buffer(
-        q, {.level = core::ModelLevel::Nonlinear});
+        q, {.numeric = {.level = core::ModelLevel::Nonlinear}});
     n_table.add_row({TablePrinter::format(n),
                      TablePrinter::format(req / 1e6),
                      TablePrinter::format(lin / 1e6),

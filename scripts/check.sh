@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Six gates:
+# Seven gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
 #     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
 #     test suites, which exercise parallel_for / ThreadPool / the
@@ -31,6 +31,12 @@
 #     two invocations to self-diff clean at threshold 0 with identical
 #     key sets, and checks --mechanism bogus is rejected with exit 2
 #     while --mechanism list prints the registry.
+#  7. Map throughput smoke: runs the E22 scalar/batch/adaptive
+#     stability-map comparison, validates BENCH_map_throughput.json
+#     (artifact present, zero verdict mismatches for both batched modes,
+#     scalar and batch stable-cell counts equal, adaptive refinement
+#     integrating under half the grid), requires a threshold-0 self-diff
+#     to pass, and checks --map-mode bogus is rejected with exit 2.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -283,3 +289,62 @@ for name in bcn bcn-draft qcn rcp fera; do
 done
 
 echo "[check.sh] mechanism matrix smoke clean ($MATRIX_JSON)"
+
+# --- map-throughput smoke ---------------------------------------------------
+# The batched SoA stability-map path end-to-end: batch and adaptive modes
+# must reproduce the scalar verdicts exactly (the bench itself exits
+# nonzero on any mismatch), adaptive refinement must skip a real share of
+# the grid, and the artifact must survive a zero-threshold self-diff.
+# The speedup numbers are reported but deliberately not gated: wall-clock
+# ratios on shared CI hardware are too noisy for a hard threshold.
+cmake --build "$SMOKE_BUILD_DIR" -j --target map_throughput
+
+MAP_BENCH="$SMOKE_BUILD_DIR"/bench/map_throughput
+MAP_OUT=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT" "$FAULT_OUT_A" "$FAULT_OUT_B" "$MECH_OUT_A" "$MECH_OUT_B" "$MAP_OUT"' EXIT
+"$MAP_BENCH" --run map_throughput --out "$MAP_OUT" --reps 1 > /dev/null
+
+MAP_JSON="$MAP_OUT/BENCH_map_throughput.json"
+[[ -f "$MAP_JSON" ]] || { echo "[check.sh] missing $MAP_JSON"; exit 1; }
+python3 - "$MAP_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("benchmark") == "map_throughput", data.get("benchmark")
+cells = data.get("cells")
+assert isinstance(cells, (int, float)) and cells > 0, f"cells = {cells!r}"
+for mode in ("scalar", "batch", "adaptive"):
+    cps = data.get(f"{mode}_cells_per_sec")
+    assert isinstance(cps, (int, float)) and cps > 0, f"{mode}: bad {cps!r}"
+assert data.get("batch_mismatch") == 0, \
+    f"batch diverged: {data.get('batch_mismatch')!r} mismatches"
+assert data.get("adaptive_mismatch") == 0, \
+    f"adaptive diverged: {data.get('adaptive_mismatch')!r} mismatches"
+assert data.get("scalar_stable") == data.get("batch_stable"), \
+    "scalar and batch stable-cell counts differ"
+frac = data.get("adaptive_integrated_fraction")
+assert isinstance(frac, (int, float)) and 0.0 < frac < 0.5, \
+    f"adaptive integrated {frac!r} of the grid, want < 0.5"
+print(f"[check.sh] map throughput: batch {data['batch_speedup']:.2f}x, "
+      f"adaptive {data['adaptive_speedup']:.2f}x at "
+      f"{frac:.0%} of {cells:.0f} cells integrated, verdicts identical")
+PY
+
+"$SMOKE_BUILD_DIR"/tools/bcn_bench_diff \
+  --a "$MAP_JSON" --b "$MAP_JSON" --threshold 0 > /dev/null || {
+  echo "[check.sh] map-throughput self-diff failed"; exit 1;
+}
+
+# An unknown map mode must be a usage error (exit 2) naming the choices.
+set +e
+MAP_ERR=$("$MAP_BENCH" --run map_throughput --map-mode bogus \
+  --out "$MAP_OUT" 2>&1)
+MAP_STATUS=$?
+set -e
+[[ $MAP_STATUS -eq 2 ]] || {
+  echo "[check.sh] --map-mode bogus exited $MAP_STATUS, want 2"; exit 1;
+}
+grep -q "unknown mode 'bogus'" <<< "$MAP_ERR" || {
+  echo "[check.sh] --map-mode bogus printed no usage line"; exit 1;
+}
+
+echo "[check.sh] map throughput smoke clean ($MAP_JSON)"

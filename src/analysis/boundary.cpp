@@ -9,12 +9,21 @@ std::optional<double> min_stable_buffer(const core::BcnParams& params,
   // The unclipped trajectory does not depend on B, so run it once and read
   // the minimal buffer directly from the measured extrema: strong
   // stability needs max_x < B - q0 and min_x > -q0.
+  //
+  // Contract of the "open buffer" probe: buffer and qsc are deliberately
+  // overridden for this run only.  The buffer is raised to the search
+  // ceiling so the orbit is measured unclipped (at the Linearized and
+  // Nonlinear levels neither parameter enters the dynamics — they only
+  // gate parameter validation and the verdict thresholds, which this
+  // function applies itself from the *caller's* q0).  qsc rides along as
+  // 0.9x the open buffer purely to keep q0 < qsc <= B valid; it has no
+  // effect on the fluid trajectory.  Everything else in options.numeric
+  // (level, duration, tolerances) is forwarded untouched.
   core::BcnParams open = params;
   open.buffer = std::max(params.theorem1_required_buffer(), params.buffer) *
                 options.ceiling_factor;
   open.qsc = 0.9 * open.buffer;
-  const auto verdict =
-      core::numeric_strong_stability(open, {.level = options.level});
+  const auto verdict = core::numeric_strong_stability(open, options.numeric);
 
   if (verdict.min_x <= -params.q0) return std::nullopt;  // underflow: no
                                                          // buffer can help

@@ -12,7 +12,10 @@
 namespace bcn::analysis {
 
 struct MinBufferOptions {
-  core::ModelLevel level = core::ModelLevel::Nonlinear;
+  // Forwarded whole to core::numeric_strong_stability — level, duration
+  // and tolerances all apply (a caller-configured duration used to be
+  // silently dropped here).
+  core::NumericVerdictOptions numeric{.level = core::ModelLevel::Nonlinear};
   // Search ceiling as a multiple of Theorem 1's requirement.
   double ceiling_factor = 4.0;
   double rel_tol = 1e-3;

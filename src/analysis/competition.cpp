@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "exec/parallel_for.h"
+
 namespace bcn::analysis {
 namespace {
 
@@ -30,116 +32,195 @@ State axpy(const State& s, double h, const State& d) {
   return {s.x + h * d.x, s.ya + h * d.ya, s.yb + h * d.yb};
 }
 
+// One pair's full integration state: setup, the per-step RK4 + statistics
+// update, and the final verdict/tail reduction.  Both the scalar entry
+// point and the SoA batch drive exactly this code, in exactly this
+// order, so a batch lane is bitwise identical to the scalar run.
+class Lane {
+ public:
+  Lane(const CompetitionPair& pair, const CompetitionOptions& options)
+      : options_(options) {
+    run_.mech_a = pair.mech_a;
+    run_.mech_b = pair.mech_b;
+
+    const core::MechanismConfig& base = pair.config;
+    const double n_total = base.plant.num_sources;
+    const double na = std::max(1.0, std::round(options.split * n_total));
+    const double nb = std::max(1.0, n_total - na);
+    const double cap = base.plant.capacity;
+    run_.share_a = cap * na / (na + nb);
+    run_.share_b = cap * nb / (na + nb);
+
+    core::MechanismConfig cfg_a = base;
+    cfg_a.plant.num_sources = na;
+    core::MechanismConfig cfg_b = base;
+    cfg_b.plant.num_sources = nb;
+    a_ = core::make_fluid_mechanism(pair.mech_a, cfg_a);
+    b_ = core::make_fluid_mechanism(pair.mech_b, cfg_b);
+    if (!a_ || !b_) return;  // packet-only mechanism: no fluid verdict
+
+    q0_ = base.plant.q0;
+    lo_ = -base.plant.q0;
+    hi_ = base.plant.buffer - base.plant.q0;
+    wall_tol_ = 1e-6 * base.plant.q0;
+
+    // Analysis start: empty queue, both groups exactly at their share.
+    s_ = State{lo_, 0.0, 0.0};
+    run_.max_x = run_.min_x = s_.x;
+    post_min_x_ = hi_;
+
+    const std::size_t reserve = steps() / record_every() + 2;
+    run_.t.reserve(reserve);
+    run_.x.reserve(reserve);
+    run_.ya.reserve(reserve);
+    run_.yb.reserve(reserve);
+  }
+
+  bool valid() const { return a_ && b_; }
+
+  std::size_t steps() const {
+    return static_cast<std::size_t>(
+        std::ceil(options_.duration / options_.dt));
+  }
+  std::size_t record_every() const {
+    return std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::llround(options_.record_interval / options_.dt)));
+  }
+
+  void record(std::size_t i) {
+    if (i % record_every() != 0) return;
+    run_.t.push_back(static_cast<double>(i) * options_.dt);
+    run_.x.push_back(s_.x);
+    run_.ya.push_back(s_.ya);
+    run_.yb.push_back(s_.yb);
+  }
+
+  void step() {
+    const double dt = options_.dt;
+    // Classic RK4 on the clipped field.
+    const State k1 = derive(*a_, *b_, run_.share_a, run_.share_b, lo_, hi_,
+                            s_);
+    const State k2 = derive(*a_, *b_, run_.share_a, run_.share_b, lo_, hi_,
+                            axpy(s_, dt / 2.0, k1));
+    const State k3 = derive(*a_, *b_, run_.share_a, run_.share_b, lo_, hi_,
+                            axpy(s_, dt / 2.0, k2));
+    const State k4 = derive(*a_, *b_, run_.share_a, run_.share_b, lo_, hi_,
+                            axpy(s_, dt, k3));
+    s_.x += dt / 6.0 * (k1.x + 2.0 * k2.x + 2.0 * k3.x + k4.x);
+    s_.ya += dt / 6.0 * (k1.ya + 2.0 * k2.ya + 2.0 * k3.ya + k4.ya);
+    s_.yb += dt / 6.0 * (k1.yb + 2.0 * k2.yb + 2.0 * k3.yb + k4.yb);
+    // Physical limits: queue within the buffer, group rates nonnegative.
+    s_.x = std::clamp(s_.x, lo_, hi_);
+    s_.ya = std::max(s_.ya, -run_.share_a);
+    s_.yb = std::max(s_.yb, -run_.share_b);
+
+    run_.max_x = std::max(run_.max_x, s_.x);
+    run_.min_x = std::min(run_.min_x, s_.x);
+    // The start sits on the empty wall by construction; the underflow
+    // check only makes sense after the orbit has left it.
+    if (!left_wall_ && s_.x > lo_ + wall_tol_) left_wall_ = true;
+    if (left_wall_) post_min_x_ = std::min(post_min_x_, s_.x);
+  }
+
+  CompetitionRun finish() {
+    if (!valid()) return std::move(run_);
+    run_.bounded = left_wall_ && run_.max_x < hi_ - wall_tol_ &&
+                   post_min_x_ > lo_ + wall_tol_;
+
+    // Tail statistics.
+    const double tail_start =
+        options_.duration * (1.0 - options_.tail_fraction);
+    double sum_x = 0.0, sum_ya = 0.0, sum_yb = 0.0;
+    double tmin_x = hi_, tmax_x = lo_;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < run_.t.size(); ++i) {
+      if (run_.t[i] < tail_start) continue;
+      sum_x += run_.x[i];
+      sum_ya += run_.ya[i];
+      sum_yb += run_.yb[i];
+      tmin_x = std::min(tmin_x, run_.x[i]);
+      tmax_x = std::max(tmax_x, run_.x[i]);
+      ++count;
+    }
+    if (count > 0) {
+      const double inv = 1.0 / static_cast<double>(count);
+      run_.tail_queue_mean = sum_x * inv + q0_;
+      run_.tail_x_p2p = tmax_x - tmin_x;
+      run_.tail_rate_a = sum_ya * inv + run_.share_a;
+      run_.tail_rate_b = sum_yb * inv + run_.share_b;
+      const double r1 = run_.tail_rate_a / run_.share_a;
+      const double r2 = run_.tail_rate_b / run_.share_b;
+      const double denom = 2.0 * (r1 * r1 + r2 * r2);
+      run_.fairness = denom > 0.0 ? (r1 + r2) * (r1 + r2) / denom : 0.0;
+    }
+    return std::move(run_);
+  }
+
+ private:
+  CompetitionOptions options_;
+  CompetitionRun run_;
+  std::unique_ptr<core::FluidMechanism> a_;
+  std::unique_ptr<core::FluidMechanism> b_;
+  State s_;
+  double q0_ = 0.0;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  double wall_tol_ = 0.0;
+  bool left_wall_ = false;
+  double post_min_x_ = 0.0;
+};
+
 }  // namespace
 
 CompetitionRun simulate_fluid_competition(std::string_view mech_a,
                                           std::string_view mech_b,
                                           const core::MechanismConfig& base,
                                           const CompetitionOptions& options) {
-  CompetitionRun run;
-  run.mech_a = std::string(mech_a);
-  run.mech_b = std::string(mech_b);
+  const std::vector<CompetitionPair> one = {
+      {std::string(mech_a), std::string(mech_b), base}};
+  auto runs = simulate_fluid_competition_batch(one, options, 1);
+  return std::move(runs.front());
+}
 
-  const double n_total = base.plant.num_sources;
-  const double na =
-      std::max(1.0, std::round(options.split * n_total));
-  const double nb = std::max(1.0, n_total - na);
-  const double cap = base.plant.capacity;
-  run.share_a = cap * na / (na + nb);
-  run.share_b = cap * nb / (na + nb);
+std::vector<CompetitionRun> simulate_fluid_competition_batch(
+    const std::vector<CompetitionPair>& pairs,
+    const CompetitionOptions& options, int threads) {
+  const std::size_t n = pairs.size();
+  std::vector<CompetitionRun> out(n);
+  if (n == 0) return out;
 
-  core::MechanismConfig cfg_a = base;
-  cfg_a.plant.num_sources = na;
-  core::MechanismConfig cfg_b = base;
-  cfg_b.plant.num_sources = nb;
-  const auto a = core::make_fluid_mechanism(mech_a, cfg_a);
-  const auto b = core::make_fluid_mechanism(mech_b, cfg_b);
-  if (!a || !b) return run;  // packet-only mechanism: no fluid verdict
-
-  const double lo = -base.plant.q0;
-  const double hi = base.plant.buffer - base.plant.q0;
-
-  // Analysis start: empty queue, both groups exactly at their share.
-  State s{lo, 0.0, 0.0};
-  const double dt = options.dt;
-  const auto steps =
-      static_cast<std::size_t>(std::ceil(options.duration / dt));
-  const auto record_every = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::llround(options.record_interval / dt)));
-
-  run.max_x = run.min_x = s.x;
-  // The start sits on the empty wall by construction; the underflow check
-  // only makes sense after the orbit has left it.
-  bool left_wall = false;
-  double post_min_x = hi;
-  const double wall_tol = 1e-6 * base.plant.q0;
-
-  run.t.reserve(steps / record_every + 2);
-  run.x.reserve(steps / record_every + 2);
-  run.ya.reserve(steps / record_every + 2);
-  run.yb.reserve(steps / record_every + 2);
-
-  for (std::size_t i = 0; i <= steps; ++i) {
-    const double t = static_cast<double>(i) * dt;
-    if (i % record_every == 0) {
-      run.t.push_back(t);
-      run.x.push_back(s.x);
-      run.ya.push_back(s.ya);
-      run.yb.push_back(s.yb);
-    }
-    if (i == steps) break;
-
-    // Classic RK4 on the clipped field.
-    const State k1 = derive(*a, *b, run.share_a, run.share_b, lo, hi, s);
-    const State k2 = derive(*a, *b, run.share_a, run.share_b, lo, hi,
-                            axpy(s, dt / 2.0, k1));
-    const State k3 = derive(*a, *b, run.share_a, run.share_b, lo, hi,
-                            axpy(s, dt / 2.0, k2));
-    const State k4 =
-        derive(*a, *b, run.share_a, run.share_b, lo, hi, axpy(s, dt, k3));
-    s.x += dt / 6.0 * (k1.x + 2.0 * k2.x + 2.0 * k3.x + k4.x);
-    s.ya += dt / 6.0 * (k1.ya + 2.0 * k2.ya + 2.0 * k3.ya + k4.ya);
-    s.yb += dt / 6.0 * (k1.yb + 2.0 * k2.yb + 2.0 * k3.yb + k4.yb);
-    // Physical limits: queue within the buffer, group rates nonnegative.
-    s.x = std::clamp(s.x, lo, hi);
-    s.ya = std::max(s.ya, -run.share_a);
-    s.yb = std::max(s.yb, -run.share_b);
-
-    run.max_x = std::max(run.max_x, s.x);
-    run.min_x = std::min(run.min_x, s.x);
-    if (!left_wall && s.x > lo + wall_tol) left_wall = true;
-    if (left_wall) post_min_x = std::min(post_min_x, s.x);
-  }
-
-  run.bounded = left_wall && run.max_x < hi - wall_tol &&
-                post_min_x > lo + wall_tol;
-
-  // Tail statistics.
-  const double tail_start = options.duration * (1.0 - options.tail_fraction);
-  double sum_x = 0.0, sum_ya = 0.0, sum_yb = 0.0;
-  double tmin_x = hi, tmax_x = lo;
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < run.t.size(); ++i) {
-    if (run.t[i] < tail_start) continue;
-    sum_x += run.x[i];
-    sum_ya += run.ya[i];
-    sum_yb += run.yb[i];
-    tmin_x = std::min(tmin_x, run.x[i]);
-    tmax_x = std::max(tmax_x, run.x[i]);
-    ++count;
-  }
-  if (count > 0) {
-    const double inv = 1.0 / static_cast<double>(count);
-    run.tail_queue_mean = sum_x * inv + base.plant.q0;
-    run.tail_x_p2p = tmax_x - tmin_x;
-    run.tail_rate_a = sum_ya * inv + run.share_a;
-    run.tail_rate_b = sum_yb * inv + run.share_b;
-    const double r1 = run.tail_rate_a / run.share_a;
-    const double r2 = run.tail_rate_b / run.share_b;
-    const double denom = 2.0 * (r1 * r1 + r2 * r2);
-    run.fairness = denom > 0.0 ? (r1 + r2) * (r1 + r2) / denom : 0.0;
-  }
-  return run;
+  // Contiguous lane slices; within a slice all lanes advance in lockstep
+  // (every lane has the same fixed step count), one macro-step loop over
+  // the whole slice at a time.
+  const std::size_t slice =
+      threads == 1 ? n : std::clamp<std::size_t>(n / 16, 1, 8);
+  const std::size_t n_slices = (n + slice - 1) / slice;
+  exec::parallel_for(
+      n_slices,
+      [&](std::size_t sdx) {
+        const std::size_t lane_lo = sdx * slice;
+        const std::size_t lane_hi = std::min(n, lane_lo + slice);
+        std::vector<Lane> lanes;
+        lanes.reserve(lane_hi - lane_lo);
+        std::size_t steps = 0;
+        for (std::size_t i = lane_lo; i < lane_hi; ++i) {
+          lanes.emplace_back(pairs[i], options);
+          steps = std::max(steps, lanes.back().steps());
+        }
+        for (std::size_t i = 0; i <= steps; ++i) {
+          for (Lane& lane : lanes) {
+            if (!lane.valid()) continue;
+            lane.record(i);
+            if (i < steps) lane.step();
+          }
+        }
+        for (std::size_t i = lane_lo; i < lane_hi; ++i) {
+          out[i] = lanes[i - lane_lo].finish();
+        }
+      },
+      {.threads = threads});
+  return out;
 }
 
 }  // namespace bcn::analysis

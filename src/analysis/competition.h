@@ -69,4 +69,24 @@ CompetitionRun simulate_fluid_competition(std::string_view mech_a,
                                           const core::MechanismConfig& base,
                                           const CompetitionOptions& options = {});
 
+// One lane of a batched competition sweep: a mechanism pair on its own
+// plant configuration.
+struct CompetitionPair {
+  std::string mech_a;
+  std::string mech_b;
+  core::MechanismConfig config;
+};
+
+// Batched form: steps every pair's 3-state trajectory in lockstep over
+// SoA lane storage (one fixed-step RK4 macro loop for the whole batch)
+// instead of running the pairs one at a time.  Per-lane arithmetic is
+// the exact scalar sequence — simulate_fluid_competition is the batch of
+// one — so results()[i] is bitwise identical to the scalar run of
+// pairs[i].  `threads` distributes contiguous lane slices over the exec
+// layer (0 = hardware, 1 = serial); lanes are independent, so the output
+// is thread-count invariant.
+std::vector<CompetitionRun> simulate_fluid_competition_batch(
+    const std::vector<CompetitionPair>& pairs,
+    const CompetitionOptions& options = {}, int threads = 1);
+
 }  // namespace bcn::analysis

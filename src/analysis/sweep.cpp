@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+
+#include "common/format.h"
 
 #include "exec/parallel_for.h"
 #include "obs/tracing.h"
@@ -25,7 +28,13 @@ std::vector<double> linspace(double lo, double hi, int n) {
 }
 
 std::vector<double> logspace(double lo, double hi, int n) {
-  assert(lo > 0.0 && hi > 0.0);
+  // A real error path, not an assert: under NDEBUG a non-positive bound
+  // would otherwise silently produce NaN axes that fan out into every
+  // parallel map cell.
+  if (!(lo > 0.0) || !(hi > 0.0)) {
+    throw std::invalid_argument(
+        strf("logspace requires positive bounds, got [%g, %g]", lo, hi));
+  }
   if (n <= 0) return {};
   if (n == 1) return {lo};
   if (lo == hi) return std::vector<double>(static_cast<std::size_t>(n), lo);

@@ -13,7 +13,9 @@ namespace bcn::analysis {
 std::vector<double> linspace(double lo, double hi, int n);
 
 // n log-spaced values from lo to hi inclusive (lo, hi > 0).  Same
-// degenerate shapes and exact endpoints as linspace.
+// degenerate shapes and exact endpoints as linspace.  Throws
+// std::invalid_argument on non-positive bounds — in release builds too,
+// where the old assert would have compiled out and produced NaN axes.
 std::vector<double> logspace(double lo, double hi, int n);
 
 // Evaluates fn over every value, in parallel when threads != 1 (0 = all

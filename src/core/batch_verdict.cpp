@@ -1,0 +1,163 @@
+#include "core/batch_verdict.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "core/classifier.h"
+#include "exec/parallel_for.h"
+
+namespace bcn::core {
+namespace {
+
+// Identical to the horizon rule in stability.cpp (kept in lock-step so
+// batched and scalar verdicts integrate the same duration): half a
+// rotation period for spirals, 20 slow time constants for nodes.
+double region_time_scale(const control::SecondOrderSystem& sys) {
+  const double disc = sys.discriminant();
+  if (disc < 0.0) {
+    const double beta = std::sqrt(-disc) / 2.0;
+    return std::numbers::pi / beta;
+  }
+  const auto eig = sys.eigenvalues();
+  const double slow = std::abs(eig[1].real());  // eigenvalue closest to 0
+  return slow > 0.0 ? 20.0 / slow : 1.0;
+}
+
+// Fastest linearized rate of one region of a lane law.  The law's
+// second-order form at the origin is lambda^2 + m lambda + n with
+// m = g0 sy, n = g0 sx; away from the origin the g1 y term raises the
+// effective g0 by up to g1 * capacity (|y| stays of order C), so the
+// step is sized for that worst case.
+double region_rate(const ode::LaneLaw& law, int r, double capacity) {
+  const double g_eff = law.g0[r] + std::abs(law.g1[r]) * capacity;
+  const double m = std::abs(g_eff * law.sy);
+  const double n = std::abs(g_eff * law.sx);
+  return std::max(m, std::sqrt(n));
+}
+
+// Sizes each region's macro step from that region's own rates — lanes
+// with a stiff increase law and a slow decrease law (small Gd) take
+// proportionally larger steps while spiraling on the slow side, where
+// they spend most of the run.  Crossings truncate the step, so a lane
+// never integrates across the surface with the wrong region's dt.
+void auto_dt(const VerdictLane& lane, double oversample, double dt_out[2]) {
+  const double r0 = region_rate(lane.law, 0, lane.capacity);
+  const double r1 = region_rate(lane.law, 1, lane.capacity);
+  const double rmax = std::max(r0, r1);
+  if (rmax <= 0.0) {
+    // Pure-drive laws (no position/velocity coupling anywhere) have no
+    // intrinsic rate; resolve the horizon instead.
+    dt_out[0] = dt_out[1] = lane.duration / (100.0 * oversample);
+    return;
+  }
+  // A rate-free region (pure drive) borrows the other region's step.
+  dt_out[0] = 1.0 / (oversample * (r0 > 0.0 ? r0 : rmax));
+  dt_out[1] = 1.0 / (oversample * (r1 > 0.0 ? r1 : rmax));
+}
+
+}  // namespace
+
+ode::LaneLaw bcn_lane_law(const BcnParams& params, ModelLevel level) {
+  ode::LaneLaw law;
+  law.sx = 1.0;
+  law.sy = params.k();
+  law.g0[0] = params.a();  // increase: dy = a sigma
+  const double b = params.b();
+  // decrease: dy = b (y + C) sigma = (bC + b y) sigma
+  law.g0[1] = b * params.capacity;
+  law.g1[1] = level == ModelLevel::Linearized ? 0.0 : b;
+  law.switched = true;
+  return law;
+}
+
+VerdictLane make_bcn_verdict_lane(const BcnParams& params, ModelLevel level,
+                                  double duration) {
+  VerdictLane lane;
+  lane.law = bcn_lane_law(params, level);
+  lane.q0 = params.q0;
+  lane.capacity = params.capacity;
+  lane.buffer = params.buffer;
+  lane.duration = duration;
+  if (lane.duration <= 0.0) {
+    lane.duration = 10.0 * (region_time_scale(increase_subsystem(params)) +
+                            region_time_scale(decrease_subsystem(params)));
+  }
+  return lane;
+}
+
+std::optional<VerdictLane> make_mechanism_verdict_lane(
+    const FluidMechanism& mechanism, const MechanismRunOptions& options) {
+  if (options.level == ModelLevel::Clipped) return std::nullopt;
+  ode::LaneLaw law;
+  if (!mechanism.lane_law(options.level, &law)) return std::nullopt;
+
+  const BcnParams& p = mechanism.plant();
+  VerdictLane lane;
+  lane.law = law;
+  lane.q0 = p.q0;
+  lane.capacity = p.capacity;
+  lane.buffer = p.buffer;
+  lane.duration = options.duration;
+  lane.use_convergence_stop = mechanism.has_equilibrium();
+  return lane;
+}
+
+std::vector<NumericVerdict> batch_numeric_verdicts(
+    const std::vector<VerdictLane>& lanes,
+    const BatchVerdictOptions& options) {
+  const std::size_t n = lanes.size();
+  std::vector<NumericVerdict> out(n);
+  if (n == 0) return out;
+
+  std::vector<ode::BatchLane> batch(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VerdictLane& lane = lanes[i];
+    ode::BatchLane& b = batch[i];
+    b.law = lane.law;
+    b.x0 = -lane.q0;  // the canonical empty-queue analysis start
+    b.y0 = 0.0;
+    b.t_end = lane.duration;
+    if (lane.dt > 0.0) {
+      b.dt[0] = b.dt[1] = lane.dt;
+    } else {
+      auto_dt(lane, options.oversample, b.dt);
+    }
+    if (lane.use_convergence_stop && options.convergence_tol > 0.0) {
+      b.inv_x_scale = 1.0 / lane.q0;
+      b.inv_y_scale = 1.0 / lane.capacity;
+      b.stop_tol = options.convergence_tol;
+    }
+  }
+
+  // Contiguous slices keep each worker's integrator hot; results land by
+  // lane index, so slicing is invisible to the output.
+  const std::size_t slice = options.threads == 1
+                                ? n
+                                : std::clamp<std::size_t>(n / 64, 16, 512);
+  const std::size_t n_slices = (n + slice - 1) / slice;
+  exec::parallel_for(
+      n_slices,
+      [&](std::size_t s) {
+        const std::size_t lo = s * slice;
+        const std::size_t hi = std::min(n, lo + slice);
+        ode::BatchIntegrator integrator;
+        integrator.reset(batch.data() + lo, hi - lo);
+        integrator.run_to_completion();
+        const auto& results = integrator.results();
+        for (std::size_t i = lo; i < hi; ++i) {
+          const ode::LaneResult& r = results[i - lo];
+          NumericVerdict& v = out[i];
+          v.max_x = r.max_x;
+          v.min_x = r.post_switch_min_x;
+          v.converged = r.converged;
+          v.strongly_stable = r.max_x < lanes[i].buffer - lanes[i].q0 &&
+                              r.post_switch_min_x > -lanes[i].q0 &&
+                              r.completed;
+        }
+      },
+      {.threads = options.threads});
+  return out;
+}
+
+}  // namespace bcn::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/batch_verdict.h"
+
 namespace bcn::core {
 namespace {
 
@@ -36,6 +38,12 @@ class BcnFluidMechanism final : public FluidMechanism {
     if (s > 0.0) return plant_.a() * s;  // additive increase, a = Ru Gi N_g
     // Multiplicative decrease scales the group's own aggregate rate.
     return plant_.b() * (y_group + share) * s;
+  }
+
+  bool lane_law(ModelLevel level, ode::LaneLaw* out) const override {
+    if (level == ModelLevel::Clipped) return false;
+    *out = bcn_lane_law(plant_, level);
+    return true;
   }
 
  private:
@@ -141,6 +149,23 @@ class QcnFluidMechanism final : public FluidMechanism {
     return ai + effective_gd() * (y_group + share) * s;
   }
 
+  bool lane_law(ModelLevel level, ode::LaneLaw* out) const override {
+    if (level == ModelLevel::Clipped) return false;
+    ode::LaneLaw law;
+    law.sx = 1.0;
+    law.sy = plant_.k();
+    const double ai = active_drive();
+    const double b = effective_gd();
+    law.drive[0] = ai;  // increase region: pure constant drive
+    law.drive[1] = ai;
+    // decrease: ai - b (y + C)(x + k y) = ai + (bC + b y) sigma
+    law.g0[1] = b * plant_.capacity;
+    law.g1[1] = level == ModelLevel::Linearized ? 0.0 : b;
+    law.switched = true;
+    *out = law;
+    return true;
+  }
+
  private:
   QcnParams qcn_;
 };
@@ -229,6 +254,25 @@ class RcpFluidMechanism final : public FluidMechanism {
     const double d = rcp_.interval;
     return (y_group + share) *
            (-rcp_.alpha * y_total - (rcp_.beta / d) * x) / (cap * d);
+  }
+
+  bool lane_law(ModelLevel level, ode::LaneLaw* out) const override {
+    if (level == ModelLevel::Clipped) return false;
+    ode::LaneLaw law;
+    // RCP's single smooth law in lane form: with sigma = -(bd x + alpha y),
+    //   dy = (y + C) sigma / (C d) = (1/d + y/(C d)) sigma.
+    law.sx = rcp_.beta / rcp_.interval;
+    law.sy = rcp_.alpha;
+    const double inv_d = 1.0 / rcp_.interval;
+    law.g0[0] = law.g0[1] = inv_d;
+    const double g1 =
+        level == ModelLevel::Linearized
+            ? 0.0
+            : inv_d / plant_.capacity;
+    law.g1[0] = law.g1[1] = g1;
+    law.switched = false;  // no switching line, interior only
+    *out = law;
+    return true;
   }
 
  private:

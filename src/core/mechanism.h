@@ -27,6 +27,7 @@
 #include "core/fluid_model.h"
 #include "core/simulate.h"
 #include "core/stability.h"
+#include "ode/batch.h"
 
 namespace bcn::core {
 
@@ -112,6 +113,15 @@ class FluidMechanism {
   // total deviation y_total.  Always the nonlinear (level-(8)) law.
   virtual double group_rate_deriv(double x, double y_group, double y_total,
                                   double share) const = 0;
+
+  // The mechanism's interior dynamics as an affine lane law for the SoA
+  // batched integrator (ode/batch.h), at Linearized or Nonlinear level.
+  // Returns false when the dynamics fall outside the affine family or
+  // the level has buffer walls (Clipped) — callers then fall back to the
+  // scalar hybrid path.  Every current fluid facet is representable.
+  virtual bool lane_law(ModelLevel /*level*/, ode::LaneLaw* /*out*/) const {
+    return false;
+  }
 
   // Buffer walls and the canonical analysis start, shared by every
   // mechanism operating on the same plant.

@@ -38,6 +38,15 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  // Monotone raise: keeps max(current, v).  CAS loop so concurrent
+  // raisers (parallel wave workers recording a high-water mark) never
+  // lose an update.
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
   double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:

@@ -1,0 +1,273 @@
+#include "ode/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bcn::ode {
+
+namespace {
+
+// One classic RK4 step of the lane law under a frozen region field.
+// Kept as a free inline over plain doubles so both the vectorized pass
+// and the scalar crossing path share the exact same arithmetic (and
+// therefore produce bitwise-identical states for identical inputs).
+inline void rk4_step(double x, double y, double h, double sx, double sy,
+                     double drive, double g0, double g1, double& xo,
+                     double& yo) {
+  const auto fy = [&](double xx, double yy) {
+    return drive + (g0 + g1 * yy) * -(sx * xx + sy * yy);
+  };
+  const double k1x = y;
+  const double k1y = fy(x, y);
+  const double k2x = y + 0.5 * h * k1y;
+  const double k2y = fy(x + 0.5 * h * k1x, y + 0.5 * h * k1y);
+  const double k3x = y + 0.5 * h * k2y;
+  const double k3y = fy(x + 0.5 * h * k2x, y + 0.5 * h * k2y);
+  const double k4x = y + h * k3y;
+  const double k4y = fy(x + h * k3x, y + h * k3y);
+  xo = x + h / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x);
+  yo = y + h / 6.0 * (k1y + 2.0 * k2y + 2.0 * k3y + k4y);
+}
+
+// Root of the cubic Hermite interpolant of sigma over [0, 1] given end
+// values and end derivatives (d/du).  Bisection on the polynomial: the
+// caller guarantees a sign change between the endpoints.
+inline double hermite_root(double p0, double m0, double p1, double m1,
+                           int iters) {
+  const auto eval = [&](double u) {
+    const double u2 = u * u;
+    const double u3 = u2 * u;
+    return (2.0 * u3 - 3.0 * u2 + 1.0) * p0 + (u3 - 2.0 * u2 + u) * m0 +
+           (-2.0 * u3 + 3.0 * u2) * p1 + (u3 - u2) * m1;
+  };
+  double lo = 0.0, hi = 1.0;
+  double flo = p0;
+  for (int it = 0; it < iters; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = eval(mid);
+    if ((flo <= 0.0) == (fm <= 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+BatchIntegrator::BatchIntegrator(BatchOptions options) : options_(options) {}
+
+void BatchIntegrator::reset(const BatchLane* lanes, std::size_t n) {
+  const auto grow = [n](auto& v) { v.resize(std::max(v.size(), n)); };
+  grow(x_), grow(y_), grow(t_), grow(dt0_), grow(dt1_), grow(tend_);
+  grow(sx_), grow(sy_), grow(dr0_), grow(dr1_);
+  grow(ga0_), grow(ga1_), grow(gb0_), grow(gb1_);
+  grow(ivx_), grow(ivy_), grow(stol_);
+  grow(reg_), grow(swi_), grow(ids_);
+  grow(xn_), grow(yn_), grow(s0_), grow(s1_), grow(hcur_);
+  grow(maxx_), grow(minx_), grow(pmaxx_), grow(pminx_), grow(fct_);
+  grow(crossed_), grow(steps_), grow(ncross_);
+  results_.assign(n, LaneResult{});
+  active_ = n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchLane& lane = lanes[i];
+    x_[i] = lane.x0;
+    y_[i] = lane.y0;
+    t_[i] = 0.0;
+    dt0_[i] = lane.dt[0];
+    dt1_[i] = lane.dt[1];
+    tend_[i] = lane.t_end;
+    sx_[i] = lane.law.sx;
+    sy_[i] = lane.law.sy;
+    dr0_[i] = lane.law.drive[0];
+    dr1_[i] = lane.law.drive[1];
+    ga0_[i] = lane.law.g0[0];
+    ga1_[i] = lane.law.g0[1];
+    gb0_[i] = lane.law.g1[0];
+    gb1_[i] = lane.law.g1[1];
+    ivx_[i] = lane.inv_x_scale;
+    ivy_[i] = lane.inv_y_scale;
+    stol_[i] = lane.stop_tol;
+    const double sig0 = -(lane.law.sx * lane.x0 + lane.law.sy * lane.y0);
+    reg_[i] = sig0 > 0.0 ? 0 : 1;
+    swi_[i] = lane.law.switched ? 1 : 0;
+    ids_[i] = static_cast<std::uint32_t>(i);
+    maxx_[i] = -std::numeric_limits<double>::infinity();
+    minx_[i] = std::numeric_limits<double>::infinity();
+    pmaxx_[i] = 0.0;  // post-switch extrema fold from 0, like FluidRun
+    pminx_[i] = 0.0;
+    fct_[i] = 0.0;
+    crossed_[i] = 0;
+    steps_[i] = 0;
+    ncross_[i] = 0;
+  }
+}
+
+void BatchIntegrator::fold_sample(std::size_t i, double xs) {
+  maxx_[i] = std::max(maxx_[i], xs);
+  minx_[i] = std::min(minx_[i], xs);
+  if (crossed_[i]) {
+    pmaxx_[i] = std::max(pmaxx_[i], xs);
+    pminx_[i] = std::min(pminx_[i], xs);
+  }
+}
+
+void BatchIntegrator::commit_plain(std::size_t i, double h) {
+  x_[i] = xn_[i];
+  y_[i] = yn_[i];
+  t_[i] += h;
+  // Re-derive the region from the end state's sigma sign (the scalar
+  // driver's mode_of safety net); for a no-crossing step this is a no-op
+  // unless sigma landed exactly on 0.
+  if (swi_[i]) reg_[i] = s1_[i] > 0.0 ? 0 : 1;
+  fold_sample(i, x_[i]);
+  ++steps_[i];
+}
+
+void BatchIntegrator::commit_at_crossing(std::size_t i, double h) {
+  // Sigma changed sign across the candidate step: localize the first
+  // crossing on the cubic Hermite interpolant of sigma, land the lane
+  // exactly there, flip the region, and truncate the macro step.  The
+  // next step continues under the new region's field *and step size* —
+  // the scalar hybrid driver's restart-at-event policy.  This keeps the
+  // candidate end state from ever being committed with a stale field,
+  // which matters once the two regions carry very different dts.
+  const double sx = sx_[i], sy = sy_[i];
+  const int r = reg_[i];
+  const double drive = r == 0 ? dr0_[i] : dr1_[i];
+  const double g0 = r == 0 ? ga0_[i] : ga1_[i];
+  const double g1 = r == 0 ? gb0_[i] : gb1_[i];
+  const auto rhs_y = [&](double xx, double yy) {
+    return drive + (g0 + g1 * yy) * -(sx * xx + sy * yy);
+  };
+
+  const double xa = x_[i], ya = y_[i];
+  const double xb = xn_[i], yb = yn_[i];
+  // Hermite data for sigma over the step: sigma' = -(sx x' + sy y').
+  const double da = -(sx * ya + sy * rhs_y(xa, ya)) * h;
+  const double db = -(sx * yb + sy * rhs_y(xb, yb)) * h;
+  double u = hermite_root(s0_[i], da, s1_[i], db, options_.max_bisections);
+  // Guarantee forward progress even if the interpolant pins the root
+  // onto the step's start.
+  u = std::clamp(u, 1e-6, 1.0);
+  const double hc = u * h;
+  double xc, yc;
+  rk4_step(xa, ya, hc, sx, sy, drive, g0, g1, xc, yc);
+
+  x_[i] = xc;
+  y_[i] = yc;
+  t_[i] += hc;
+  if (!crossed_[i]) {
+    crossed_[i] = 1;
+    // The crossing sample itself is post-switch (the scalar run gates
+    // on t >= first switch time inclusively).
+    fct_[i] = t_[i];
+  }
+  ++ncross_[i];
+  // The landed sigma is an epsilon value of ambiguous sign; trust the
+  // side the candidate step was heading to.
+  reg_[i] = s1_[i] > 0.0 ? 0 : 1;
+  fold_sample(i, xc);
+  ++steps_[i];
+}
+
+bool BatchIntegrator::retire_if_done(std::size_t i) {
+  bool done = false;
+  bool converged = false;
+  if (stol_[i] > 0.0 &&
+      std::abs(x_[i]) * ivx_[i] + std::abs(y_[i]) * ivy_[i] < stol_[i]) {
+    done = true;
+    converged = true;
+  }
+  // Completion tolerance mirrors vector_rk4's loop bound.
+  if (t_[i] >= tend_[i] - 1e-12 * std::max(1.0, std::abs(tend_[i]))) {
+    done = true;
+  }
+  if (!done) return false;
+
+  LaneResult& out = results_[ids_[i]];
+  out.max_x = maxx_[i];
+  out.min_x = minx_[i];
+  out.crossed = crossed_[i] != 0;
+  out.first_crossing_t = fct_[i];
+  out.post_switch_max_x = pmaxx_[i];
+  out.post_switch_min_x = pminx_[i];
+  out.completed = true;
+  out.converged = converged;
+  out.steps = steps_[i];
+  out.crossings = ncross_[i];
+  return true;
+}
+
+std::size_t BatchIntegrator::step_all() {
+  const std::size_t m = active_;
+  if (m == 0) return 0;
+
+  // Pass 1 — vectorizable: a full RK4 macro step for every active lane
+  // under its frozen region field, plus sigma at both step ends.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double h =
+        std::min(reg_[i] == 0 ? dt0_[i] : dt1_[i], tend_[i] - t_[i]);
+    hcur_[i] = h;
+    const int r = reg_[i];
+    const double drive = r == 0 ? dr0_[i] : dr1_[i];
+    const double g0 = r == 0 ? ga0_[i] : ga1_[i];
+    const double g1 = r == 0 ? gb0_[i] : gb1_[i];
+    const double sx = sx_[i], sy = sy_[i];
+    double xo, yo;
+    rk4_step(x_[i], y_[i], h, sx, sy, drive, g0, g1, xo, yo);
+    xn_[i] = xo;
+    yn_[i] = yo;
+    s0_[i] = -(sx * x_[i] + sy * y_[i]);
+    s1_[i] = -(sx * xo + sy * yo);
+  }
+
+  // Pass 2 — scalar: crossing localization, statistics, retirement with
+  // swap-from-last compaction.  Results are keyed by original lane id,
+  // so the outcome is independent of retirement order.
+  std::size_t i = 0;
+  std::size_t n = m;
+  while (i < n) {
+    if (swi_[i] && (s0_[i] <= 0.0) != (s1_[i] <= 0.0)) {
+      commit_at_crossing(i, hcur_[i]);
+    } else {
+      commit_plain(i, hcur_[i]);
+    }
+    if (retire_if_done(i)) {
+      --n;
+      if (i != n) {
+        x_[i] = x_[n], y_[i] = y_[n], t_[i] = t_[n];
+        dt0_[i] = dt0_[n], dt1_[i] = dt1_[n], tend_[i] = tend_[n];
+        sx_[i] = sx_[n], sy_[i] = sy_[n];
+        dr0_[i] = dr0_[n], dr1_[i] = dr1_[n];
+        ga0_[i] = ga0_[n], ga1_[i] = ga1_[n];
+        gb0_[i] = gb0_[n], gb1_[i] = gb1_[n];
+        ivx_[i] = ivx_[n], ivy_[i] = ivy_[n], stol_[i] = stol_[n];
+        reg_[i] = reg_[n], swi_[i] = swi_[n], ids_[i] = ids_[n];
+        // The swapped-in lane has not been committed this pass yet; its
+        // pass-1 scratch must travel with it.
+        xn_[i] = xn_[n], yn_[i] = yn_[n];
+        s0_[i] = s0_[n], s1_[i] = s1_[n], hcur_[i] = hcur_[n];
+        maxx_[i] = maxx_[n], minx_[i] = minx_[n];
+        pmaxx_[i] = pmaxx_[n], pminx_[i] = pminx_[n], fct_[i] = fct_[n];
+        crossed_[i] = crossed_[n];
+        steps_[i] = steps_[n], ncross_[i] = ncross_[n];
+      }
+    } else {
+      ++i;
+    }
+  }
+  active_ = n;
+  return n;
+}
+
+void BatchIntegrator::run_to_completion() {
+  while (step_all() != 0) {
+  }
+}
+
+}  // namespace bcn::ode

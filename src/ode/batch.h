@@ -1,0 +1,160 @@
+// Structure-of-arrays batched integration of many *independent* planar
+// switched systems: the stability-map/sweep hot path.
+//
+// The scalar stack (dopri5.h / hybrid.h) integrates one trajectory at a
+// time through std::function right-hand sides — ideal for a single
+// high-accuracy run, wasteful for a map that integrates thousands of
+// short, mutually independent trajectories.  This driver instead steps N
+// lanes per fixed-size RK4 macro step over contiguous SoA arrays.  The
+// inner loop is branch-light (the active region only selects
+// coefficients), indirection-free and auto-vectorizable, and after the
+// first reset at a given capacity the integrator allocates nothing.
+//
+// Lane dynamics are restricted to the affine switched family
+//
+//   sigma(z) = -(sx x + sy y),   region r = sigma > 0 ? 0 : 1,
+//   dx/dt = y,
+//   dy/dt = drive[r] + (g0[r] + g1[r] y) sigma,
+//
+// which covers the interior laws of every registered fluid mechanism
+// (BCN eq. (8)/(9), QCN's constant drive + quantized decrease, RCP's
+// single smooth rate law) at both the Linearized and Nonlinear model
+// levels.  Buffer-wall (Clipped) modes are deliberately out of scope:
+// callers needing walls take the scalar hybrid path.
+//
+// Switching-surface events are handled per lane, mirroring ode/hybrid's
+// dense-output bisection: sigma along an accepted macro step is
+// interpolated by a cubic Hermite (sigma and its time derivative are
+// exact at both step ends), the crossing is bisected on that cubic, and
+// the lane is re-stepped to land exactly on the crossing, where the
+// region flips and the macro step truncates — the next step continues
+// under the new region's field and step size (the scalar driver's
+// restart-at-event policy).  Step sizes are per region: a lane whose
+// decrease law is 30x slower than its increase law takes 30x larger
+// steps there.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bcn::ode {
+
+// One lane's switched interior law (see the family above).
+struct LaneLaw {
+  double sx = 1.0;  // sigma = -(sx x + sy y)
+  double sy = 0.0;
+  double drive[2] = {0.0, 0.0};  // constant drive per region
+  double g0[2] = {0.0, 0.0};     // dy += (g0 + g1 y) sigma
+  double g1[2] = {0.0, 0.0};
+  // False for single-law mechanisms (RCP): both regions carry the same
+  // coefficients and no crossing is ever localized or reported, matching
+  // the scalar hybrid system's guard-free interior.
+  bool switched = true;
+};
+
+// Everything needed to run one lane to completion.
+struct BatchLane {
+  LaneLaw law;
+  double x0 = 0.0;  // initial state at t = 0
+  double y0 = 0.0;
+  double t_end = 0.0;  // integration horizon (> 0)
+  // Fixed RK4 macro step per region (> 0; the last step is shortened to
+  // land on t_end, and steps truncate at sigma crossings).
+  double dt[2] = {0.0, 0.0};
+  // Early-stop predicate |x| inv_x_scale + |y| inv_y_scale < stop_tol,
+  // checked after every macro step (stop_tol 0 disables) — mirrors
+  // FluidRunOptions::convergence_tol.
+  double inv_x_scale = 0.0;
+  double inv_y_scale = 0.0;
+  double stop_tol = 0.0;
+};
+
+// Per-lane integration summary: exactly the quantities the numeric
+// strong-stability verdict consumes from a scalar core::FluidRun.
+// Extrema are over the discrete sample set {macro-step ends, localized
+// crossing points}, the initial state excluded — the same sample set the
+// scalar driver records into its trajectory.
+struct LaneResult {
+  double max_x = 0.0;
+  double min_x = 0.0;
+  bool crossed = false;        // at least one sigma crossing
+  double first_crossing_t = 0.0;
+  // Extrema from the first crossing on; 0 when no crossing occurred
+  // (mirrors FluidRun's post-switch fields, which fold from 0).
+  double post_switch_max_x = 0.0;
+  double post_switch_min_x = 0.0;
+  bool completed = false;  // reached t_end or stopped via stop_tol
+  bool converged = false;  // stopped early via stop_tol
+  std::uint32_t steps = 0;
+  std::uint32_t crossings = 0;
+};
+
+struct BatchOptions {
+  // Bisection iterations on the Hermite interpolant per crossing.
+  int max_bisections = 48;
+};
+
+class BatchIntegrator {
+ public:
+  explicit BatchIntegrator(BatchOptions options = {});
+
+  // Loads n lanes (all become active, t = 0).  Scratch is resized, not
+  // shrunk: after the first reset at the high-water lane count, further
+  // resets and all stepping allocate nothing.
+  void reset(const BatchLane* lanes, std::size_t n);
+  void reset(const std::vector<BatchLane>& lanes) {
+    reset(lanes.data(), lanes.size());
+  }
+
+  // Advances every active lane by one of its own macro steps (lanes are
+  // independent — there is no shared clock), localizing crossings and
+  // retiring lanes that reach t_end or their stop predicate.  Retired
+  // lanes are compacted out of the active set.  Returns the number of
+  // lanes still active.
+  std::size_t step_all();
+
+  // Steps until every lane has retired.
+  void run_to_completion();
+
+  std::size_t active() const { return active_; }
+  std::size_t size() const { return results_.size(); }
+
+  // Results indexed like the lanes passed to reset().  Valid for retired
+  // lanes; fully populated once run_to_completion/step_all reports 0.
+  const std::vector<LaneResult>& results() const { return results_; }
+
+  // Read-only views of the live SoA state (active lanes, compacted; use
+  // lane_ids() to map a slot back to its reset() index).
+  const double* x() const { return x_.data(); }
+  const double* y() const { return y_.data(); }
+  const double* t() const { return t_.data(); }
+  const std::uint8_t* region() const { return reg_.data(); }
+  const std::uint32_t* lane_ids() const { return ids_.data(); }
+
+ private:
+  void commit_plain(std::size_t i, double h);
+  void commit_at_crossing(std::size_t i, double h);
+  void fold_sample(std::size_t i, double xs);
+  bool retire_if_done(std::size_t i);
+
+  BatchOptions options_;
+  std::size_t active_ = 0;
+
+  // SoA lane state.
+  std::vector<double> x_, y_, t_, dt0_, dt1_, tend_;
+  std::vector<double> sx_, sy_, dr0_, dr1_, ga0_, ga1_, gb0_, gb1_;
+  std::vector<double> ivx_, ivy_, stol_;
+  std::vector<std::uint8_t> reg_, swi_;
+  std::vector<std::uint32_t> ids_;
+  // Pass-1 scratch: candidate step ends and sigma at both ends.
+  std::vector<double> xn_, yn_, s0_, s1_, hcur_;
+  // Per-lane running statistics.
+  std::vector<double> maxx_, minx_, pmaxx_, pminx_, fct_;
+  std::vector<std::uint8_t> crossed_;
+  std::vector<std::uint32_t> steps_, ncross_;
+
+  std::vector<LaneResult> results_;
+};
+
+}  // namespace bcn::ode

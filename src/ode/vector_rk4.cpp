@@ -29,6 +29,9 @@ void vector_rk4_integrate(
   assert(h > 0.0);
   VectorRk4Scratch scratch;
   double t = t0;
+  // The initial state is part of the trajectory: without it, recorded
+  // timelines (e.g. the 3-state competition runs) start one step late.
+  if (observe) observe(t0, state);
   while (t < t1 - 1e-15 * std::max(1.0, std::abs(t1))) {
     const double step = std::min(h, t1 - t);
     vector_rk4_step(f, t, step, state, scratch);

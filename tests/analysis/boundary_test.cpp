@@ -10,7 +10,7 @@ namespace {
 TEST(MinStableBufferTest, LinearizedBoundaryNearTheoremRequirement) {
   const auto p = core::BcnParams::standard_draft();
   const auto b_min =
-      min_stable_buffer(p, {.level = core::ModelLevel::Linearized});
+      min_stable_buffer(p, {.numeric = {.level = core::ModelLevel::Linearized}});
   ASSERT_TRUE(b_min);
   // Theorem 1's linearized bound is near-tight: B_min sits within 1% of
   // it (the raw measured peak is just below the bound; the returned value
@@ -22,7 +22,7 @@ TEST(MinStableBufferTest, LinearizedBoundaryNearTheoremRequirement) {
 TEST(MinStableBufferTest, NonlinearNeedsRoughlyHalf) {
   const auto p = core::BcnParams::standard_draft();
   const auto b_min =
-      min_stable_buffer(p, {.level = core::ModelLevel::Nonlinear});
+      min_stable_buffer(p, {.numeric = {.level = core::ModelLevel::Nonlinear}});
   ASSERT_TRUE(b_min);
   EXPECT_LT(*b_min, 0.6 * p.theorem1_required_buffer());
   EXPECT_GT(*b_min, 0.3 * p.theorem1_required_buffer());
@@ -36,7 +36,7 @@ TEST(MinStableBufferTest, ReturnedBufferActuallyVerdictsStable) {
     p.gi = rng.uniform(0.5, 10.0);
     p.gd = rng.uniform(1.0 / 512.0, 1.0 / 16.0);
     const auto b_min =
-        min_stable_buffer(p, {.level = core::ModelLevel::Linearized});
+        min_stable_buffer(p, {.numeric = {.level = core::ModelLevel::Linearized}});
     if (!b_min) continue;
     ++checked;
     core::BcnParams at = p;
@@ -58,6 +58,24 @@ TEST(MinStableBufferTest, ReturnedBufferActuallyVerdictsStable) {
         << below.describe();
   }
   EXPECT_GE(checked, 3);
+}
+
+TEST(MinStableBufferTest, HonorsCallerNumericOptions) {
+  // Regression: MinBufferOptions used to forward only the model level to
+  // the verdict runs, silently discarding every other numeric knob the
+  // caller configured.  A horizon far too short to see the first
+  // overshoot must produce a smaller "minimal" buffer than the honest
+  // auto horizon — observable only if the duration actually reaches the
+  // integrator.
+  const auto p = core::BcnParams::standard_draft();
+  const auto honest =
+      min_stable_buffer(p, {.numeric = {.level = core::ModelLevel::Linearized}});
+  const auto myopic = min_stable_buffer(
+      p, {.numeric = {.level = core::ModelLevel::Linearized,
+                      .duration = 1e-6}});
+  ASSERT_TRUE(honest);
+  ASSERT_TRUE(myopic);
+  EXPECT_LT(*myopic, 0.5 * *honest);
 }
 
 TEST(MinStableBufferTest, AlwaysAtLeastQ0) {

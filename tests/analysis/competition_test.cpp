@@ -124,5 +124,46 @@ TEST(CompetitionTest, PacketOnlyMechanismYieldsAnEmptyRun) {
   }
 }
 
+TEST(CompetitionTest, BatchIsBitwiseEqualToScalarRuns) {
+  // The batched entry point steps lanes in lockstep over shared storage;
+  // the contract is that every per-lane series and statistic is the
+  // exact scalar sequence, at any thread count.
+  const std::vector<CompetitionPair> pairs = {
+      {"bcn", "bcn", slow_regime()},
+      {"bcn", "qcn", slow_regime()},
+      {"qcn", "rcp", slow_regime()},
+      {"rcp", "bcn", slow_regime()},
+      {"bcn", "nope", slow_regime()},  // invalid pairs ride along empty
+  };
+  const auto opts = short_run();
+  for (const int threads : {1, 4}) {
+    const auto batch = simulate_fluid_competition_batch(pairs, opts, threads);
+    ASSERT_EQ(batch.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto scalar = simulate_fluid_competition(
+          pairs[i].mech_a, pairs[i].mech_b, pairs[i].config, opts);
+      const auto& b = batch[i];
+      ASSERT_EQ(b.t.size(), scalar.t.size()) << i;
+      for (std::size_t s = 0; s < scalar.t.size(); ++s) {
+        // EXPECT_EQ on doubles is exact, not a tolerance comparison.
+        EXPECT_EQ(b.t[s], scalar.t[s]);
+        EXPECT_EQ(b.x[s], scalar.x[s]);
+        EXPECT_EQ(b.ya[s], scalar.ya[s]);
+        EXPECT_EQ(b.yb[s], scalar.yb[s]);
+      }
+      EXPECT_EQ(b.max_x, scalar.max_x) << i;
+      EXPECT_EQ(b.min_x, scalar.min_x) << i;
+      EXPECT_EQ(b.bounded, scalar.bounded) << i;
+      EXPECT_EQ(b.tail_queue_mean, scalar.tail_queue_mean) << i;
+      EXPECT_EQ(b.tail_x_p2p, scalar.tail_x_p2p) << i;
+      EXPECT_EQ(b.tail_rate_a, scalar.tail_rate_a) << i;
+      EXPECT_EQ(b.tail_rate_b, scalar.tail_rate_b) << i;
+      EXPECT_EQ(b.fairness, scalar.fairness) << i;
+      EXPECT_EQ(b.share_a, scalar.share_a) << i;
+      EXPECT_EQ(b.share_b, scalar.share_b) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bcn::analysis

@@ -124,5 +124,108 @@ TEST(StabilityMapTest, LargerBufferNeverHurts) {
   EXPECT_GE(ml.theorem1_stable, ms.theorem1_stable);
 }
 
+TEST(StabilityMapTest, MapModeParsing) {
+  MapMode mode = MapMode::Scalar;
+  EXPECT_TRUE(parse_map_mode("batch", &mode));
+  EXPECT_EQ(mode, MapMode::Batch);
+  EXPECT_TRUE(parse_map_mode("adaptive", &mode));
+  EXPECT_EQ(mode, MapMode::Adaptive);
+  EXPECT_TRUE(parse_map_mode("scalar", &mode));
+  EXPECT_EQ(mode, MapMode::Scalar);
+  mode = MapMode::Batch;
+  EXPECT_FALSE(parse_map_mode("turbo", &mode));
+  EXPECT_EQ(mode, MapMode::Batch);  // untouched on failure
+  EXPECT_EQ(to_string(MapMode::Adaptive), "adaptive");
+}
+
+TEST(StabilityMapTest, BatchModeMatchesScalarVerdicts) {
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  const auto gi = logspace(0.25, 16.0, 9);
+  const auto gd = logspace(1.0 / 512.0, 0.5, 9);
+  StabilityMapOptions scalar_opts;
+  scalar_opts.numeric_level = core::ModelLevel::Linearized;
+  StabilityMapOptions batch_opts = scalar_opts;
+  batch_opts.mode = MapMode::Batch;
+  const auto scalar = compute_stability_map(base, gi, gd, scalar_opts);
+  const auto batch = compute_stability_map(base, gi, gd, batch_opts);
+
+  ASSERT_EQ(scalar.cells.size(), batch.cells.size());
+  for (std::size_t i = 0; i < scalar.cells.size(); ++i) {
+    EXPECT_EQ(scalar.cells[i].numeric.strongly_stable,
+              batch.cells[i].numeric.strongly_stable)
+        << "cell " << i;
+    // The analytic report side is computed identically in every mode.
+    EXPECT_EQ(scalar.cells[i].report.theorem1_satisfied,
+              batch.cells[i].report.theorem1_satisfied);
+  }
+  EXPECT_EQ(scalar.numeric_stable, batch.numeric_stable);
+  EXPECT_EQ(scalar.theorem1_false_positive, batch.theorem1_false_positive);
+  // Guard against a vacuous grid (all cells one verdict).
+  EXPECT_GT(batch.numeric_stable, 0);
+  EXPECT_LT(batch.numeric_stable, static_cast<int>(batch.cells.size()));
+  EXPECT_EQ(batch.integrated_cells, batch.cells.size());
+  EXPECT_EQ(batch.refinement_waves, 1);
+}
+
+TEST(StabilityMapTest, AdaptiveModeMatchesBatchWithFewerIntegrations) {
+  core::BcnParams base = core::BcnParams::standard_draft();
+  base.buffer = 12e6;
+  base.qsc = 11e6;
+  // Large enough for a coarse grid plus real refinement waves.
+  const auto gi = logspace(0.125, 32.0, 33);
+  const auto gd = logspace(1.0 / 1024.0, 0.5, 33);
+  StabilityMapOptions batch_opts;
+  batch_opts.numeric_level = core::ModelLevel::Linearized;
+  batch_opts.mode = MapMode::Batch;
+  StabilityMapOptions adaptive_opts = batch_opts;
+  adaptive_opts.mode = MapMode::Adaptive;
+  const auto batch = compute_stability_map(base, gi, gd, batch_opts);
+  const auto adaptive = compute_stability_map(base, gi, gd, adaptive_opts);
+
+  ASSERT_EQ(batch.cells.size(), adaptive.cells.size());
+  std::size_t integrated = 0;
+  for (std::size_t i = 0; i < batch.cells.size(); ++i) {
+    EXPECT_EQ(batch.cells[i].numeric.strongly_stable,
+              adaptive.cells[i].numeric.strongly_stable)
+        << "cell " << i;
+    integrated += adaptive.cells[i].integrated ? 1 : 0;
+  }
+  EXPECT_EQ(batch.numeric_stable, adaptive.numeric_stable);
+  // The refinement must have skipped a substantial share of the grid and
+  // accounted for its waves honestly.
+  EXPECT_EQ(adaptive.integrated_cells, integrated);
+  EXPECT_LT(adaptive.integrated_cells, adaptive.cells.size() / 2);
+  EXPECT_GE(adaptive.refinement_waves, 2);
+  std::size_t wave_sum = 0;
+  for (const std::size_t w : adaptive.wave_cells) wave_sum += w;
+  EXPECT_EQ(wave_sum, adaptive.integrated_cells);
+  // Batch mode integrates everything.
+  EXPECT_EQ(batch.integrated_cells, batch.cells.size());
+  for (const auto& c : batch.cells) EXPECT_TRUE(c.integrated);
+}
+
+TEST(StabilityMapTest, ClippedLevelFallsBackToScalar) {
+  // The affine lane family cannot express buffer walls; Batch/Adaptive
+  // must silently deliver the scalar Clipped map.
+  const auto base = core::BcnParams::standard_draft();
+  const auto gi = linspace(1.0, 8.0, 3);
+  const auto gd = logspace(1.0 / 256.0, 0.1, 3);
+  StabilityMapOptions scalar_opts;
+  scalar_opts.numeric_level = core::ModelLevel::Clipped;
+  StabilityMapOptions batch_opts = scalar_opts;
+  batch_opts.mode = MapMode::Batch;
+  const auto scalar = compute_stability_map(base, gi, gd, scalar_opts);
+  const auto batch = compute_stability_map(base, gi, gd, batch_opts);
+  ASSERT_EQ(scalar.cells.size(), batch.cells.size());
+  for (std::size_t i = 0; i < scalar.cells.size(); ++i) {
+    EXPECT_EQ(scalar.cells[i].numeric.max_x, batch.cells[i].numeric.max_x);
+    EXPECT_EQ(scalar.cells[i].numeric.strongly_stable,
+              batch.cells[i].numeric.strongly_stable);
+  }
+  EXPECT_EQ(batch.refinement_waves, 0);
+}
+
 }  // namespace
 }  // namespace bcn::analysis

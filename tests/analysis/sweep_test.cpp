@@ -1,6 +1,8 @@
 #include "analysis/sweep.h"
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -80,6 +82,21 @@ TEST(SweepTest, SweepValuesPreservesOrderAcrossThreadCounts) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(parallel[i], serial[i]) << "i=" << i;
   }
+}
+
+TEST(LogspaceTest, RejectsNonPositiveBoundsInEveryBuildMode) {
+  // Regression: non-positive bounds used to be an assert, so release
+  // builds silently produced NaN grids.  The check is now a real error
+  // path with identical semantics in debug and release.
+  EXPECT_THROW(logspace(0.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(-1.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(logspace(1.0, -2.0, 5), std::invalid_argument);
+  // NaN bounds fail the positivity test rather than sneaking through.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(logspace(nan, 10.0, 5), std::invalid_argument);
+  // Positive bounds still work, including descending ones.
+  EXPECT_NO_THROW(logspace(10.0, 1.0, 3));
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+// Batched SoA verdicts vs the scalar adaptive pipeline: the two paths
+// must agree on strong stability for every mechanism exposing a lane
+// law, across gain grids straddling the stability boundary.
+#include "core/batch_verdict.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.h"
+#include "core/mechanism.h"
+#include "core/stability.h"
+
+namespace bcn::core {
+namespace {
+
+TEST(BatchVerdictTest, BcnAgreesWithScalarAcrossGainGrid) {
+  // A log grid wide enough to contain stable spirals, unstable spirals
+  // and node cases at both model levels.
+  const auto gis = analysis::logspace(0.25, 16.0, 7);
+  const auto gds = analysis::logspace(1.0 / 512.0, 0.25, 7);
+  for (const auto level : {ModelLevel::Linearized, ModelLevel::Nonlinear}) {
+    std::vector<VerdictLane> lanes;
+    std::vector<NumericVerdict> scalar;
+    for (const double gi : gis) {
+      for (const double gd : gds) {
+        BcnParams p = BcnParams::standard_draft();
+        p.gi = gi;
+        p.gd = gd;
+        lanes.push_back(make_bcn_verdict_lane(p, level));
+        scalar.push_back(numeric_strong_stability(p, {.level = level}));
+      }
+    }
+    const auto batch = batch_numeric_verdicts(lanes);
+    ASSERT_EQ(batch.size(), scalar.size());
+    int stable = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].strongly_stable, scalar[i].strongly_stable)
+          << "cell " << i << " level " << static_cast<int>(level);
+      stable += batch[i].strongly_stable ? 1 : 0;
+      // The overshoot itself must track the scalar run closely, not just
+      // land on the right side of the threshold.
+      const double scale = lanes[i].buffer;
+      EXPECT_NEAR(batch[i].max_x, scalar[i].max_x, 0.01 * scale);
+    }
+    // Guard against a vacuous pass (all cells on one side).
+    EXPECT_GT(stable, 0);
+    EXPECT_LT(stable, static_cast<int>(batch.size()));
+  }
+}
+
+TEST(BatchVerdictTest, EveryLaneLawMechanismAgreesWithScalarVerdict) {
+  for (const MechanismInfo& info : mechanism_registry()) {
+    if (!info.has_fluid) continue;
+    MechanismConfig config;
+    const auto [g1, g2] = info.default_gains(config);
+    // Probe the default gains plus off-default corners of each axis.
+    const double f1[] = {0.25, 1.0, 4.0};
+    const double f2[] = {0.25, 1.0, 4.0};
+    int compared = 0;
+    for (const double a : f1) {
+      for (const double b : f2) {
+        info.set_gains(config, g1 * a, g2 * b);
+        const auto mech = make_fluid_mechanism(info.name, config);
+        ASSERT_NE(mech, nullptr) << info.name;
+        const MechanismRunOptions options{.level = ModelLevel::Nonlinear,
+                                          .duration = 0.02,
+                                          .convergence_tol = 1e-8};
+        const auto lane = make_mechanism_verdict_lane(*mech, options);
+        if (!lane) continue;  // no affine lane law (not under test here)
+        const auto batch = batch_numeric_verdicts({*lane});
+        const auto scalar = mechanism_numeric_verdict(*mech, options);
+        EXPECT_EQ(batch[0].strongly_stable, scalar.strongly_stable)
+            << info.name << " gains " << g1 * a << ", " << g2 * b;
+        ++compared;
+      }
+    }
+    // Every fluid mechanism currently exposes a lane law; a silent
+    // blanket opt-out would hollow this test out.
+    EXPECT_EQ(compared, 9) << info.name;
+  }
+}
+
+TEST(BatchVerdictTest, ClippedLevelHasNoLane) {
+  const auto mech = make_fluid_mechanism("bcn");
+  ASSERT_NE(mech, nullptr);
+  EXPECT_FALSE(
+      make_mechanism_verdict_lane(*mech, {.level = ModelLevel::Clipped}));
+  EXPECT_TRUE(
+      make_mechanism_verdict_lane(*mech, {.level = ModelLevel::Nonlinear}));
+}
+
+TEST(BatchVerdictTest, ThreadCountIsInvisible) {
+  const auto gis = analysis::logspace(0.25, 16.0, 9);
+  const auto gds = analysis::logspace(1.0 / 512.0, 0.25, 9);
+  std::vector<VerdictLane> lanes;
+  for (const double gi : gis) {
+    for (const double gd : gds) {
+      BcnParams p = BcnParams::standard_draft();
+      p.gi = gi;
+      p.gd = gd;
+      lanes.push_back(make_bcn_verdict_lane(p, ModelLevel::Nonlinear));
+    }
+  }
+  const auto serial = batch_numeric_verdicts(lanes, {.threads = 1});
+  const auto parallel = batch_numeric_verdicts(lanes, {.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    // Bitwise, not approximate: slicing must not change lane arithmetic.
+    EXPECT_EQ(serial[i].max_x, parallel[i].max_x) << i;
+    EXPECT_EQ(serial[i].min_x, parallel[i].min_x) << i;
+    EXPECT_EQ(serial[i].strongly_stable, parallel[i].strongly_stable) << i;
+  }
+}
+
+}  // namespace
+}  // namespace bcn::core

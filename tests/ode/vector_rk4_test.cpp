@@ -37,15 +37,21 @@ TEST(VectorRk4Test, FourthOrderConvergence) {
 TEST(VectorRk4Test, ObserverSeesEveryStep) {
   std::vector<double> y{1.0, 0.0, 0.0};
   int calls = 0;
+  double first_t = -1.0;
   double last_t = 0.0;
   vector_rk4_integrate(
       kDecay3, 0.0, 1.0, 0.25, y,
       [&](double t, const std::vector<double>& state) {
+        if (calls == 0) first_t = t;
         ++calls;
         last_t = t;
         EXPECT_EQ(state.size(), 3u);
       });
-  EXPECT_EQ(calls, 4);
+  // The initial state counts: 1 observation at t0 plus one per step.
+  // (Regression: the t0 observation used to be skipped, so recorded
+  // timelines started one step late.)
+  EXPECT_EQ(calls, 5);
+  EXPECT_EQ(first_t, 0.0);
   EXPECT_NEAR(last_t, 1.0, 1e-12);
 }
 
