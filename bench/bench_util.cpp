@@ -108,6 +108,15 @@ void record_fluid_metrics(const core::FluidRun& run,
   }
 }
 
+void record_monitor_metrics(const obs::RunMonitor& monitor,
+                            obs::MetricsRegistry* registry) {
+  if (!monitor.armed()) return;
+  if (registry) monitor.export_metrics(*registry);
+  std::printf("  [monitor] %llu checks, %llu violations\n",
+              static_cast<unsigned long long>(monitor.checks()),
+              static_cast<unsigned long long>(monitor.violation_count()));
+}
+
 void export_observability(const sim::SimStats& stats,
                           const std::string& stem) {
   if (stats.timelines().total_points() > 0) {

@@ -10,6 +10,7 @@
 #include "core/bcn_params.h"
 #include "core/simulate.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "ode/trajectory.h"
 #include "plot/ascii.h"
 #include "plot/series.h"
@@ -63,6 +64,12 @@ void record_sim_metrics(const sim::SimStats& stats,
 void record_fluid_metrics(const core::FluidRun& run,
                           obs::MetricsRegistry* registry,
                           const std::string& prefix = "fluid.");
+
+// Invariant-monitor counters ("monitor.*") from an armed run, plus a
+// one-line stdout summary; no-op when the monitor is unarmed or
+// `registry` is null.
+void record_monitor_metrics(const obs::RunMonitor& monitor,
+                            obs::MetricsRegistry* registry);
 
 // Writes <stem>_timelines.csv / <stem>_events.csv artifacts for a run's
 // structured observability (skipping whichever is empty); announces the

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/crossval.h"
 #include "bench_util.h"
 #include "common/format.h"
 #include "common/json.h"
@@ -169,9 +170,24 @@ int run(bench::RunContext& ctx) {
 
   // Representative degraded run (draft gains, 30%% loss) with timelines
   // and the causal event trace: fault_bcn_dropped rows mark exactly which
-  // notifications never closed their Sent -> Applied pair.
+  // notifications never closed their Sent -> Applied pair.  When --faults
+  // carries its own bcn_drop the plan wins over the sweep default, so
+  // `--faults bcn_drop=1` turns this into the total-feedback-blackout
+  // post-mortem scenario from EXPERIMENTS.md.
   sim::NetworkConfig rep = cell_config(kGains[0], 0.3, ctx.faults);
+  if (ctx.faults.bcn_drop_p > 0.0) rep.faults.bcn_drop_p = ctx.faults.bcn_drop_p;
   rep.record_timelines = true;
+  rep.mechanism = ctx.mechanism;
+  // --initial-rate overrides the per-source start (bits/s).  The default
+  // C/N is the fluid analysis start; starting above the fair share turns
+  // feedback loss into a genuine blow-up (the queue climbs to qsc and
+  // PAUSE storms), which is what the monitors' crosscheck is for.
+  rep.initial_rate = ctx.args->get_double("initial-rate", rep.initial_rate);
+  rep.monitors = ctx.monitors;
+  if (rep.monitors.spec.any()) {
+    rep.monitors.fluid_strongly_stable =
+        analysis::fluid_stability_hint(rep.params, rep.mechanism);
+  }
   sim::Network net(rep);
   net.run(sim::from_seconds(kDuration));
   bench::record_sim_metrics(net.stats(), ctx.metrics);
@@ -179,6 +195,7 @@ int run(bench::RunContext& ctx) {
     net.simulator().export_metrics(*ctx.metrics);
     sim::export_fault_metrics(net.fault_counters(), *ctx.metrics);
   }
+  bench::record_monitor_metrics(net.monitor(), ctx.metrics);
   bench::export_observability(net.stats(), "feedback_loss");
 
   std::printf("\nReading: the sigma loop is strikingly loss-tolerant -- the "
@@ -201,4 +218,4 @@ int run(bench::RunContext& ctx) {
 
 BCN_EXPERIMENT("feedback_loss_robustness",
                "E20: queue/oscillation degradation under BCN feedback loss",
-               run)
+               run, "initial-rate")

@@ -88,6 +88,11 @@ int run(bench::RunContext& ctx) {
   cfg.initial_rate = p.capacity / p.num_sources;
   cfg.record_interval = 20 * sim::kMicrosecond;
   cfg.faults = ctx.faults;
+  cfg.monitors = ctx.monitors;
+  if (cfg.monitors.spec.any()) {
+    cfg.monitors.fluid_strongly_stable =
+        analysis::fluid_stability_hint(p, ctx.mechanism);
+  }
   sim::Network net(cfg);
   net.run(sim::from_seconds(kDuration));
   bench::record_sim_metrics(net.stats(), ctx.metrics);
@@ -97,6 +102,7 @@ int run(bench::RunContext& ctx) {
       sim::export_fault_metrics(net.fault_counters(), *ctx.metrics);
     }
   }
+  bench::record_monitor_metrics(net.monitor(), ctx.metrics);
   bench::export_observability(net.stats(), "packet_vs_fluid");
   const auto packet = net.stats().to_phase_trajectory(p.q0, p.capacity);
 

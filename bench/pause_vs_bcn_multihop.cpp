@@ -46,6 +46,10 @@ int run(bench::RunContext& ctx) {
     if (m.pause && m.bcn) {
       cfg.observer = &observed;
       cfg.metrics = ctx.metrics;  // scheduler gauges for the observed run
+      // Monitors ride the observed run only (one bundle per experiment);
+      // the multi-hop fabric has no single-bottleneck fluid twin, so the
+      // crosscheck hint stays unset.
+      cfg.monitors = ctx.monitors;
     }
     const auto r = sim::run_victim_scenario(cfg);
     if (cfg.observer) {

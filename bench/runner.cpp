@@ -20,7 +20,7 @@ std::vector<Experiment>& registry() {
 
 const std::vector<std::string> kStandardFlags = {
     "help", "list", "run", "threads", "out", "seed", "json", "trace",
-    "faults", "mechanism", "map-mode"};
+    "faults", "mechanism", "map-mode", "monitors"};
 
 void print_usage(const char* prog) {
   std::printf(
@@ -48,6 +48,12 @@ void print_usage(const char* prog) {
       "                that compute maps: scalar (default; the legacy\n"
       "                per-cell path), batch (SoA batched integrator), or\n"
       "                adaptive (batched + quadtree boundary refinement)\n"
+      "  --monitors s  arm runtime invariant monitors + the flight\n"
+      "                recorder on packet-simulator experiments\n"
+      "                (BCN_MONITORS env fallback); a violation dumps a\n"
+      "                POSTMORTEM_<invariant>.json bundle into --out and\n"
+      "                exits with code 3.  e.g. --monitors all or\n"
+      "                --monitors queue_bounds,watchdog,window=2ms\n"
       "  --list        list registered experiments and exit\n\n"
       "experiments:\n",
       prog);
@@ -114,6 +120,9 @@ int bench_main(int argc, const char* const* argv) {
   ctx.args = &args;
   ctx.threads = thread_count(args, 1);
   ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  // Raw spec strings, kept verbatim for the post-mortem repro line.
+  std::string faults_spec;
+  std::string monitors_spec;
   {
     std::optional<std::string> spec = args.get("faults");
     if (!spec) {
@@ -130,8 +139,31 @@ int bench_main(int argc, const char* const* argv) {
         return 2;
       }
       ctx.faults = *plan;
+      faults_spec = *spec;
       std::printf("[runner] fault plan: %s\n",
                   sim::fault_plan_summary(ctx.faults).c_str());
+    }
+  }
+  {
+    std::optional<std::string> spec = args.get("monitors");
+    if (!spec) {
+      if (const char* env = std::getenv("BCN_MONITORS")) {
+        if (*env) spec = env;
+      }
+    }
+    if (spec) {
+      std::string error;
+      const auto parsed = obs::parse_monitor_spec(*spec, &error);
+      if (!parsed) {
+        std::fprintf(stderr, "--monitors: %s\n%s\n", error.c_str(),
+                     obs::monitor_spec_usage());
+        return 2;
+      }
+      ctx.monitors.spec = *parsed;
+      ctx.monitors.action = obs::ViolationAction::DumpAndExit;
+      monitors_spec = *spec;
+      std::printf("[runner] monitors: %s\n",
+                  obs::monitor_spec_summary(ctx.monitors.spec).c_str());
     }
   }
   if (const auto mech = args.get("mechanism")) {
@@ -163,6 +195,7 @@ int bench_main(int argc, const char* const* argv) {
   ctx.out_dir = output_dir();
   std::error_code ec;
   std::filesystem::create_directories(ctx.out_dir, ec);
+  ctx.monitors.bundle_dir = ctx.out_dir;
 
   const bool emit_json = args.get_bool("json", true);
   const auto trace_path = obs::maybe_enable_tracing(args);
@@ -170,6 +203,23 @@ int bench_main(int argc, const char* const* argv) {
   for (const Experiment* e : selected) {
     obs::MetricsRegistry metrics;
     ctx.metrics = &metrics;
+    if (ctx.monitors.spec.any()) {
+      // Exact repro command line embedded in any post-mortem bundle this
+      // experiment dumps: the standard knobs as verbatim spec strings
+      // plus every experiment-specific flag that was passed.
+      std::string repro = std::string(prog) + " --run " + e->name +
+                          " --seed " + std::to_string(ctx.seed) +
+                          " --mechanism " + ctx.mechanism;
+      if (!faults_spec.empty()) repro += " --faults " + faults_spec;
+      repro += " --monitors " + monitors_spec;
+      for (const auto& flag : e->extra_flags) {
+        if (const auto v = args.get(flag)) {
+          repro += " --" + flag;
+          if (!v->empty()) repro += "=" + *v;
+        }
+      }
+      ctx.monitors.repro = repro;
+    }
     // Spans drained before this experiment belong to earlier ones; the
     // per-experiment profile covers [drained_before, end).
     const std::size_t drained_before = obs::tracing_spans().size();

@@ -17,6 +17,7 @@
 #include "analysis/stability_map.h"
 #include "common/args.h"
 #include "obs/metrics.h"
+#include "obs/monitor.h"
 #include "sim/faults.h"
 
 namespace bcn::bench {
@@ -43,6 +44,13 @@ struct RunContext {
   // adaptive}.  Experiments computing maps forward it into
   // analysis::StabilityMapOptions.
   analysis::MapMode map_mode = analysis::MapMode::Scalar;
+  // Runtime invariant monitors + flight recorder from --monitors /
+  // BCN_MONITORS (obs/monitor.h); unarmed by default.  bench_main
+  // pre-fills the bundle directory, the exact repro command line and the
+  // DumpAndExit action; experiments that simulate a packet network
+  // forward it into their scenario configs (NetworkConfig::monitors,
+  // MultihopConfig::monitors) and export "monitor.*" metrics.
+  obs::MonitorConfig monitors;
 };
 
 struct Experiment {

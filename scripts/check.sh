@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Seven gates:
+# Eight gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
 #     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
 #     test suites, which exercise parallel_for / ThreadPool / the
@@ -37,6 +37,14 @@
 #     scalar and batch stable-cell counts equal, adaptive refinement
 #     integrating under half the grid), requires a threshold-0 self-diff
 #     to pass, and checks --map-mode bogus is rejected with exit 2.
+#  8. Monitor smoke: arms every runtime invariant monitor on a clean run
+#     (must exit 0 with monitor.* metrics and zero violations in the RUN
+#     json), provokes the fluid-verdict crosscheck with the EXPERIMENTS.md
+#     contradiction recipe (line-rate launch + certain BCN loss on a
+#     fluid-certified-stable plant; must exit 3 and dump a validated
+#     POSTMORTEM_crosscheck.json), requires the bundle to be byte-identical
+#     across reruns, and checks a bogus --monitors spec is rejected with
+#     exit 2 and the grammar.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -348,3 +356,89 @@ grep -q "unknown mode 'bogus'" <<< "$MAP_ERR" || {
 }
 
 echo "[check.sh] map throughput smoke clean ($MAP_JSON)"
+
+# --- monitor smoke ----------------------------------------------------------
+# The runtime invariant monitors end-to-end.  Clean armed run: every
+# monitor on the E11 cross-validation scenario must stay quiet (exit 0)
+# while exporting monitor.* metrics.  Violation path: the EXPERIMENTS.md
+# contradiction recipe (sources at line rate, BCN reverse path fully
+# lossy, plant fluid-certified strongly stable) must trip the crosscheck,
+# dump a deterministic POSTMORTEM_crosscheck.json and exit with the
+# distinct code 3.
+cmake --build "$SMOKE_BUILD_DIR" -j --target packet_vs_fluid
+
+MON_BENCH="$SMOKE_BUILD_DIR"/bench/packet_vs_fluid
+MON_OUT=$(mktemp -d)
+MON_OUT_B=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT" "$FAULT_OUT_A" "$FAULT_OUT_B" "$MECH_OUT_A" "$MECH_OUT_B" "$MAP_OUT" "$MON_OUT" "$MON_OUT_B"' EXIT
+"$MON_BENCH" --monitors all --out "$MON_OUT" > /dev/null || {
+  echo "[check.sh] clean armed run exited nonzero"; exit 1;
+}
+
+MON_RUN_JSON="$MON_OUT/RUN_packet_vs_fluid.json"
+[[ -f "$MON_RUN_JSON" ]] || { echo "[check.sh] missing $MON_RUN_JSON"; exit 1; }
+python3 - "$MON_RUN_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("metrics.monitor.armed") == 1, "monitor not armed"
+checks = data.get("metrics.monitor.checks")
+assert isinstance(checks, (int, float)) and checks > 0, f"checks = {checks!r}"
+assert data.get("metrics.monitor.violations") == 0, \
+    f"clean run violated: {data.get('metrics.monitor.violations')!r}"
+assert data.get("metrics.monitor.snapshots", 0) > 0, "no state snapshots"
+print(f"[check.sh] armed quiet run: {checks:.0f} checks, 0 violations")
+PY
+
+# Violation path, twice: distinct exit code 3 and byte-identical bundles.
+set +e
+"$FAULT_BENCH" --faults bcn_drop=1 --monitors all --initial-rate 10e9 \
+  --out "$MON_OUT" > /dev/null 2>&1
+MON_STATUS_A=$?
+"$FAULT_BENCH" --faults bcn_drop=1 --monitors all --initial-rate 10e9 \
+  --out "$MON_OUT_B" > /dev/null 2>&1
+MON_STATUS_B=$?
+set -e
+[[ $MON_STATUS_A -eq 3 && $MON_STATUS_B -eq 3 ]] || {
+  echo "[check.sh] violation runs exited $MON_STATUS_A/$MON_STATUS_B, want 3"
+  exit 1
+}
+
+MON_BUNDLE="$MON_OUT/POSTMORTEM_crosscheck.json"
+[[ -f "$MON_BUNDLE" ]] || { echo "[check.sh] missing $MON_BUNDLE"; exit 1; }
+python3 - "$MON_BUNDLE" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("bundle") == "postmortem", data.get("bundle")
+assert data.get("invariant") == "crosscheck", data.get("invariant")
+assert data.get("fluid_strongly_stable") is True, \
+    "crosscheck tripped without a certified fluid verdict"
+assert data.get("t_seconds", -1) > 0, "no violation time"
+repro = data.get("repro", "")
+for token in ("--seed", "--mechanism", "--faults bcn_drop=1",
+              "--monitors all", "--initial-rate=10e9"):
+    assert token in repro, f"repro line lacks {token!r}: {repro}"
+assert data.get("snapshot_count", 0) > 0, "no snapshots in bundle"
+assert data.get("checks", 0) > 0, "no checks recorded"
+print(f"[check.sh] post-mortem bundle valid: crosscheck at "
+      f"t={data['t_seconds']*1e3:.3f} ms, "
+      f"{data['snapshot_count']:.0f} snapshots, "
+      f"{data['event_count']:.0f} recent events")
+PY
+
+cmp "$MON_BUNDLE" "$MON_OUT_B/POSTMORTEM_crosscheck.json" || {
+  echo "[check.sh] post-mortem bundle not reproducible across reruns"; exit 1;
+}
+
+# A malformed monitor spec must be a usage error (exit 2) with grammar.
+set +e
+MON_ERR=$("$MON_BENCH" --monitors bogus --out "$MON_OUT" 2>&1)
+MON_STATUS=$?
+set -e
+[[ $MON_STATUS -eq 2 ]] || {
+  echo "[check.sh] --monitors bogus exited $MON_STATUS, want 2"; exit 1;
+}
+grep -q 'monitor spec' <<< "$MON_ERR" || {
+  echo "[check.sh] --monitors bogus printed no usage line"; exit 1;
+}
+
+echo "[check.sh] monitor smoke clean ($MON_BUNDLE)"

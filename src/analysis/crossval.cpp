@@ -5,10 +5,25 @@
 #include <vector>
 
 #include "common/math.h"
+#include "core/mechanism.h"
+#include "core/stability.h"
 #include "exec/parallel_for.h"
 #include "obs/tracing.h"
 
 namespace bcn::analysis {
+
+std::optional<bool> fluid_stability_hint(const core::BcnParams& params,
+                                         const std::string& mechanism) {
+  if (mechanism.empty() || mechanism == "bcn" || mechanism == "bcn-draft") {
+    return core::numeric_strong_stability(params).strongly_stable;
+  }
+  core::MechanismConfig config;
+  config.plant = params;
+  const auto fluid = core::make_fluid_mechanism(mechanism, config);
+  if (!fluid) return std::nullopt;  // packet-only or unknown mechanism
+  return core::mechanism_numeric_verdict(*fluid).strongly_stable;
+}
+
 namespace {
 
 // Local maxima of component 0 with a prominence filter: alternating

@@ -9,12 +9,24 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/bcn_params.h"
 #include "ode/trajectory.h"
 
 namespace bcn::analysis {
+
+// Fluid-side strong-stability verdict for a packet scenario's plant and
+// mechanism — the hint obs::RunMonitor's fluid-verdict crosscheck
+// consumes.  Returns the numeric strong-stability verdict
+// (core::numeric_strong_stability for bcn/bcn-draft, the generic
+// mechanism_numeric_verdict otherwise) or nullopt for packet-only
+// mechanisms (fera) and unknown names, which have no fluid model to
+// contradict.
+std::optional<bool> fluid_stability_hint(const core::BcnParams& params,
+                                         const std::string& mechanism = "bcn");
 
 struct TrajectoryFeatures {
   double peak_value = 0.0;     // max of the component

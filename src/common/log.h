@@ -2,6 +2,7 @@
 // tests and benches unless something is wrong; tools can raise verbosity.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
 
 #include "common/format.h"
@@ -32,6 +33,24 @@ void log_line(LogLevel level, std::string_view message);
 __attribute__((format(printf, 2, 3)))
 #endif
 void log(LogLevel level, const char* fmt, ...);
+
+// First-N gate for repetitive diagnostics: a recurring condition (clamped
+// deadline, injected drop, monitor violation) logs its first few
+// occurrences to identify itself and then goes quiet, while a counter
+// keeps the full tally for metrics.  allow() counts every call and
+// returns true for the first `first_n` of them.
+class LogRateLimit {
+ public:
+  explicit LogRateLimit(std::uint64_t first_n = 5) : limit_(first_n) {}
+
+  bool allow() { return ++count_ <= limit_; }
+  // Occurrences observed so far (allowed or suppressed).
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t count_ = 0;
+};
 
 #define BCN_LOG_DEBUG(...) ::bcn::log(::bcn::LogLevel::Debug, __VA_ARGS__)
 #define BCN_LOG_INFO(...) ::bcn::log(::bcn::LogLevel::Info, __VA_ARGS__)

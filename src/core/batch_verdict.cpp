@@ -151,9 +151,10 @@ std::vector<NumericVerdict> batch_numeric_verdicts(
           v.max_x = r.max_x;
           v.min_x = r.post_switch_min_x;
           v.converged = r.converged;
+          v.nonfinite = r.nonfinite;
           v.strongly_stable = r.max_x < lanes[i].buffer - lanes[i].q0 &&
                               r.post_switch_min_x > -lanes[i].q0 &&
-                              r.completed;
+                              r.completed && !r.nonfinite;
         }
       },
       {.threads = options.threads});

@@ -35,6 +35,9 @@ FluidRun simulate_fluid(const FluidModel& model,
   run.steps_rejected = hybrid.steps_rejected;
   run.min_step = hybrid.min_accepted_step;
   run.event_bisections = hybrid.event_bisection_iterations;
+  run.nonfinite = hybrid.nonfinite;
+  run.nonfinite_t = hybrid.nonfinite_t;
+  if (run.trajectory.empty()) return run;  // non-finite initial state
 
   // Extrema over t > 0: skip the initial sample, which sits on the
   // empty-buffer boundary by construction (q(0) = 0 after the warm-up).

@@ -32,6 +32,11 @@ struct FluidRun {
   std::size_t steps_rejected = 0;
   double min_step = 0.0;
   std::size_t event_bisections = 0;
+  // The integrator aborted on a NaN/Inf state (ode::HybridResult's
+  // non-finite guard); nonfinite_t is the last finite time.  The
+  // trajectory and extrema cover only the finite prefix.
+  bool nonfinite = false;
+  double nonfinite_t = 0.0;
   double max_x = 0.0;       // over t > 0 (initial point excluded)
   double min_x = 0.0;
   double max_y = 0.0;

@@ -95,6 +95,7 @@ NumericVerdict numeric_strong_stability(const BcnParams& params,
   verdict.max_x = run.max_x;
   verdict.min_x = run.post_switch_min_x;
   verdict.converged = run.converged;
+  verdict.nonfinite = run.nonfinite;
   // Overflow: any excursion above B - q0 at any t > 0 drops packets.
   // Underflow: only the post-crossing dip matters; the departure from the
   // legitimate empty-queue start is not a violation (Definition 1).

@@ -46,6 +46,9 @@ StabilityReport analyze_stability(const BcnParams& params);
 struct NumericVerdict {
   bool strongly_stable = false;
   bool converged = false;  // reached the origin within the horizon
+  // The integration aborted on a non-finite state; the verdict is
+  // "not strongly stable" and the extrema cover the finite prefix only.
+  bool nonfinite = false;
   double max_x = 0.0;
   double min_x = 0.0;
 };

@@ -6,6 +6,38 @@
 
 namespace bcn::obs {
 
+void EventTrace::set_ring_capacity(std::size_t capacity) {
+  ring_capacity_ = capacity;
+  if (capacity > 0) events_.reserve(capacity);
+}
+
+void EventTrace::record_ring(const TraceEvent& event) {
+  if (events_.size() < ring_capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the head.
+  events_[ring_head_] = event;
+  ring_head_ = (ring_head_ + 1) % ring_capacity_;
+  ++evicted_;
+}
+
+std::vector<TraceEvent> EventTrace::in_order() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  out.insert(out.end(), events_.begin() + static_cast<std::ptrdiff_t>(ring_head_),
+             events_.end());
+  out.insert(out.end(), events_.begin(),
+             events_.begin() + static_cast<std::ptrdiff_t>(ring_head_));
+  return out;
+}
+
+std::vector<TraceEvent> EventTrace::recent(std::size_t n) const {
+  std::vector<TraceEvent> all = in_order();
+  if (all.size() <= n) return all;
+  return {all.end() - static_cast<std::ptrdiff_t>(n), all.end()};
+}
+
 std::uint64_t EventTrace::count(EventKind kind) const {
   std::uint64_t n = 0;
   for (const auto& e : events_) {
@@ -53,10 +85,12 @@ CsvWriter build_csv(const std::vector<TraceEvent>& events) {
 
 }  // namespace
 
-std::string EventTrace::to_csv() const { return build_csv(events_).to_string(); }
+std::string EventTrace::to_csv() const {
+  return build_csv(in_order()).to_string();
+}
 
 bool EventTrace::write_csv(const std::filesystem::path& path) const {
-  return build_csv(events_).write_file(path);
+  return build_csv(in_order()).write_file(path);
 }
 
 }  // namespace bcn::obs

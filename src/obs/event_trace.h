@@ -48,7 +48,12 @@ struct TraceEvent {
 class EventTrace {
  public:
   void record(const TraceEvent& event) {
-    if (enabled_) events_.push_back(event);
+    if (!enabled_) return;
+    if (ring_capacity_ == 0) {
+      events_.push_back(event);
+      return;
+    }
+    record_ring(event);
   }
 
   // Recording switch for maximum-throughput runs: record() on a disabled
@@ -57,22 +62,44 @@ class EventTrace {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Flight-recorder mode: bound the trace to the `capacity` most recent
+  // events, evicting the oldest (recording order) once full.  0 (the
+  // default) keeps the legacy unbounded vector.  Must be set before any
+  // event is recorded; switching modes mid-trace is a caller bug.
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  // Events evicted by the ring so far (0 in unbounded mode).
+  std::uint64_t evicted() const { return evicted_; }
+
+  // Raw storage view.  In ring mode the slot order is NOT recording order
+  // once the ring has wrapped; use in_order() / recent() for chronology.
   const std::vector<TraceEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
   std::uint64_t count(EventKind kind) const;
 
+  // Retained events in recording order (oldest surviving first).
+  std::vector<TraceEvent> in_order() const;
+  // The last min(n, size()) retained events in recording order.
+  std::vector<TraceEvent> recent(std::size_t n) const;
+
   static const char* kind_name(EventKind kind);
 
   // CSV columns t,kind,point,flow,sigma,value; rows sorted by time
-  // (stable, so same-instant events keep recording order).  PauseOff
-  // expiries are recorded with their future timestamp, hence the sort.
+  // (stable over recording order, so same-instant events keep it).
+  // PauseOff expiries are recorded with their future timestamp, hence
+  // the sort.
   std::string to_csv() const;
   bool write_csv(const std::filesystem::path& path) const;
 
  private:
+  void record_ring(const TraceEvent& event);
+
   std::vector<TraceEvent> events_;
   bool enabled_ = true;
+  std::size_t ring_capacity_ = 0;  // 0 = unbounded
+  std::size_t ring_head_ = 0;      // oldest slot once the ring is full
+  std::uint64_t evicted_ = 0;
 };
 
 }  // namespace bcn::obs

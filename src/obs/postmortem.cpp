@@ -1,0 +1,104 @@
+#include "obs/postmortem.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace bcn::obs {
+
+std::filesystem::path postmortem_path(const std::filesystem::path& dir,
+                                      const std::string& invariant) {
+  return dir / ("POSTMORTEM_" + invariant + ".json");
+}
+
+std::filesystem::path write_postmortem(const PostmortemBundle& bundle) {
+  JsonWriter json;
+  json.add("bundle", "postmortem");
+  json.add("invariant", bundle.violation.invariant);
+  json.add("message", bundle.violation.message);
+  json.add("t_seconds", bundle.violation.t);
+  json.add("value", bundle.violation.value);
+  json.add("bound", bundle.violation.bound);
+  json.add("repro", bundle.config.repro);
+  json.add("monitors", monitor_spec_summary(bundle.config.spec));
+  if (bundle.config.fluid_strongly_stable) {
+    json.add("fluid_strongly_stable", *bundle.config.fluid_strongly_stable);
+  }
+  json.add("checks", static_cast<std::int64_t>(bundle.checks));
+
+  // Metrics snapshot: the run's counters at the last recorded sample.
+  if (!bundle.snapshots.empty()) {
+    const MonitorSample& last = bundle.snapshots.back();
+    json.add("sim.t_seconds", last.t);
+    json.add("sim.queue_bits", last.queue_bits);
+    json.add("sim.aggregate_rate_bps", last.aggregate_rate);
+    json.add("sim.frames_sent", static_cast<std::int64_t>(last.frames_sent));
+    json.add("sim.frames_enqueued",
+             static_cast<std::int64_t>(last.frames_enqueued));
+    json.add("sim.frames_delivered",
+             static_cast<std::int64_t>(last.frames_delivered));
+    json.add("sim.frames_dropped",
+             static_cast<std::int64_t>(last.frames_dropped));
+    json.add("sim.pause_frames", static_cast<std::int64_t>(last.pause_frames));
+    json.add("sim.bits_delivered", last.bits_delivered);
+  }
+
+  // State-snapshot ring as flat parallel arrays (FlatJson-readable).
+  json.add("snapshot_count",
+           static_cast<std::int64_t>(bundle.snapshots.size()));
+  if (!bundle.snapshots.empty()) {
+    std::vector<double> t, q, r, delivered, dropped, paused;
+    t.reserve(bundle.snapshots.size());
+    for (const MonitorSample& s : bundle.snapshots) {
+      t.push_back(s.t);
+      q.push_back(s.queue_bits);
+      r.push_back(s.aggregate_rate);
+      delivered.push_back(static_cast<double>(s.frames_delivered));
+      dropped.push_back(static_cast<double>(s.frames_dropped));
+      paused.push_back(static_cast<double>(s.pause_frames));
+    }
+    json.add("snapshot.t", t);
+    json.add("snapshot.queue_bits", q);
+    json.add("snapshot.rate_bps", r);
+    json.add("snapshot.frames_delivered", delivered);
+    json.add("snapshot.frames_dropped", dropped);
+    json.add("snapshot.pause_frames", paused);
+  }
+
+  // Bounded recent-event slice, oldest first (indexed flat keys so each
+  // event keeps its kind string).
+  std::size_t first = 0;
+  if (bundle.recent_events.size() > kPostmortemEvents) {
+    first = bundle.recent_events.size() - kPostmortemEvents;
+  }
+  json.add("event_count",
+           static_cast<std::int64_t>(bundle.recent_events.size() - first));
+  json.add("events_evicted", static_cast<std::int64_t>(
+                                 bundle.events_evicted + first));
+  for (std::size_t i = first; i < bundle.recent_events.size(); ++i) {
+    const TraceEvent& e = bundle.recent_events[i];
+    char key[32];
+    std::snprintf(key, sizeof(key), "event.%03zu.", i - first);
+    const std::string k(key);
+    json.add(k + "t", e.t);
+    json.add(k + "kind", EventTrace::kind_name(e.kind));
+    json.add(k + "point", static_cast<std::int64_t>(e.point));
+    json.add(k + "flow", static_cast<std::int64_t>(e.flow));
+    json.add(k + "sigma", e.sigma);
+    json.add(k + "value", e.value);
+  }
+
+  const std::filesystem::path path =
+      postmortem_path(bundle.config.bundle_dir, bundle.violation.invariant);
+  if (!json.write_file(path)) {
+    BCN_LOG_ERROR("postmortem: failed to write %s", path.string().c_str());
+    return {};
+  }
+  BCN_LOG_ERROR("postmortem: invariant '%s' violated at t=%.9g s; bundle at %s",
+                bundle.violation.invariant.c_str(), bundle.violation.t,
+                path.string().c_str());
+  return path;
+}
+
+}  // namespace bcn::obs

@@ -1,0 +1,45 @@
+// Deterministic post-mortem anomaly bundles.
+//
+// On an invariant violation the RunMonitor assembles everything needed
+// to understand and reproduce the anomaly without rerunning under a
+// debugger: the violated invariant, a bounded slice of the most recent
+// flight-recorder events, the state-snapshot ring, and the exact repro
+// command line.  The bundle is a flat JSON object
+// (POSTMORTEM_<invariant>.json) written with JsonWriter, so it contains
+// no wall-clock timestamps, no absolute paths beyond what the caller
+// put in the repro line, and reruns of the same scenario produce
+// byte-identical files (pinned by tests and scripts/check.sh gate 8).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "obs/event_trace.h"
+#include "obs/monitor.h"
+
+namespace bcn::obs {
+
+// Everything that lands in one bundle.
+struct PostmortemBundle {
+  MonitorConfig config;
+  Violation violation;
+  std::vector<MonitorSample> snapshots;   // chronological
+  std::vector<TraceEvent> recent_events;  // chronological, already bounded
+  std::uint64_t checks = 0;
+  std::uint64_t events_evicted = 0;  // ring evictions before the dump
+};
+
+// Bundles land at <dir>/POSTMORTEM_<invariant>.json — a fixed name per
+// invariant, so a rerun overwrites (and must byte-match) its
+// predecessor.
+std::filesystem::path postmortem_path(const std::filesystem::path& dir,
+                                      const std::string& invariant);
+
+// Writes the bundle; returns the path written, or empty on I/O failure.
+// The recent-event slice is truncated to the newest kPostmortemEvents
+// entries to keep the bundle readable.
+inline constexpr std::size_t kPostmortemEvents = 64;
+std::filesystem::path write_postmortem(const PostmortemBundle& bundle);
+
+}  // namespace bcn::obs

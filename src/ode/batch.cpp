@@ -175,6 +175,29 @@ void BatchIntegrator::commit_at_crossing(std::size_t i, double h) {
   ++steps_[i];
 }
 
+void BatchIntegrator::retire_nonfinite(std::size_t i) {
+  LaneResult& out = results_[ids_[i]];
+  out.nonfinite = true;
+  out.nonfinite_t = t_[i];  // last committed (finite) time
+  out.completed = false;
+  if (steps_[i] > 0) {
+    out.max_x = maxx_[i];
+    out.min_x = minx_[i];
+  }
+  out.crossed = crossed_[i] != 0;
+  out.first_crossing_t = fct_[i];
+  out.post_switch_max_x = pmaxx_[i];
+  out.post_switch_min_x = pminx_[i];
+  out.steps = steps_[i];
+  out.crossings = ncross_[i];
+  if (nonfinite_warnings_.allow()) {
+    BCN_LOG_ERROR(
+        "ode: batch lane %u went non-finite after t=%.9g "
+        "(x=%g, y=%g); lane retired, verdict will not be stable",
+        ids_[i], t_[i], xn_[i], yn_[i]);
+  }
+}
+
 bool BatchIntegrator::retire_if_done(std::size_t i) {
   bool done = false;
   bool converged = false;
@@ -232,12 +255,23 @@ std::size_t BatchIntegrator::step_all() {
   std::size_t i = 0;
   std::size_t n = m;
   while (i < n) {
-    if (swi_[i] && (s0_[i] <= 0.0) != (s1_[i] <= 0.0)) {
-      commit_at_crossing(i, hcur_[i]);
+    bool retired;
+    // Fail fast on a non-finite candidate state: committing it would
+    // poison the lane clock (NaN t never reaches t_end) and the folded
+    // extrema.  The lane retires with nonfinite set; the rest of the
+    // batch is unaffected.
+    if (!(std::isfinite(xn_[i]) && std::isfinite(yn_[i]))) {
+      retire_nonfinite(i);
+      retired = true;
     } else {
-      commit_plain(i, hcur_[i]);
+      if (swi_[i] && (s0_[i] <= 0.0) != (s1_[i] <= 0.0)) {
+        commit_at_crossing(i, hcur_[i]);
+      } else {
+        commit_plain(i, hcur_[i]);
+      }
+      retired = retire_if_done(i);
     }
-    if (retire_if_done(i)) {
+    if (retired) {
       --n;
       if (i != n) {
         x_[i] = x_[n], y_[i] = y_[n], t_[i] = t_[n];

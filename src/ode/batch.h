@@ -38,6 +38,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.h"
+
 namespace bcn::ode {
 
 // One lane's switched interior law (see the family above).
@@ -86,6 +88,13 @@ struct LaneResult {
   double post_switch_min_x = 0.0;
   bool completed = false;  // reached t_end or stopped via stop_tol
   bool converged = false;  // stopped early via stop_tol
+  // The lane's state went non-finite (NaN/Inf) and it was retired
+  // immediately with completed = false; nonfinite_t is the time of the
+  // last finite state.  Without this guard a NaN lane's clock never
+  // satisfies t >= t_end (NaN comparisons are false) and
+  // run_to_completion spins forever.
+  bool nonfinite = false;
+  double nonfinite_t = 0.0;
   std::uint32_t steps = 0;
   std::uint32_t crossings = 0;
 };
@@ -137,6 +146,7 @@ class BatchIntegrator {
   void commit_at_crossing(std::size_t i, double h);
   void fold_sample(std::size_t i, double xs);
   bool retire_if_done(std::size_t i);
+  void retire_nonfinite(std::size_t i);
 
   BatchOptions options_;
   std::size_t active_ = 0;
@@ -153,6 +163,9 @@ class BatchIntegrator {
   std::vector<double> maxx_, minx_, pmaxx_, pminx_, fct_;
   std::vector<std::uint8_t> crossed_;
   std::vector<std::uint32_t> steps_, ncross_;
+  // Rate limit for non-finite lane diagnostics (fail fast, log the
+  // first few offending lanes, keep the per-lane flags as the tally).
+  LogRateLimit nonfinite_warnings_{3};
 
   std::vector<LaneResult> results_;
 };

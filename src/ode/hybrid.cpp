@@ -7,6 +7,7 @@
 
 #include <optional>
 
+#include "common/log.h"
 #include "common/math.h"
 #include "obs/tracing.h"
 #include "ode/events.h"
@@ -42,6 +43,13 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
   assert(system.mode_of);
 
   HybridResult result;
+  if (!std::isfinite(z0.x) || !std::isfinite(z0.y)) {
+    result.nonfinite = true;
+    result.nonfinite_t = t0;
+    BCN_LOG_ERROR("ode: non-finite initial state (%g, %g) at t=%.9g", z0.x,
+                  z0.y, t0);
+    return result;
+  }
   result.trajectory.push_back(t0, z0);
   if (t1 <= t0) {
     result.completed = true;
@@ -108,6 +116,20 @@ HybridResult integrate_hybrid(const HybridSystem& system, double t0, Vec2 z0,
       continue;
     }
     ++result.steps_accepted;
+    // Fail fast on a non-finite step end: a NaN error estimate passes
+    // the acceptance test above (NaN > 1.0 is false), so this is the
+    // first place a blown-up RHS becomes detectable.  Abort before the
+    // dense output / guard machinery sees the poisoned coefficients.
+    if (!std::isfinite(step.z_new.x) || !std::isfinite(step.z_new.y)) {
+      result.nonfinite = true;
+      result.nonfinite_t = t;
+      BCN_LOG_ERROR(
+          "ode: non-finite state after step from t=%.9g (mode %d); "
+          "aborting integration",
+          t, mode);
+      segment.reset();
+      return result;
+    }
     const DenseOutput dense(t, h, step.rcont);
     const double step_end = t + h;
 

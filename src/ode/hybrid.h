@@ -63,6 +63,14 @@ struct HybridResult {
   // Total guard-localization bisection iterations across every surface
   // crossing (including crossings that did not change the mode).
   std::size_t event_bisection_iterations = 0;
+  // The integration aborted because the state (or the initial condition)
+  // went non-finite — a NaN/Inf out of the RHS.  `nonfinite_t` is the
+  // time of the last finite state; the trajectory contains only finite
+  // samples.  A NaN error estimate would otherwise *pass* the DOPRI5
+  // acceptance test (NaN comparisons are false), so without this guard
+  // non-finite states silently propagate into verdicts.
+  bool nonfinite = false;
+  double nonfinite_t = 0.0;
 };
 
 // Integrates the hybrid system over [t0, t1] from z0.

@@ -27,6 +27,9 @@ void CoreSwitch::on_frame(const Frame& frame) {
   queue_.push_back(frame);
   queue_bits_ += frame.size_bits;
   ++stats_.counters.frames_enqueued;
+  if (monitor_) {
+    monitor_->check_queue(to_seconds(sim_.now()), config_.cpid, queue_bits_);
+  }
   maybe_pause();
   if (!serving_) start_service();
 }
@@ -158,6 +161,9 @@ void CoreSwitch::finish_service() {
   queue_.pop_front();
   queue_bits_ -= frame.size_bits;
   queue_bits_ = std::max(queue_bits_, 0.0);
+  if (monitor_) {
+    monitor_->check_queue(to_seconds(sim_.now()), config_.cpid, queue_bits_);
+  }
   ++stats_.counters.frames_delivered;
   stats_.counters.bits_delivered += frame.size_bits;
   stats_.add_delivered(frame.source, frame.size_bits);

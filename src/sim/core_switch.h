@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "common/rng.h"
+#include "obs/monitor.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/frame.h"
@@ -94,6 +95,12 @@ class CoreSwitch : public EventTarget {
   // lossless path stays untouched.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  // Optional runtime invariant monitor (obs/monitor.h): per-frame queue
+  // occupancy checks on enqueue/depart.  Like the fault injector,
+  // scenarios only attach an armed monitor, so the default path costs
+  // one null test per frame.
+  void set_monitor(obs::RunMonitor* monitor) { monitor_ = monitor; }
+
   double queue_bits() const { return queue_bits_; }
   const CoreSwitchConfig& config() const { return config_; }
 
@@ -127,6 +134,7 @@ class CoreSwitch : public EventTarget {
   EventLink pause_link_;
   EventLink sink_link_;
   FaultInjector* faults_ = nullptr;
+  obs::RunMonitor* monitor_ = nullptr;
   // Primary mechanism (all sources) plus the optional competition split;
   // the arrival-hook flags are cached so the per-frame fast path skips
   // the virtual call for mechanisms without switch-side state.

@@ -120,15 +120,14 @@ void Simulator::pop_root() {
 
 SimTime Simulator::clamp_deadline(SimTime when) {
   if (when >= now_) return when;
-  ++clamped_;
   // Rate-limited: a handful of warnings identifies the buggy timer without
-  // drowning a long run; the clamped counter keeps the full tally.
-  if (clamped_ <= 5) {
+  // drowning a long run; the limiter's count keeps the full tally.
+  if (clamp_warnings_.allow()) {
     BCN_LOG_WARN(
         "sim: event scheduled %lld ns in the past clamped to now=%lld ns "
         "(occurrence %llu; see sim.schedule_clamped)",
         static_cast<long long>(now_ - when), static_cast<long long>(now_),
-        static_cast<unsigned long long>(clamped_));
+        static_cast<unsigned long long>(clamp_warnings_.count()));
   }
   return now_;
 }
@@ -323,7 +322,7 @@ void Simulator::export_metrics(obs::MetricsRegistry& registry,
   registry.counter(prefix + "events_executed").inc(executed_);
   registry.counter(prefix + "events_cancelled").inc(cancelled_);
   registry.counter(prefix + "events_rescheduled").inc(rescheduled_);
-  registry.counter(prefix + "schedule_clamped").inc(clamped_);
+  registry.counter(prefix + "schedule_clamped").inc(clamp_warnings_.count());
 }
 
 }  // namespace bcn::sim

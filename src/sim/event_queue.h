@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "sim/event.h"
 #include "sim/time.h"
 
@@ -94,7 +95,7 @@ class Simulator {
   std::size_t pool_free() const { return free_.size(); }
   std::uint64_t cancelled_count() const { return cancelled_; }
   std::uint64_t rescheduled_count() const { return rescheduled_; }
-  std::uint64_t clamped_count() const { return clamped_; }
+  std::uint64_t clamped_count() const { return clamp_warnings_.count(); }
 
   // Scheduler gauges/counters into `registry` under `prefix`:
   //   <prefix>heap_high_water, <prefix>pool_slots, <prefix>pool_in_use,
@@ -160,7 +161,8 @@ class Simulator {
   std::size_t executed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t rescheduled_ = 0;
-  std::uint64_t clamped_ = 0;
+  // Counts every clamped deadline; allows the first few log lines.
+  LogRateLimit clamp_warnings_{5};
   std::size_t heap_high_water_ = 0;
   std::int64_t firing_slot_ = -1;  // slot being dispatched, else -1
 

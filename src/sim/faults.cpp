@@ -248,12 +248,12 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint32_t entity,
 void FaultInjector::note_drop(const char* what) {
   // Rate-limited like sim.schedule_clamped: the first few drops identify
   // an active fault plan in the log; the fault.* counters keep the tally.
-  ++drop_warnings_;
-  if (drop_warnings_ <= 3) {
+  if (drop_warnings_.allow()) {
     BCN_LOG_INFO(
         "fault: entity %u dropped a %s frame (occurrence %llu; totals in "
         "fault.* counters)",
-        entity_, what, static_cast<unsigned long long>(drop_warnings_));
+        entity_, what,
+        static_cast<unsigned long long>(drop_warnings_.count()));
   }
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
 #include "sim/frame.h"
 #include "sim/time.h"
@@ -166,7 +167,7 @@ class FaultInjector {
   std::uint32_t entity_ = 0;
   FaultCounters* counters_ = nullptr;
   obs::EventTrace* trace_ = nullptr;
-  std::uint64_t drop_warnings_ = 0;
+  LogRateLimit drop_warnings_{3};
   Rng bcn_drop_rng_;
   Rng bcn_dup_rng_;
   Rng bcn_delay_rng_;

@@ -74,6 +74,22 @@ class Scenario : public EventTarget {
       edge_->set_observer(config.observer);
     }
 
+    if (config.monitors.spec.any()) {
+      run_monitor_.configure(
+          config.monitors,
+          config.observer ? &config.observer->events() : nullptr);
+      // One shared bound across ports: both buffers default equal, and the
+      // per-frame check is about catching occupancy outside [0, B], not
+      // per-port policy.
+      run_monitor_.set_queue_bound(
+          std::max(config.edge_buffer, config.core_buffer));
+      run_monitor_.set_rate_bound(
+          static_cast<double>(config.num_culprits + 1) * config.offered_rate);
+      hot_port_->set_monitor(&run_monitor_);
+      cold_port_->set_monitor(&run_monitor_);
+      edge_->set_monitor(&run_monitor_);
+    }
+
     if (config.faults.armed()) {
       obs::EventTrace* trace =
           config.observer ? &config.observer->events() : nullptr;
@@ -210,6 +226,7 @@ class Scenario : public EventTarget {
       if (config_.faults.armed()) {
         export_fault_metrics(fault_counters_, *config_.metrics);
       }
+      if (run_monitor_.armed()) run_monitor_.export_metrics(*config_.metrics);
     }
     return result;
   }
@@ -223,6 +240,26 @@ class Scenario : public EventTarget {
       edge_tl_->record(t, edge_->queue_bits());
       hot_tl_->record(t, hot_port_->queue_bits());
       cold_tl_->record(t, cold_port_->queue_bits());
+    }
+    if (run_monitor_.armed()) {
+      // The sampled invariants watch the hot port: it is the congestion
+      // point whose stalled deliveries signal a PFC deadlock, and its
+      // counters form a closed conservation system (arrivals = enqueued +
+      // dropped at one queue).
+      const SwitchPortStats& hot = hot_port_->stats();
+      obs::MonitorSample s;
+      s.t = to_seconds(sim_.now());
+      s.queue_bits = hot_port_->queue_bits();
+      double rate = 0.0;
+      for (const auto& src : sources_) rate += src->rate();
+      s.aggregate_rate = rate;
+      s.frames_sent = hot.enqueued + hot.dropped;
+      s.frames_enqueued = hot.enqueued;
+      s.frames_delivered = hot.delivered;
+      s.frames_dropped = hot.dropped;
+      s.pause_frames = hot.pauses_sent + edge_->stats().pauses_sent;
+      s.bits_delivered = hot.bits_delivered;
+      run_monitor_.on_sample(s);
     }
     sim_.reschedule(monitor_timer_, sim_.now() + 20 * kMicrosecond);
   }
@@ -239,6 +276,7 @@ class Scenario : public EventTarget {
   FaultInjector hot_faults_;
   FaultInjector edge_faults_;
   FaultInjector link_faults_;
+  obs::RunMonitor run_monitor_;
   EventId monitor_timer_ = kInvalidEvent;
   double edge_peak_ = 0.0;
   double hot_peak_ = 0.0;

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/monitor.h"
 #include "sim/faults.h"
 #include "sim/time.h"
 
@@ -70,6 +71,13 @@ struct MultihopConfig {
   // data_drop and flap windows apply on the E1 -> CORE forward link.
   // Counters export as "fault.*" into `metrics` when set.
   FaultPlan faults;
+
+  // Runtime invariant monitors (obs/monitor.h), attached to all three
+  // ports for per-frame queue checks; the sampled monitors observe the
+  // hot port (the congestion point), whose stalled deliveries are what
+  // the PFC-deadlock watchdog is after.  Exports "monitor.*" into
+  // `metrics` when set.
+  obs::MonitorConfig monitors;
 };
 
 struct MultihopResult {

@@ -103,6 +103,14 @@ Network::Network(NetworkConfig config) : config_(config) {
 
   if (!config_.record_events) stats_.events().set_enabled(false);
 
+  if (config_.monitors.spec.any()) {
+    monitor_.configure(config_.monitors, &stats_.events());
+    monitor_.set_queue_bound(p.buffer);
+    // Aggregate rate can never exceed every source at its line rate.
+    monitor_.set_rate_bound(static_cast<double>(n) * max_rate);
+    switch_->set_monitor(&monitor_);
+  }
+
   if (config_.faults.armed()) {
     // Entity 1 (the core switch's cpid) owns the reverse-path lanes;
     // entity 0 the forward source -> switch link.  An unarmed plan skips
@@ -210,13 +218,27 @@ double Network::aggregate_rate() const {
 }
 
 void Network::record_sample() {
-  stats_.record(sim_.now(), switch_->queue_bits(), aggregate_rate());
+  const double rate = aggregate_rate();
+  stats_.record(sim_.now(), switch_->queue_bits(), rate);
   if (config_.record_timelines) {
     const double t = to_seconds(sim_.now());
     queue_timeline_->record(t, switch_->queue_bits());
     for (std::size_t i = 0; i < sources_.size(); ++i) {
       flow_rate_timelines_[i]->record(t, sources_[i]->rate());
     }
+  }
+  if (monitor_.armed()) {
+    obs::MonitorSample s;
+    s.t = to_seconds(sim_.now());
+    s.queue_bits = switch_->queue_bits();
+    s.aggregate_rate = rate;
+    s.frames_sent = stats_.counters.frames_sent;
+    s.frames_enqueued = stats_.counters.frames_enqueued;
+    s.frames_delivered = stats_.counters.frames_delivered;
+    s.frames_dropped = stats_.counters.frames_dropped;
+    s.pause_frames = stats_.counters.pause_frames;
+    s.bits_delivered = stats_.counters.bits_delivered;
+    monitor_.on_sample(s);
   }
   sample_timer_ = sim_.arm(sample_timer_, sim_.now() + config_.record_interval,
                            this, EventKind::Tick, kTagSampleTick);

@@ -10,6 +10,7 @@
 
 #include "core/bcn_params.h"
 #include "core/mechanism.h"
+#include "obs/monitor.h"
 #include "sim/core_switch.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
@@ -73,6 +74,13 @@ struct NetworkConfig {
   // at the core switch; data_drop and flap windows apply on the
   // source -> switch forward link.
   FaultPlan faults;
+
+  // Runtime invariant monitors + flight recorder (obs/monitor.h).  The
+  // default spec arms nothing and leaves the run identical to a build
+  // without monitor wiring; an armed spec switches the event trace into
+  // ring (flight-recorder) mode and checks invariants per frame and per
+  // sample tick.
+  obs::MonitorConfig monitors;
 };
 
 class Network : public EventTarget {
@@ -88,6 +96,8 @@ class Network : public EventTarget {
 
   const SimStats& stats() const { return stats_; }
   const FaultCounters& fault_counters() const { return fault_counters_; }
+  const obs::RunMonitor& monitor() const { return monitor_; }
+  obs::RunMonitor& monitor() { return monitor_; }
   const CoreSwitch& core_switch() const { return *switch_; }
   const std::vector<std::unique_ptr<Source>>& sources() const {
     return sources_;
@@ -121,6 +131,8 @@ class Network : public EventTarget {
   FaultCounters fault_counters_;
   FaultInjector switch_faults_;
   FaultInjector link_faults_;
+  // Invariant monitor; unarmed unless config_.monitors arms a spec.
+  obs::RunMonitor monitor_;
   std::unique_ptr<CoreSwitch> switch_;
   std::vector<std::unique_ptr<Source>> sources_;
   SimTime run_until_ = 0;

@@ -23,6 +23,10 @@ void SwitchPort::on_frame(const Frame& frame) {
   queue_.push_back(frame);
   queue_bits_ += frame.size_bits;
   ++stats_.enqueued;
+  if (monitor_) {
+    monitor_->check_queue(to_seconds(sim_.now()), config_.port_label,
+                          queue_bits_);
+  }
   maybe_pause_upstream();
   if (!serving_ && sim_.now() >= paused_until_) start_service();
 }
@@ -133,6 +137,10 @@ void SwitchPort::finish_service() {
   const Frame frame = queue_.front();
   queue_.pop_front();
   queue_bits_ = std::max(queue_bits_ - frame.size_bits, 0.0);
+  if (monitor_) {
+    monitor_->check_queue(to_seconds(sim_.now()), config_.port_label,
+                          queue_bits_);
+  }
   ++stats_.delivered;
   stats_.bits_delivered += frame.size_bits;
   if (sink_link_) {

@@ -10,6 +10,7 @@
 #include <deque>
 #include <functional>
 
+#include "obs/monitor.h"
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/frame.h"
@@ -75,6 +76,10 @@ class SwitchPort : public EventTarget {
   // attach one when the plan is armed.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  // Optional runtime invariant monitor (obs/monitor.h): per-frame queue
+  // occupancy checks on enqueue/depart, keyed by port_label.
+  void set_monitor(obs::RunMonitor* monitor) { monitor_ = monitor; }
+
   // Frame arrival at this port.
   void on_frame(const Frame& frame);
 
@@ -117,6 +122,7 @@ class SwitchPort : public EventTarget {
   EventLink pause_link_;
   EventLink bcn_link_;
   FaultInjector* faults_ = nullptr;
+  obs::RunMonitor* monitor_ = nullptr;
 
   std::deque<Frame> queue_;
   double queue_bits_ = 0.0;

@@ -60,5 +60,62 @@ TEST(EventTraceTest, CsvColumnsCarryCausalFields) {
       << csv;
 }
 
+// Flight-recorder ring mode: capacity bounds the trace to the newest
+// events, evicting in recording order.  The eviction order is pinned —
+// a wrapped ring must yield exactly the last `capacity` events, oldest
+// surviving first, via in_order()/recent() even though the raw slot
+// order has rotated.
+TEST(EventTraceTest, RingEvictsOldestInRecordingOrder) {
+  EventTrace trace;
+  trace.set_ring_capacity(4);
+  EXPECT_EQ(trace.ring_capacity(), 4u);
+  for (int i = 0; i < 6; ++i) {
+    trace.record({static_cast<double>(i), EventKind::BcnNegativeSent,
+                  static_cast<std::uint32_t>(i), 0, 0.0, 0.0});
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.evicted(), 2u);
+  const auto ordered = trace.in_order();
+  ASSERT_EQ(ordered.size(), 4u);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ordered[i].t, static_cast<double>(i + 2)) << "slot " << i;
+  }
+  // The raw storage has wrapped: slot order is rotated, not chronological.
+  EXPECT_DOUBLE_EQ(trace.events().front().t, 4.0);
+}
+
+TEST(EventTraceTest, RecentReturnsNewestTailInOrder) {
+  EventTrace trace;
+  trace.set_ring_capacity(4);
+  for (int i = 0; i < 7; ++i) {
+    trace.record({static_cast<double>(i), EventKind::PauseOn, 1, 0, 0.0, 0.0});
+  }
+  const auto tail = trace.recent(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(tail[0].t, 5.0);
+  EXPECT_DOUBLE_EQ(tail[1].t, 6.0);
+  // Asking for more than retained clamps to the whole retained window.
+  EXPECT_EQ(trace.recent(100).size(), 4u);
+}
+
+TEST(EventTraceTest, RingBeforeWrapAndUnboundedDefaultKeepEverything) {
+  EventTrace ring;
+  ring.set_ring_capacity(8);
+  ring.record({0.0, EventKind::BcnPositiveSent, 0, 0, 1.0, 0.0});
+  ring.record({1.0, EventKind::BcnPositiveSent, 0, 1, 1.0, 0.0});
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.evicted(), 0u);
+  EXPECT_DOUBLE_EQ(ring.in_order().front().t, 0.0);
+
+  EventTrace unbounded;  // default: legacy unbounded vector
+  EXPECT_EQ(unbounded.ring_capacity(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    unbounded.record({static_cast<double>(i), EventKind::BcnApplied, 0,
+                      0, 0.0, 0.0});
+  }
+  EXPECT_EQ(unbounded.size(), 100u);
+  EXPECT_EQ(unbounded.evicted(), 0u);
+}
+
 }  // namespace
 }  // namespace bcn::obs

@@ -192,5 +192,42 @@ TEST(BatchIntegratorTest, RepeatRunsAreBitwiseIdentical) {
   }
 }
 
+TEST(BatchIntegratorTest, NonfiniteLaneRetiresWithoutSpinningForever) {
+  // An exponentially exploding lane (dy = K x with K dt^2 >> 1) overflows
+  // to inf within a few dozen macro steps.  The non-finite guard must
+  // retire it with completed = false; without the guard its clock would
+  // go NaN, `t >= t_end` would never hold, and run_to_completion would
+  // spin forever (regression for the NaN-lane infinite loop).
+  BatchLane blowup;
+  blowup.law.sx = -1.0;  // sigma = x
+  blowup.law.g0[0] = blowup.law.g0[1] = 1e6;  // dy = 1e6 * x
+  blowup.law.switched = false;
+  blowup.x0 = 1.0;
+  blowup.y0 = 0.0;
+  blowup.t_end = 1e9;
+  blowup.dt[0] = blowup.dt[1] = 1.0;
+
+  const double omega = 2.0 * std::numbers::pi;
+  const BatchLane healthy = oscillator_lane(omega, -2.0, 0.5, 1e-3);
+
+  BatchIntegrator batch;
+  batch.reset({blowup, healthy});
+  batch.run_to_completion();
+
+  const LaneResult& bad = batch.results()[0];
+  EXPECT_TRUE(bad.nonfinite);
+  EXPECT_FALSE(bad.completed);
+  EXPECT_FALSE(bad.converged);
+  EXPECT_TRUE(std::isfinite(bad.nonfinite_t));
+  EXPECT_GE(bad.nonfinite_t, 0.0);
+  EXPECT_LT(bad.steps, 1000u);  // retired fast, not at the 1e9 horizon
+
+  // The poisoned lane must not leak into its batch neighbours.
+  const LaneResult& good = batch.results()[1];
+  EXPECT_TRUE(good.completed);
+  EXPECT_FALSE(good.nonfinite);
+  EXPECT_NEAR(good.max_x, 2.0, 1e-3);
+}
+
 }  // namespace
 }  // namespace bcn::ode

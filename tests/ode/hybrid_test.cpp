@@ -114,5 +114,38 @@ TEST(HybridTest, WallModeSaturation) {
   EXPECT_NEAR(res.switches[0].t, 1.0, 1e-6);
 }
 
+// Non-finite guard: a RHS that emits NaN once past a threshold must
+// abort the integration with nonfinite set instead of letting the NaN
+// pass DOPRI5's acceptance test (NaN comparisons are false, so
+// `error > 1` never rejects a poisoned step).
+TEST(HybridTest, NonfiniteStateAbortsWithDiagnostics) {
+  HybridSystem sys;
+  sys.modes.push_back([](double t, Vec2 z) -> Vec2 {
+    if (t > 1.0) return {std::nan(""), std::nan("")};
+    return {z.y, -z.x};
+  });
+  sys.mode_of = [](double, Vec2) { return 0; };
+  sys.guards.push_back([](double, Vec2) { return 1.0; });
+  const auto res = integrate_hybrid(sys, 0.0, {1.0, 0.0}, 10.0, {});
+  EXPECT_TRUE(res.nonfinite);
+  EXPECT_FALSE(res.completed);
+  EXPECT_GE(res.nonfinite_t, 0.0);
+  EXPECT_LE(res.nonfinite_t, 10.0);
+  // Only finite samples may land in the trajectory.
+  for (const auto& s : res.trajectory.samples()) {
+    EXPECT_TRUE(std::isfinite(s.z.x) && std::isfinite(s.z.y))
+        << "at t=" << s.t;
+  }
+}
+
+TEST(HybridTest, NonfiniteInitialConditionAbortsImmediately) {
+  const auto sys = switched_oscillator();
+  const auto res =
+      integrate_hybrid(sys, 0.0, {std::nan(""), 0.0}, 1.0, {});
+  EXPECT_TRUE(res.nonfinite);
+  EXPECT_FALSE(res.completed);
+  EXPECT_EQ(res.steps_accepted, 0u);
+}
+
 }  // namespace
 }  // namespace bcn::ode

@@ -19,6 +19,7 @@
 #include "core/mechanism.h"
 #include "core/simulate.h"
 #include "core/stability.h"
+#include "obs/monitor.h"
 #include "obs/tracing.h"
 #include "plot/ascii.h"
 
@@ -36,6 +37,10 @@ void usage() {
       "  --mechanism m analyze this congestion-control mechanism's fluid\n"
       "                facet instead of BCN's (see core/mechanism.h);\n"
       "                closed-form BCN propositions apply to bcn only\n"
+      "  --monitors s  arm runtime invariant monitors (BCN_MONITORS env\n"
+      "                fallback); with `finite` armed a non-finite fluid\n"
+      "                integration exits with code 3 instead of printing\n"
+      "                a verdict built on NaN\n"
       "  --trace file  record wall-clock spans, print the self-profile\n"
       "                table and write Chrome trace-event JSON there\n"
       "                (BCN_TRACE env fallback)");
@@ -51,7 +56,7 @@ int main(int argc, char** argv) {
   }
   if (!reject_unknown_flags(args, {"help", "N", "C", "q0", "B", "qsc", "gi",
                                    "gd", "ru", "w", "pm", "delay", "duration",
-                                   "plot", "trace", "mechanism"})) {
+                                   "plot", "trace", "mechanism", "monitors"})) {
     usage();
     return 2;
   }
@@ -60,6 +65,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--mechanism: unknown mechanism '%s' (known: %s)\n",
                  mechanism.c_str(), core::mechanism_name_list().c_str());
     return 2;
+  }
+  obs::MonitorSpec monitors;
+  {
+    std::optional<std::string> spec = args.get("monitors");
+    if (!spec) {
+      if (const char* env = std::getenv("BCN_MONITORS")) {
+        if (*env) spec = env;
+      }
+    }
+    if (spec) {
+      std::string error;
+      const auto parsed = obs::parse_monitor_spec(*spec, &error);
+      if (!parsed) {
+        std::fprintf(stderr, "--monitors: %s\n%s\n", error.c_str(),
+                     obs::monitor_spec_usage());
+        return 2;
+      }
+      monitors = *parsed;
+    }
   }
   const auto trace_path = obs::maybe_enable_tracing(args);
 
@@ -118,6 +142,13 @@ int main(int argc, char** argv) {
           std::pair{core::ModelLevel::Nonlinear, "nonlinear "}}) {
       mopts.level = level;
       const auto verdict = core::mechanism_numeric_verdict(*mech, mopts);
+      if (monitors.finite && verdict.nonfinite) {
+        std::fprintf(stderr,
+                     "monitor: finite: %s fluid integration produced a "
+                     "non-finite state; no verdict\n",
+                     name);
+        return obs::kMonitorViolationExit;
+      }
       std::printf("numeric %s: %-22s peak q = %.6g, dip q = %.6g\n", name,
                   verdict.strongly_stable ? "strongly stable"
                                           : "NOT strongly stable",
@@ -149,6 +180,13 @@ int main(int argc, char** argv) {
        {std::pair{core::ModelLevel::Linearized, "linearized (eq.9) "},
         std::pair{core::ModelLevel::Nonlinear, "nonlinear  (eq.8) "}}) {
     const auto verdict = core::numeric_strong_stability(p, {.level = level});
+    if (monitors.finite && verdict.nonfinite) {
+      std::fprintf(stderr,
+                   "monitor: finite: %s fluid integration produced a "
+                   "non-finite state; no verdict\n",
+                   name);
+      return obs::kMonitorViolationExit;
+    }
     std::printf("numeric %s: %-22s peak q = %.6g, dip q = %.6g\n", name,
                 verdict.strongly_stable ? "strongly stable"
                                         : "NOT strongly stable",
