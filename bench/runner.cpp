@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/json.h"
 #include "core/mechanism.h"
+#include "exec/thread_pool.h"
 #include "obs/tracing.h"
 
 namespace bcn::bench {
@@ -20,7 +21,21 @@ std::vector<Experiment>& registry() {
 
 const std::vector<std::string> kStandardFlags = {
     "help", "list", "run", "threads", "out", "seed", "json", "trace",
-    "faults", "mechanism", "map-mode", "monitors"};
+    "faults", "mechanism", "map-mode", "monitors", "shards"};
+
+// Strict non-negative integer parse for --shards: ArgParser::get_int
+// silently falls back on garbage, but a malformed shard count must be a
+// usage error (exit 2), not a silent single-shard run.
+bool parse_shard_count(const std::string& text, int* out) {
+  if (text.empty() || text.size() > 6) return false;
+  int value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
 
 void print_usage(const char* prog) {
   std::printf(
@@ -48,6 +63,9 @@ void print_usage(const char* prog) {
       "                that compute maps: scalar (default; the legacy\n"
       "                per-cell path), batch (SoA batched integrator), or\n"
       "                adaptive (batched + quadtree boundary refinement)\n"
+      "  --shards n    simulator shards for sharded-fabric experiments\n"
+      "                (BCN_SHARDS env fallback; default 1, 0 = all\n"
+      "                hardware threads; results are shard-invariant)\n"
       "  --monitors s  arm runtime invariant monitors + the flight\n"
       "                recorder on packet-simulator experiments\n"
       "                (BCN_MONITORS env fallback); a violation dumps a\n"
@@ -120,6 +138,25 @@ int bench_main(int argc, const char* const* argv) {
   ctx.args = &args;
   ctx.threads = thread_count(args, 1);
   ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 0));
+  {
+    std::optional<std::string> spec = args.get("shards");
+    if (!spec) {
+      if (const char* env = std::getenv("BCN_SHARDS")) {
+        if (*env) spec = env;
+      }
+    }
+    if (spec) {
+      int shards = 1;
+      if (!parse_shard_count(*spec, &shards)) {
+        std::fprintf(stderr,
+                     "--shards: bad shard count '%s' (expected a "
+                     "non-negative integer; 0 = all hardware threads)\n",
+                     spec->c_str());
+        return 2;
+      }
+      ctx.shards = shards == 0 ? exec::resolve_threads(0) : shards;
+    }
+  }
   // Raw spec strings, kept verbatim for the post-mortem repro line.
   std::string faults_spec;
   std::string monitors_spec;

@@ -26,6 +26,10 @@ namespace bcn::bench {
 struct RunContext {
   const ArgParser* args = nullptr;  // for experiment-specific flags
   int threads = 1;                  // 0 = all hardware threads, 1 = serial
+  // Simulator shards for sharded-fabric experiments, from --shards /
+  // BCN_SHARDS (default 1; 0 = all hardware threads).  The trajectory
+  // digest is shard-count-invariant, so this is purely a speed knob.
+  int shards = 1;
   std::uint64_t seed = 0;           // --seed (default 0: deterministic)
   std::filesystem::path out_dir;    // resolved artifact directory
   // Per-experiment metrics registry owned by bench_main; whatever the

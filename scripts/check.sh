@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Eight gates:
+# Nine gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
 #     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
 #     test suites, which exercise parallel_for / ThreadPool / the
@@ -45,6 +45,17 @@
 #     POSTMORTEM_crosscheck.json), requires the bundle to be byte-identical
 #     across reruns, and checks a bogus --monitors spec is rejected with
 #     exit 2 and the grammar.
+#  9. Sharded-engine smoke: runs a small fat-tree through bcn_fabric at
+#     --shards 1 and --shards 4 and requires the shard-invariant JSON
+#     artifacts to be byte-identical (the cross-shard determinism
+#     contract, end-to-end), runs the E23 sharded_throughput bench on a
+#     small configuration (the bench itself exits 1 if the digest varies
+#     with the shard count), validates BENCH_sharded_throughput.json and
+#     self-diffs it with --require-same-keys at threshold 0, and checks
+#     --shards bogus is rejected with exit 2.  (The MPSC-queue torture
+#     and the shard determinism tests already ran under TSan in gate 1
+#     as part of bcn_sim_tests.)  Speedups are reported, deliberately
+#     not gated: they depend on the host's hardware threads.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -442,3 +453,97 @@ grep -q 'monitor spec' <<< "$MON_ERR" || {
 }
 
 echo "[check.sh] monitor smoke clean ($MON_BUNDLE)"
+
+# --- sharded-engine smoke ---------------------------------------------------
+# The partitioned conservative engine end-to-end.  bcn_fabric's JSON
+# artifact contains only shard-count-invariant quantities, so `cmp`
+# across shard counts IS the determinism check; the E23 bench then runs
+# its own digest gate across {1, 2, 4, 8} shards on a small fabric.
+cmake --build "$SMOKE_BUILD_DIR" -j --target bcn_fabric sharded_throughput
+
+FABRIC_TOOL="$SMOKE_BUILD_DIR"/tools/bcn_fabric
+SHARD_OUT=$(mktemp -d)
+trap 'rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT" "$FAULT_OUT_A" "$FAULT_OUT_B" "$MECH_OUT_A" "$MECH_OUT_B" "$MAP_OUT" "$MON_OUT" "$MON_OUT_B" "$SHARD_OUT"' EXIT
+
+FABRIC_ARGS=(--topology fat-tree:4 --flows-per-host 4 --duration-us 2000
+             --rate 2e9 --monitors queue_bounds,finite)
+"$FABRIC_TOOL" "${FABRIC_ARGS[@]}" --shards 1 \
+  --json "$SHARD_OUT/fabric_s1.json" > /dev/null
+"$FABRIC_TOOL" "${FABRIC_ARGS[@]}" --shards 4 \
+  --json "$SHARD_OUT/fabric_s4.json" > /dev/null
+cmp "$SHARD_OUT/fabric_s1.json" "$SHARD_OUT/fabric_s4.json" || {
+  echo "[check.sh] fabric artifact differs between --shards 1 and 4"; exit 1;
+}
+python3 - "$SHARD_OUT/fabric_s1.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("tool") == "bcn_fabric", data.get("tool")
+assert data.get("frames_delivered", 0) > 0, "no frames delivered"
+assert data.get("bcn_sent", 0) > 0, "feedback loop never engaged"
+assert len(data.get("digest", "")) == 16, f"bad digest {data.get('digest')!r}"
+for key in ("shards", "wall", "cross_shard"):
+    assert not any(key in k for k in data), \
+        f"shard-dependent key {key!r} leaked into the artifact"
+print(f"[check.sh] fabric artifact invariant across shards: "
+      f"digest {data['digest']}, {data['frames_delivered']:.0f} delivered, "
+      f"{data['bcn_sent']:.0f} BCN")
+PY
+
+"$SMOKE_BUILD_DIR"/bench/sharded_throughput --run sharded_throughput \
+  --out "$SHARD_OUT" --topology fat-tree:4 --flows-per-host 2 \
+  --duration-us 400 > /dev/null || {
+  echo "[check.sh] sharded_throughput failed (digest gate?)"; exit 1;
+}
+
+SHARD_JSON="$SHARD_OUT/BENCH_sharded_throughput.json"
+[[ -f "$SHARD_JSON" ]] || { echo "[check.sh] missing $SHARD_JSON"; exit 1; }
+python3 - "$SHARD_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("benchmark") == "sharded_throughput", data.get("benchmark")
+assert data.get("digest_match") == 1, "digest varied with the shard count"
+digests = set()
+for n in (1, 2, 4, 8):
+    eps = data.get(f"shards_{n}_events_per_sec")
+    assert isinstance(eps, (int, float)) and eps > 0, f"shards_{n}: {eps!r}"
+    digests.add(data.get(f"shards_{n}_digest"))
+assert len(digests) == 1, f"artifact digests diverge: {digests}"
+parity = data.get("parity_ratio")
+assert isinstance(parity, (int, float)) and parity > 0, f"parity {parity!r}"
+assert data.get("hardware_threads", 0) >= 1
+rates = ", ".join(f"{n}sh={data[f'shards_{n}_events_per_sec']/1e6:.2f}M/s"
+                  for n in (1, 2, 4, 8))
+print(f"[check.sh] sharded throughput: {rates}, "
+      f"single-shard parity {parity:.2f}x on "
+      f"{data['hardware_threads']:.0f} hardware threads")
+PY
+
+"$SMOKE_BUILD_DIR"/tools/bcn_bench_diff \
+  --a "$SHARD_JSON" --b "$SHARD_JSON" \
+  --threshold 0 --require-same-keys > /dev/null || {
+  echo "[check.sh] sharded-throughput self-diff failed"; exit 1;
+}
+
+# A malformed shard count must be a usage error (exit 2) on the tool and
+# on the shared bench runner alike.
+set +e
+SHARD_ERR=$("$FABRIC_TOOL" --topology fat-tree:4 --shards bogus 2>&1)
+SHARD_STATUS=$?
+set -e
+[[ $SHARD_STATUS -eq 2 ]] || {
+  echo "[check.sh] bcn_fabric --shards bogus exited $SHARD_STATUS, want 2"
+  exit 1
+}
+grep -q 'bad shard count' <<< "$SHARD_ERR" || {
+  echo "[check.sh] bcn_fabric --shards bogus printed no usage line"; exit 1;
+}
+set +e
+"$SMOKE_BUILD_DIR"/bench/sharded_throughput --run sharded_throughput \
+  --shards bogus --out "$SHARD_OUT" > /dev/null 2>&1
+SHARD_STATUS=$?
+set -e
+[[ $SHARD_STATUS -eq 2 ]] || {
+  echo "[check.sh] bench --shards bogus exited $SHARD_STATUS, want 2"; exit 1;
+}
+
+echo "[check.sh] sharded-engine smoke clean ($SHARD_JSON)"

@@ -18,6 +18,10 @@ namespace bcn::exec {
 // threads" (never less than 1), anything else is taken literally.
 int resolve_threads(int requested);
 
+// Hardware threads this machine offers (never less than 1) -- what a
+// `threads` knob of 0 resolves to.
+int hardware_threads();
+
 // Index of the calling pool worker within its pool, or -1 off-pool.
 // Trace spans recorded inside parallel_for chunks attach it so a
 // Perfetto timeline shows which worker ran which chunk.
@@ -25,8 +29,12 @@ int current_worker_index();
 
 class ThreadPool {
  public:
-  // Starts `threads` workers (resolved via resolve_threads).
-  explicit ThreadPool(int threads);
+  // Starts `threads` workers (resolved via resolve_threads).  With
+  // `pin_to_core`, worker i is pinned to core i % hardware_threads() so
+  // long-lived per-worker state (e.g. one simulator shard per worker)
+  // keeps a stable cache affinity; a hint only -- unsupported platforms
+  // ignore it.
+  explicit ThreadPool(int threads, bool pin_to_core = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

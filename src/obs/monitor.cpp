@@ -1,5 +1,6 @@
 #include "obs/monitor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -350,6 +351,53 @@ void RunMonitor::violate(const char* invariant, double t, double value,
   if (config_.action == ViolationAction::DumpAndExit) {
     std::exit(kMonitorViolationExit);
   }
+}
+
+void RunMonitor::merge_from(const RunMonitor& other) {
+  armed_ = armed_ || other.armed_;
+  checks_ += other.checks_;
+  violations_total_ += other.violations_total_;
+
+  std::vector<Violation> merged = violations_;
+  merged.insert(merged.end(), other.violations_.begin(),
+                other.violations_.end());
+  std::sort(merged.begin(), merged.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.invariant != b.invariant) return a.invariant < b.invariant;
+              return a.message < b.message;
+            });
+  if (merged.size() > 16) merged.resize(16);
+  violations_ = std::move(merged);
+
+  // Ring semantics for the merged snapshots: chronological, most recent
+  // entries win when the combined history exceeds the capacity.
+  const std::size_t capacity =
+      std::max<std::size_t>(1, std::max(config_.spec.snapshots,
+                                        other.config_.spec.snapshots));
+  std::vector<MonitorSample> mine = snapshots();
+  const std::vector<MonitorSample> theirs = other.snapshots();
+  mine.insert(mine.end(), theirs.begin(), theirs.end());
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const MonitorSample& a, const MonitorSample& b) {
+                     return a.t < b.t;
+                   });
+  if (mine.size() > capacity) {
+    mine.erase(mine.begin(),
+               mine.end() - static_cast<std::ptrdiff_t>(capacity));
+  }
+  snapshots_ = std::move(mine);
+  snapshot_head_ = 0;
+
+  watchdog_tripped_ = watchdog_tripped_ || other.watchdog_tripped_;
+  crosscheck_tripped_ = crosscheck_tripped_ || other.crosscheck_tripped_;
+  dumped_ = dumped_ || other.dumped_;
+  if (other.have_prev_ && (!have_prev_ || other.prev_.t > prev_.t)) {
+    have_prev_ = true;
+    prev_ = other.prev_;
+  }
+  last_delivered_ = std::max(last_delivered_, other.last_delivered_);
+  last_progress_t_ = std::max(last_progress_t_, other.last_progress_t_);
 }
 
 void RunMonitor::export_metrics(MetricsRegistry& registry,

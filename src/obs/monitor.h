@@ -171,6 +171,15 @@ class RunMonitor {
   void export_metrics(MetricsRegistry& registry,
                       const std::string& prefix = "monitor.") const;
 
+  // Deterministic fold for per-shard monitors (sim/shard/engine.cpp):
+  // counters sum, violation records concatenate and re-sort by
+  // (t, invariant, message) -- never by which worker thread recorded
+  // them first -- capped at the usual 16, snapshot rings merge
+  // chronologically keeping the most recent entries, and the watchdog /
+  // crosscheck / dump latches OR.  Call after the shards have joined;
+  // neither monitor may still be receiving samples.
+  void merge_from(const RunMonitor& other);
+
  private:
   // Tolerance on the queue upper bound: enqueue checks run after the
   // frame was admitted, and drop-tail admits a frame that *fits*, so the

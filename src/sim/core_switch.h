@@ -60,7 +60,8 @@ class CoreSwitch : public EventTarget {
   void on_event(const SimEvent& event) override;
 
   // Downstream hop for frames completing service; unset = frames
-  // terminate here (single-bottleneck topology).
+  // terminate here.  Switches compose into chains (multihop.cpp) or any
+  // other wiring; generated datacenter fabrics live in sim/shard.
   void set_sink(FrameSink sink) { sink_ = std::move(sink); }
   void set_sink(const EventLink& link) { sink_link_ = link; }
 

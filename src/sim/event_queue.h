@@ -85,6 +85,14 @@ class Simulator {
   // while its handler runs, so an empty heap means fully idle.)
   bool idle() const { return heap_.empty(); }
 
+  // Deadline of the earliest pending event; only meaningful when not
+  // idle().  The sharded engine's single-shard fast path peeks it to
+  // jump over empty epochs (sim/shard/engine.cpp).
+  SimTime next_event_time() const {
+    return static_cast<SimTime>(
+        static_cast<std::uint64_t>(heap_.front().key >> 64));
+  }
+
   std::size_t executed() const { return executed_; }
 
   // --- introspection (tests, metrics) ------------------------------------

@@ -20,6 +20,10 @@ struct Frame {
   // congestion point; the CPID it carries (paper Section II.B).
   bool has_rrt = false;
   CongestionPointId rrt_cpid = 0;
+  // Index into the flow's precomputed route (sharded fabrics); the port
+  // receiving the frame uses it to find the next hop.  Single-topology
+  // scenarios leave it 0.
+  std::uint32_t hop = 0;
   SimTime sent_at = 0;
 };
 

@@ -1,4 +1,6 @@
-// Wiring of the single-bottleneck DCE topology of paper Fig. 1:
+// Wiring of the paper's Fig. 1 reference topology -- one of several the
+// repo simulates (two-hop chains live in multihop.cpp, generated
+// fat-tree / leaf-spine fabrics in sim/shard):
 // N homogeneous sources -> (edge, where the rate regulators live) ->
 // core switch -> sink, with symmetric propagation delays and backward BCN
 // / PAUSE delivery.

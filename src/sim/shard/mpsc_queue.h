@@ -1,0 +1,93 @@
+// Lock-free bounded MPSC queue for cross-shard frame exchange.
+//
+// Bounded Vyukov-style ring: every cell carries a sequence stamp, so
+// producers claim slots with one fetch_add and publish with one release
+// store -- no CAS loops on the hot path, no allocation after
+// construction, and per-producer FIFO order (a producer's own pushes are
+// ticketed in program order).  The sharded engine drains each queue from
+// exactly one consumer (the owner shard) at epoch boundaries; the stamp
+// protocol is nevertheless the full MPMC-safe variant, so a torture test
+// can hammer it with arbitrary thread interleavings under TSan.
+//
+// Capacity is rounded up to a power of two.  try_push fails when the
+// ring is full (the engine then makes progress by draining its own
+// inbox -- see engine.cpp -- which is what makes the barrier protocol
+// deadlock-free under bounded queues).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace bcn::sim::shard {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity = 1 << 12) {
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    cells_ = std::vector<Cell>(pow2);
+    mask_ = pow2 - 1;
+    for (std::size_t i = 0; i < pow2; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Producer side (any thread).  False when the ring is full.
+  bool try_push(const T& value) {
+    std::size_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[ticket & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                        static_cast<std::ptrdiff_t>(ticket);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+        // ticket reloaded by the failed CAS; retry with the new one.
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds an unconsumed value
+      } else {
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Consumer side (the owner shard only).  False when empty.
+  bool try_pop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                      static_cast<std::ptrdiff_t>(head_ + 1);
+    if (diff < 0) return false;  // not yet published
+    out = cell.value;
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  // Producers share tail_; head_ belongs to the single consumer (plain,
+  // because only one thread ever touches it).
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t head_ = 0;
+};
+
+}  // namespace bcn::sim::shard

@@ -300,6 +300,61 @@ TEST(RunMonitorTest, ExportsMonitorMetricsUnderPrefix) {
   EXPECT_EQ(per_invariant->value(), 1u);
 }
 
+// --- Deterministic cross-shard merge ------------------------------------
+
+TEST(RunMonitorTest, MergeFromSumsCountsAndOrdersViolationsByTime) {
+  RunMonitor a;
+  a.configure(record_config("queue_bounds"));
+  a.set_queue_bound(100.0);
+  a.check_queue(0.1, 0, 50.0);
+  a.check_queue(0.4, 0, 300.0);  // violation at t=0.4
+
+  RunMonitor b;
+  b.configure(record_config("queue_bounds"));
+  b.set_queue_bound(100.0);
+  b.check_queue(0.2, 1, 200.0);  // violation at t=0.2
+  b.check_queue(0.3, 1, 80.0);
+  b.check_queue(0.5, 1, 250.0);  // violation at t=0.5
+
+  a.merge_from(b);
+  EXPECT_TRUE(a.armed());
+  EXPECT_EQ(a.checks(), 5u);
+  EXPECT_EQ(a.violation_count(), 3u);
+  const auto& violations = a.violations();
+  ASSERT_EQ(violations.size(), 3u);
+  // Merged order is (t, invariant, message) -- shard-id independent.
+  EXPECT_DOUBLE_EQ(violations[0].t, 0.2);
+  EXPECT_DOUBLE_EQ(violations[1].t, 0.4);
+  EXPECT_DOUBLE_EQ(violations[2].t, 0.5);
+}
+
+TEST(RunMonitorTest, MergeFromKeepsNewestSnapshotsChronological) {
+  RunMonitor a;
+  a.configure(record_config("finite,snapshots=4"));
+  RunMonitor b;
+  b.configure(record_config("finite,snapshots=4"));
+  // Interleaved sample times across the two shards.
+  for (const double t : {0.1, 0.3, 0.5}) a.on_sample(sample(t, 1.0, 1.0));
+  for (const double t : {0.2, 0.4, 0.6}) b.on_sample(sample(t, 1.0, 1.0));
+  a.merge_from(b);
+  const auto snaps = a.snapshots();
+  ASSERT_EQ(snaps.size(), 4u);
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(snaps[i].t, 0.3 + 0.1 * static_cast<double>(i));
+  }
+}
+
+TEST(RunMonitorTest, MergeFromWithUnarmedPeerIsANoOp) {
+  RunMonitor a;
+  a.configure(record_config("queue_bounds"));
+  a.set_queue_bound(100.0);
+  a.check_queue(0.1, 0, 200.0);
+  RunMonitor unarmed;
+  a.merge_from(unarmed);
+  EXPECT_EQ(a.checks(), 1u);
+  EXPECT_EQ(a.violation_count(), 1u);
+}
+
 TEST(RunMonitorTest, ConfigureSwitchesTraceIntoRingMode) {
   EventTrace trace;
   MonitorConfig cfg = record_config("queue_bounds,ring=8");
