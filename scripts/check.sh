@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Nine gates:
+# Ten gates:
 #  1. Thread safety: builds the tree under ThreadSanitizer
 #     (-DBCN_SANITIZE=thread) and runs the exec + analysis + obs + sim
-#     test suites, which exercise parallel_for / ThreadPool / the
-#     parallel stability map / the span recorder and atomic metrics /
-#     the event-queue pool and heap under real concurrency.  Any data
-#     race fails the run.
+#     + service test suites, which exercise parallel_for / ThreadPool /
+#     the parallel stability map / the span recorder and atomic metrics /
+#     the event-queue pool and heap / the verdict-service TCP server and
+#     sharded LRU cache under real concurrency.  Any data race fails the
+#     run.
 #  2. Bench artifacts: builds one bench in a regular (non-sanitized)
 #     build, runs it, and validates that RUN_<name>.json carries the
 #     observability metrics snapshot (including the sim.* scheduler
@@ -56,6 +57,21 @@
 #     and the shard determinism tests already ran under TSan in gate 1
 #     as part of bcn_sim_tests.)  Speedups are reported, deliberately
 #     not gated: they depend on the host's hardware threads.
+# 10. Service smoke: starts bcn_serve on an ephemeral port, drives a
+#     scripted bcn_load session, replays every verdict answer through
+#     bcn_analyze with the echoed parameters and requires the `text`
+#     field to match the CLI stdout byte for byte (the docs/SERVICE.md
+#     determinism contract, end-to-end), requires repeated request
+#     lines to produce byte-identical responses with the cache-hit
+#     counters accounting for them exactly, runs the load generator and
+#     the E24 service_qps bench (both exit nonzero on any cold/cached
+#     divergence), validates and self-diffs BENCH_service_qps.json at
+#     threshold 0, checks bad flags exit 2 on bcn_serve and bcn_load,
+#     checks the shutdown op terminates the server with exit 0, and
+#     finishes with a relative-link check over README.md and docs/*.md
+#     (every non-URL link target must exist).  (The cache/protocol/
+#     server unit tests already ran under TSan in gate 1 as part of
+#     bcn_service_tests.)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -64,7 +80,8 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "$BUILD_DIR" -S . -DBCN_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j \
-  --target bcn_exec_tests bcn_analysis_tests bcn_obs_tests bcn_sim_tests
+  --target bcn_exec_tests bcn_analysis_tests bcn_obs_tests bcn_sim_tests \
+           bcn_service_tests
 
 # halt_on_error turns any race into a hard test failure instead of a
 # buried log line; second_deadlock_stack improves mutex reports.
@@ -76,6 +93,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1 ${TSAN_OPTIONS:-}"
 "$BUILD_DIR"/tests/analysis/bcn_analysis_tests
 "$BUILD_DIR"/tests/obs/bcn_obs_tests
 "$BUILD_DIR"/tests/sim/bcn_sim_tests
+"$BUILD_DIR"/tests/service/bcn_service_tests
 
 echo "[check.sh] ThreadSanitizer run clean"
 
@@ -547,3 +565,190 @@ set -e
 }
 
 echo "[check.sh] sharded-engine smoke clean ($SHARD_JSON)"
+
+# --- service smoke ----------------------------------------------------------
+# The stability-verdict service end-to-end.  The determinism contract
+# (docs/SERVICE.md): a service answer — cold, cached, or replayed — is
+# byte-identical to the bcn_analyze stdout for the echoed parameters.
+cmake --build "$SMOKE_BUILD_DIR" -j \
+  --target bcn_serve bcn_load bcn_analyze service_qps
+
+SVC_OUT=$(mktemp -d)
+SERVE_PID=
+trap '[[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null;
+      rm -rf "$SMOKE_OUT" "$TRACE_OUT" "$TPUT_OUT" "$FAULT_OUT_A" \
+        "$FAULT_OUT_B" "$MECH_OUT_A" "$MECH_OUT_B" "$MAP_OUT" "$MON_OUT" \
+        "$MON_OUT_B" "$SHARD_OUT" "$SVC_OUT"' EXIT
+
+"$SMOKE_BUILD_DIR"/tools/bcn_serve --port 0 --threads 2 \
+  > "$SVC_OUT/serve.log" 2>&1 &
+SERVE_PID=$!
+SVC_PORT=
+for _ in $(seq 1 200); do
+  SVC_PORT=$(sed -n 's/^listening on port \([0-9]*\)$/\1/p' \
+    "$SVC_OUT/serve.log")
+  [[ -n "$SVC_PORT" ]] && break
+  sleep 0.05
+done
+[[ -n "$SVC_PORT" ]] || {
+  echo "[check.sh] bcn_serve never reported a port"; exit 1;
+}
+
+# Scripted session: a control op, three distinct verdicts (closed-form
+# bcn, generic qcn, custom plant), a repeat of the first verdict line
+# (must be answered from the cache, byte-identically), and stats.
+cat > "$SVC_OUT/session.txt" <<'EOF'
+{"op":"ping","id":1}
+{"op":"verdict"}
+{"op":"verdict","mechanism":"qcn","a":4e8}
+{"op":"verdict","a":4e8,"B":1.2e7}
+{"op":"verdict"}
+{"op":"stats"}
+EOF
+"$SMOKE_BUILD_DIR"/tools/bcn_load --port "$SVC_PORT" \
+  --script "$SVC_OUT/session.txt" > "$SVC_OUT/responses.txt"
+
+BCN_ANALYZE="$SMOKE_BUILD_DIR"/tools/bcn_analyze \
+  python3 - "$SVC_OUT/responses.txt" <<'PY'
+import json, os, subprocess, sys
+lines = [l for l in open(sys.argv[1]).read().splitlines() if l]
+assert len(lines) == 6, f"want 6 responses, got {len(lines)}"
+bodies = [json.loads(l) for l in lines]
+assert bodies[0] == {"id": 1, "op": "ping", "ok": True}, bodies[0]
+
+# Every verdict answer must reproduce the CLI byte for byte when
+# bcn_analyze is invoked with the echoed (derived) parameters.
+analyze = os.environ["BCN_ANALYZE"]
+for body in bodies[1:4]:
+    assert body["op"] == "verdict", body
+    argv = [analyze]
+    for flag in ("gi", "gd", "pm", "q0", "B"):
+        argv += [f"--{flag}", repr(body[flag])]
+    if body["mechanism"] != "bcn":
+        argv += ["--mechanism", body["mechanism"]]
+    cli = subprocess.run(argv, capture_output=True, text=True, check=True)
+    assert cli.stdout == body["text"], \
+        f"service text diverges from `{' '.join(argv)}` stdout"
+
+# The repeated bare verdict line is answered from the cache and must be
+# byte-identical to the cold response.
+assert lines[4] == lines[1], "cached response != cold response"
+
+# The stats snapshot accounts for the session exactly: 6 requests, 3
+# distinct cacheable keys (misses), 1 replay (hit).
+stats = bodies[5]
+assert stats["service.requests"] == 6, stats
+assert stats["service.cache.misses"] == 3, stats
+assert stats["service.cache.hits"] == 1, stats
+assert stats["service.errors"] == 0, stats
+print("[check.sh] scripted session: 3 verdicts CLI-identical, "
+      "replay cached byte-identically (hits=1, misses=3)")
+PY
+
+# Load mode: a seeded pool replayed over concurrent connections; the
+# tool itself exits 1 on any byte divergence between cold and cached
+# answers to the same request line.
+"$SMOKE_BUILD_DIR"/tools/bcn_load --port "$SVC_PORT" \
+  --requests 64 --connections 4 --space 8 > /dev/null || {
+  echo "[check.sh] bcn_load load mode failed (byte identity?)"; exit 1;
+}
+
+# The shutdown op must terminate the server process with exit 0.
+echo '{"op":"shutdown"}' > "$SVC_OUT/shutdown.txt"
+"$SMOKE_BUILD_DIR"/tools/bcn_load --port "$SVC_PORT" \
+  --script "$SVC_OUT/shutdown.txt" > /dev/null
+SERVE_STATUS=0
+wait "$SERVE_PID" || SERVE_STATUS=$?
+SERVE_PID=
+[[ $SERVE_STATUS -eq 0 ]] || {
+  echo "[check.sh] bcn_serve exited $SERVE_STATUS after shutdown op, want 0"
+  exit 1
+}
+
+# Bad flags are usage errors (exit 2) on both tools.
+for bad in "--port bogus" "--port 70000" "--threads bogus" "--bogus 1"; do
+  set +e
+  # shellcheck disable=SC2086
+  "$SMOKE_BUILD_DIR"/tools/bcn_serve $bad > /dev/null 2>&1
+  STATUS=$?
+  set -e
+  [[ $STATUS -eq 2 ]] || {
+    echo "[check.sh] bcn_serve $bad exited $STATUS, want 2"; exit 1;
+  }
+done
+for bad in "--requests 4" "--port 1 --requests bogus" "--port 1"; do
+  set +e
+  # shellcheck disable=SC2086
+  "$SMOKE_BUILD_DIR"/tools/bcn_load $bad > /dev/null 2>&1
+  STATUS=$?
+  set -e
+  [[ $STATUS -eq 2 ]] || {
+    echo "[check.sh] bcn_load $bad exited $STATUS, want 2"; exit 1;
+  }
+done
+
+# E24: the service-throughput bench doubles as the concurrent
+# byte-identity gate (exit 1 on any cached/cold divergence) and its
+# artifact pins the exact cache accounting.
+"$SMOKE_BUILD_DIR"/bench/service_qps --run service_qps --out "$SVC_OUT" \
+  --connections 4 --space 16 --passes 4 > /dev/null || {
+  echo "[check.sh] service_qps failed (byte identity or errors)"; exit 1;
+}
+
+SVC_JSON="$SVC_OUT/BENCH_service_qps.json"
+[[ -f "$SVC_JSON" ]] || { echo "[check.sh] missing $SVC_JSON"; exit 1; }
+python3 - "$SVC_JSON" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+assert data.get("benchmark") == "service_qps", data.get("benchmark")
+assert data.get("byte_mismatches") == 0, \
+    f"{data.get('byte_mismatches')!r} cached responses diverged"
+assert data.get("errors") == 0, f"{data.get('errors')!r} protocol errors"
+space, passes = data["space"], data["passes"]
+# Cold pass: every distinct request missed once.  Cached passes: every
+# lookup hit.  The counters must balance exactly.
+assert data.get("cache_misses") == space, \
+    f"cache_misses = {data.get('cache_misses')!r}, want {space}"
+assert data.get("cache_hits") == space * passes, \
+    f"cache_hits = {data.get('cache_hits')!r}, want {space * passes}"
+for key in ("cold_qps", "cached_qps", "cold_p50_ms", "cold_p99_ms",
+            "cached_p50_ms", "cached_p99_ms", "cached_speedup"):
+    value = data.get(key)
+    assert isinstance(value, (int, float)) and value > 0, f"{key}: {value!r}"
+print(f"[check.sh] service qps: cold {data['cold_qps']:.0f}/s, "
+      f"cached {data['cached_qps']:.0f}/s "
+      f"({data['cached_speedup']:.1f}x), hit/miss accounting exact")
+PY
+
+"$SMOKE_BUILD_DIR"/tools/bcn_bench_diff \
+  --a "$SVC_JSON" --b "$SVC_JSON" --threshold 0 --require-same-keys \
+  > /dev/null || {
+  echo "[check.sh] service-qps self-diff failed"; exit 1;
+}
+
+# Documentation link check: every relative link in README.md and
+# docs/*.md must point at a file that exists.
+python3 - <<'PY'
+import glob, os, re, sys
+files = ["README.md"] + sorted(glob.glob("docs/*.md"))
+pattern = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+bad = []
+checked = 0
+for path in files:
+    base = os.path.dirname(path)
+    for target in pattern.findall(open(path).read()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        checked += 1
+        resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+        if not os.path.exists(resolved):
+            bad.append(f"{path}: {target}")
+for link in bad:
+    print(f"[check.sh] dangling doc link: {link}")
+if bad:
+    sys.exit(1)
+print(f"[check.sh] doc links valid: {checked} relative links "
+      f"across {len(files)} files")
+PY
+
+echo "[check.sh] service smoke clean ($SVC_JSON)"

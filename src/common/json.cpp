@@ -54,6 +54,16 @@ std::string JsonWriter::to_string() const {
   return out;
 }
 
+std::string JsonWriter::to_line() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += quote(fields_[i].first) + ":" + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
 bool JsonWriter::write_file(const std::filesystem::path& path) const {
   std::error_code ec;
   if (path.has_parent_path()) {

@@ -31,6 +31,10 @@ class JsonWriter {
   // One pretty-printed object, one "key": value per line.
   std::string to_string() const;
 
+  // The same object on a single line (no trailing newline) — the wire
+  // form of the newline-delimited service protocol (docs/SERVICE.md).
+  std::string to_line() const;
+
   // Writes to `path`, creating parent directories as needed; false on I/O
   // failure.
   bool write_file(const std::filesystem::path& path) const;

@@ -1,0 +1,85 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bcn::service {
+
+bool LineClient::connect_to(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "bad host address '" + host + "'";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool LineClient::send_line(const std::string& line) {
+  if (fd_ < 0) return false;
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      error_ = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<std::string> LineClient::read_line() {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      std::string line = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0) error_ = std::string("read: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> LineClient::request(const std::string& line) {
+  if (!send_line(line)) return std::nullopt;
+  return read_line();
+}
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace bcn::service

@@ -1,0 +1,58 @@
+// Minimal blocking client for the stability-verdict service protocol:
+// one TCP connection, newline-delimited request/response lines.  Used
+// by tools/bcn_load, the service bench and the tests.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace bcn::service {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  LineClient(LineClient&& other) noexcept
+      : fd_(other.fd_),
+        buffer_(std::move(other.buffer_)),
+        error_(std::move(other.error_)) {
+    other.fd_ = -1;
+  }
+  LineClient& operator=(LineClient&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      error_ = std::move(other.error_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  // Connects to host:port (host as dotted quad, e.g. "127.0.0.1").
+  // False on failure; error() then holds the reason.
+  bool connect_to(const std::string& host, int port);
+  const std::string& error() const { return error_; }
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes `line` plus the terminating newline.
+  bool send_line(const std::string& line);
+  // Blocks for the next response line (newline stripped); nullopt on
+  // EOF or error.
+  std::optional<std::string> read_line();
+  // send_line + read_line.
+  std::optional<std::string> request(const std::string& line);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  std::string error_;
+};
+
+}  // namespace bcn::service

@@ -1,0 +1,191 @@
+// End-to-end tests of the stability-verdict TCP server: protocol
+// round-trips, FIFO ordering, cache-counter accuracy, and the
+// determinism contract (cached == cold, byte for byte) under
+// concurrent clients.  The whole suite runs under TSan in
+// scripts/check.sh gate 1.
+#include "service/server.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "service/client.h"
+
+namespace bcn::service {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void start(ServiceConfig config = {}) {
+    config.threads = 2;
+    server_ = std::make_unique<ServiceServer>(config);
+    ASSERT_TRUE(server_->start()) << server_->error();
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  LineClient connect() {
+    LineClient client;
+    EXPECT_TRUE(client.connect_to("127.0.0.1", server_->port()))
+        << client.error();
+    return client;
+  }
+
+  std::uint64_t counter(const std::string& name) {
+    const auto* c = server_->metrics().find_counter(name);
+    return c ? c->value() : 0;
+  }
+
+  std::unique_ptr<ServiceServer> server_;
+};
+
+TEST_F(ServerTest, PingVerdictAndErrorRoundTrip) {
+  start();
+  LineClient client = connect();
+  EXPECT_EQ(client.request("{\"op\":\"ping\",\"id\":1}").value(),
+            "{\"id\":1,\"op\":\"ping\",\"ok\":true}");
+
+  const auto verdict = client.request("{\"op\":\"verdict\",\"id\":2}");
+  ASSERT_TRUE(verdict);
+  const auto body = FlatJson::parse(*verdict);
+  ASSERT_TRUE(body);
+  EXPECT_EQ(body->number("id").value(), 2.0);
+  EXPECT_EQ(body->string_value("op").value(), "verdict");
+  EXPECT_TRUE(body->string_value("text").has_value());
+
+  const auto error = client.request("{\"op\":\"verdict\",\"a\":\"x\"}");
+  ASSERT_TRUE(error);
+  EXPECT_NE(error->find("\"error\":\"bad_request\""), std::string::npos);
+  server_->stop();
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInFifoOrder) {
+  start();
+  LineClient client = connect();
+  // Queue a slow analytic request, a cacheable repeat, and two cheap
+  // ops before reading anything; responses must come back 1,2,3,4.
+  ASSERT_TRUE(client.send_line("{\"op\":\"verdict\",\"id\":1}"));
+  ASSERT_TRUE(client.send_line("{\"op\":\"verdict\",\"id\":2}"));
+  ASSERT_TRUE(client.send_line("{\"op\":\"ping\",\"id\":3}"));
+  ASSERT_TRUE(client.send_line("{\"op\":\"verdict\",\"id\":4,\"a\":4e8}"));
+  for (int expected = 1; expected <= 4; ++expected) {
+    const auto response = client.read_line();
+    ASSERT_TRUE(response);
+    const auto body = FlatJson::parse(*response);
+    ASSERT_TRUE(body) << *response;
+    EXPECT_EQ(body->number("id").value(), expected);
+  }
+  server_->stop();
+}
+
+TEST_F(ServerTest, CacheCountersTrackLookupsExactly) {
+  ServiceConfig config;
+  config.cache_entries = 2;
+  config.cache_shards = 1;
+  start(config);
+  LineClient client = connect();
+  // Distinct verdicts: a=4e8, a=5e8, a=6e8 with capacity 2 -> the third
+  // insert evicts a=4e8; repeating it is a miss again.
+  const char* first = "{\"op\":\"verdict\",\"a\":4e8}";
+  ASSERT_TRUE(client.request(first));
+  ASSERT_TRUE(client.request(first));  // hit
+  ASSERT_TRUE(client.request("{\"op\":\"verdict\",\"a\":5e8}"));
+  ASSERT_TRUE(client.request("{\"op\":\"verdict\",\"a\":6e8}"));  // evicts
+  ASSERT_TRUE(client.request(first));  // miss: was evicted
+  EXPECT_EQ(counter("service.cache.hits"), 1u);
+  EXPECT_EQ(counter("service.cache.misses"), 4u);
+  EXPECT_EQ(counter("service.cache.evictions"), 2u);
+  EXPECT_EQ(counter("service.requests"), 5u);
+
+  // The stats op reports the same registry.
+  const auto stats = client.request("{\"op\":\"stats\"}");
+  ASSERT_TRUE(stats);
+  const auto body = FlatJson::parse(*stats);
+  ASSERT_TRUE(body);
+  EXPECT_EQ(body->number("service.cache.hits").value(), 1.0);
+  EXPECT_EQ(body->number("service.cache.misses").value(), 4.0);
+  server_->stop();
+}
+
+TEST_F(ServerTest, CachedEqualsColdByteForByteUnderConcurrentClients) {
+  start();
+  // Phase 1 (cold): one client warms each distinct request once.
+  std::vector<std::string> pool;
+  for (int i = 0; i < 6; ++i) {
+    JsonWriter json;
+    json.add("op", "verdict");
+    json.add("a", 8e8 + 2e8 * i);
+    pool.push_back(json.to_line());
+  }
+  std::map<std::string, std::string> cold;
+  {
+    LineClient client = connect();
+    for (const auto& line : pool) {
+      const auto response = client.request(line);
+      ASSERT_TRUE(response);
+      cold[line] = *response;
+    }
+  }
+  EXPECT_EQ(counter("service.cache.misses"), pool.size());
+
+  // Phase 2 (cached): concurrent clients replay the pool; every
+  // response must equal its cold counterpart byte for byte.
+  constexpr int kClients = 4;
+  constexpr int kPasses = 5;
+  std::mutex mismatch_mutex;
+  std::vector<std::string> mismatches;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client;
+      if (!client.connect_to("127.0.0.1", server_->port())) return;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          const auto& line = pool[(i + static_cast<std::size_t>(c)) %
+                                  pool.size()];
+          const auto response = client.request(line);
+          if (!response || *response != cold[line]) {
+            std::lock_guard<std::mutex> lock(mismatch_mutex);
+            mismatches.push_back(line);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(mismatches.empty())
+      << mismatches.size() << " responses diverged from cold";
+  // Every phase-2 lookup was a hit: the pool was fully warmed first.
+  EXPECT_EQ(counter("service.cache.hits"),
+            static_cast<std::uint64_t>(kClients * kPasses) * pool.size());
+  EXPECT_EQ(counter("service.cache.misses"), pool.size());
+  server_->stop();
+}
+
+TEST_F(ServerTest, ShutdownOpUnblocksWaitAndStopIsIdempotent) {
+  start();
+  LineClient client = connect();
+  EXPECT_FALSE(server_->shutdown_requested());
+  const auto response = client.request("{\"op\":\"shutdown\",\"id\":1}");
+  ASSERT_TRUE(response);
+  EXPECT_NE(response->find("\"ok\":true"), std::string::npos);
+  EXPECT_TRUE(server_->wait_for_shutdown(5.0));
+  server_->stop();
+  server_->stop();  // idempotent
+  LineClient refused;
+  EXPECT_FALSE(refused.connect_to("127.0.0.1", server_->port()));
+}
+
+TEST_F(ServerTest, DestructorStopsARunningServer) {
+  start();
+  LineClient client = connect();
+  ASSERT_TRUE(client.request("{\"op\":\"verdict\"}"));
+  server_.reset();  // ~ServiceServer must tear down cleanly mid-connection
+}
+
+}  // namespace
+}  // namespace bcn::service

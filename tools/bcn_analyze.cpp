@@ -8,17 +8,21 @@
 // extrema, Propositions 2-4 / Theorem 1 / baseline verdicts, numeric
 // verdicts at every model level, transient estimates, frequency-domain
 // margins, and (with --plot) an ASCII queue transient.
+//
+// The report body (everything before the --delay / --plot extras) is
+// rendered by analysis::render_verdict_report, the same function the
+// stability-verdict service (tools/bcn_serve) answers from — so a
+// service verdict is byte-identical to this tool's output by
+// construction (docs/SERVICE.md, scripts/check.sh gate 10).
 #include <cstdio>
 #include <cstdlib>
 
-#include "analysis/transient.h"
+#include "analysis/report.h"
 #include "common/args.h"
 #include "common/table.h"
-#include "control/frequency.h"
 #include "core/delayed_model.h"
 #include "core/mechanism.h"
 #include "core/simulate.h"
-#include "core/stability.h"
 #include "obs/monitor.h"
 #include "obs/tracing.h"
 #include "plot/ascii.h"
@@ -108,54 +112,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s\n\n", p.describe().c_str());
+  analysis::VerdictRequest request;
+  request.params = p;
+  request.mechanism = mechanism;
+  request.duration = args.get_double("duration", 1.5e-3);
+  request.finite_monitor = monitors.finite;
+  const auto report = analysis::render_verdict_report(request);
+  std::fputs(report.text.c_str(), stdout);
+  if (monitors.finite && report.nonfinite) {
+    std::fputs(report.monitor_error.c_str(), stderr);
+    return obs::kMonitorViolationExit;
+  }
 
-  // Non-BCN mechanisms: analyze the registered fluid facet and stop (the
-  // closed-form propositions below are BCN theory).  bcn-draft shares
-  // BCN's fluid facet, so it takes the full path.
+  // Non-BCN mechanisms: the report covered the registered fluid facet
+  // (or said there is none); only the optional ASCII plot remains.
   if (mechanism != "bcn" && mechanism != "bcn-draft") {
-    const auto* info = core::find_mechanism(mechanism);
-    std::printf("mechanism: %s -- %s\n", info->name, info->summary);
-    core::MechanismConfig mcfg;
-    mcfg.plant = p;
-    const auto mech = core::make_fluid_mechanism(mechanism, mcfg);
-    if (!mech) {
-      std::printf("packet-only mechanism: no fluid facet to analyze; use "
-                  "the packet benches (bcn_bench --mechanism %s).\n",
-                  mechanism.c_str());
-      return 0;
-    }
-    std::printf("equilibrium at the origin: %s\n",
-                mech->has_equilibrium() ? "yes" : "no (sawtooth orbit)");
-    TablePrinter laws({"region", "lambda^2 + m lambda + n", "m", "n"});
-    for (const auto& law : mech->region_laws()) {
-      laws.add_row({law.label,
-                    law.linearizable ? "second-order" : "constant drive",
-                    TablePrinter::format(law.m), TablePrinter::format(law.n)});
-    }
-    std::fputs(laws.to_string("linearized region laws").c_str(), stdout);
-
-    core::MechanismRunOptions mopts;
-    mopts.duration = args.get_double("duration", 1.5e-3);
-    for (const auto& [level, name] :
-         {std::pair{core::ModelLevel::Linearized, "linearized"},
-          std::pair{core::ModelLevel::Nonlinear, "nonlinear "}}) {
-      mopts.level = level;
-      const auto verdict = core::mechanism_numeric_verdict(*mech, mopts);
-      if (monitors.finite && verdict.nonfinite) {
-        std::fprintf(stderr,
-                     "monitor: finite: %s fluid integration produced a "
-                     "non-finite state; no verdict\n",
-                     name);
-        return obs::kMonitorViolationExit;
-      }
-      std::printf("numeric %s: %-22s peak q = %.6g, dip q = %.6g\n", name,
-                  verdict.strongly_stable ? "strongly stable"
-                                          : "NOT strongly stable",
-                  verdict.max_x + p.q0, verdict.min_x + p.q0);
-    }
-
-    if (args.get_bool("plot")) {
+    if (args.get_bool("plot") && report.has_fluid) {
+      core::MechanismConfig mcfg;
+      mcfg.plant = p;
+      const auto mech = core::make_fluid_mechanism(mechanism, mcfg);
+      core::MechanismRunOptions mopts;
+      mopts.duration = request.duration;
       mopts.level = core::ModelLevel::Nonlinear;
       mopts.record_interval = mopts.duration / 1000.0;
       const auto run = core::simulate_fluid_mechanism(*mech, mopts);
@@ -172,41 +149,6 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-
-  const auto report = core::analyze_stability(p);
-  std::printf("analysis: %s\n\n", report.summary().c_str());
-
-  for (const auto& [level, name] :
-       {std::pair{core::ModelLevel::Linearized, "linearized (eq.9) "},
-        std::pair{core::ModelLevel::Nonlinear, "nonlinear  (eq.8) "}}) {
-    const auto verdict = core::numeric_strong_stability(p, {.level = level});
-    if (monitors.finite && verdict.nonfinite) {
-      std::fprintf(stderr,
-                   "monitor: finite: %s fluid integration produced a "
-                   "non-finite state; no verdict\n",
-                   name);
-      return obs::kMonitorViolationExit;
-    }
-    std::printf("numeric %s: %-22s peak q = %.6g, dip q = %.6g\n", name,
-                verdict.strongly_stable ? "strongly stable"
-                                        : "NOT strongly stable",
-                verdict.max_x + p.q0, verdict.min_x + p.q0);
-  }
-
-  if (const auto est = analysis::estimate_transient(p)) {
-    std::printf("\ntransient estimate: cycle %.4g s, contraction %.6f per "
-                "cycle, settling to 5%% band in %.4g s\n",
-                est->cycle_time, est->contraction_ratio, est->settling_time);
-  }
-
-  const control::LoopTransfer inc{p.a(), p.k()};
-  const control::LoopTransfer dec{p.b() * p.capacity, p.k()};
-  std::printf("\nfrequency margins: increase crossover %.4g rad/s, phase "
-              "margin %.4g rad, delay margin %.4g s; decrease %.4g rad/s, "
-              "%.4g rad, %.4g s\n",
-              control::gain_crossover(inc), control::phase_margin(inc),
-              control::delay_margin(inc), control::gain_crossover(dec),
-              control::phase_margin(dec), control::delay_margin(dec));
 
   const double delay = args.get_double("delay", 0.0);
   if (delay > 0.0) {
